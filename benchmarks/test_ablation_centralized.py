@@ -1,0 +1,33 @@
+"""Ablation: localized feedback versus a centralized monitor (Figure 2).
+
+The paper's architectural argument, quantified on the Experiment 2
+workload.  The centralized arm ships a copy of the stream to a monitor
+(per-tuple transfer + inspection cost) and applies identical suppression
+decisions one collection cycle late.  Asserted:
+
+* localized total work < centralized total work;
+* the communication asymmetry is extreme: the monitor consumes the whole
+  stream, localized feedback sends a handful of control messages.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import Exp2Config, run_centralized_ablation
+
+from conftest import run_once
+
+
+def test_centralized_vs_localized(benchmark, report):
+    config = Exp2Config.from_env()
+    comparison = run_once(
+        benchmark, lambda: run_centralized_ablation(config)
+    )
+    report.append("Figure 2 ablation -- " + comparison.summary())
+    # The localized design does strictly less work...
+    assert comparison.localized_work < comparison.centralized_work
+    # ...and its upstream traffic is orders of magnitude smaller than the
+    # stream copy the central monitor must consume.
+    assert comparison.centralized_data_shipped >= (
+        1000 * comparison.localized_messages
+    )
+    assert comparison.centralized_decisions > 0

@@ -1,0 +1,61 @@
+"""Ablation: page batching versus feedback responsiveness.
+
+Section 5 of the paper motivates page batching (fewer hand-offs, less
+context switching) and names its cost (a slow stream strands tuples in an
+open page), solved by punctuation-flushes.  Feedback adds a second cost of
+large pages: **in-flight stragglers**.  Tuples already processed but
+sitting in an undelivered page cannot be saved by feedback -- by the time
+PACE sees them, the assumed bound may have moved past their timestamps.
+
+This ablation sweeps the page size of Experiment 1's plan and reports the
+imputed-drop fraction: responsiveness degrades as pages grow, which is the
+quantitative argument for small pages (or aggressive punctuation) on
+feedback-bearing paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments import Exp1Config, run_arm
+
+from conftest import run_once
+
+PAGE_SIZES = (2, 4, 16, 64)
+
+
+def test_page_size_vs_drop_fraction(benchmark, report):
+    base = Exp1Config.from_env()
+
+    def sweep():
+        results = {}
+        for page_size in PAGE_SIZES:
+            config = replace(base, page_size=page_size)
+            results[page_size] = run_arm(config, feedback=True)
+        return results
+
+    results = run_once(benchmark, sweep)
+    for page_size, arm in sorted(results.items()):
+        report.append(
+            f"page_size={page_size:>3}: {arm.drop_fraction:.1%} dropped "
+            f"({arm.imputed_dropped_at_impute} at IMPUTE's guard, "
+            f"{arm.imputed_dropped_at_pace} in-flight late at PACE)"
+        )
+    # Small pages keep the paper's headline result comfortably.
+    assert results[2].drop_fraction <= 0.40
+    assert results[4].drop_fraction <= 0.40
+    # Degradation is monotone in page size: bigger pages, more stragglers.
+    fractions = [results[p].drop_fraction for p in PAGE_SIZES]
+    assert fractions == sorted(fractions)
+    # The sharp finding: once a page holds more than a tolerance's worth
+    # of tuples, the watermark-aggressive feedback becomes *destructive*
+    # (the assumed bound condemns whole in-flight pages) -- it can even
+    # fall behind the no-feedback baseline.  Feedback needs responsive
+    # delivery paths, which is exactly why NiagaraST lets punctuation
+    # flush pages (section 5).
+    no_feedback = run_arm(base, feedback=False)
+    assert results[64].drop_fraction >= no_feedback.drop_fraction - 0.05
+    report.append(
+        f"(no-feedback baseline: {no_feedback.drop_fraction:.1%} -- "
+        f"oversized pages make aggressive feedback useless or worse)"
+    )

@@ -1,0 +1,78 @@
+"""Figures 5 and 6: the imputation query plan without / with feedback.
+
+Paper numbers: 97 % of imputed tuples arrive beyond the tolerated
+divergence without feedback; only 29 % are dropped with PACE's assumed
+feedback enabled.  Assertions are shape bands, not exact matches:
+
+* no-feedback drop fraction >= 90 %;
+* with-feedback drop fraction <= 40 %;
+* feedback improves the timely-imputed count by at least 5x;
+* feedback also saves real work (fewer archival lookups, less busy time).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import Exp1Config, run_arm
+from repro.viz import scatter, series_summary
+
+from conftest import run_once
+
+
+def _render(arm, title: str) -> list[str]:
+    chart = scatter(
+        {
+            "clean": arm.clean_series,
+            "imputed": arm.imputed_series,
+        },
+        width=70,
+        height=16,
+        title=title,
+        x_label="output time (s)",
+        y_label="tuple id",
+    )
+    return [chart, arm.summary(), ""]
+
+
+def test_figure5_no_feedback(benchmark, report):
+    config = Exp1Config.from_env()
+    arm = run_once(benchmark, lambda: run_arm(config, feedback=False))
+    report.extend(_render(arm, "Figure 5 -- imputation WITHOUT feedback"))
+    report.append(f"paper: 97% dropped; measured: {arm.drop_fraction:.1%}")
+    # Without feedback, the imputed branch diverges and almost everything
+    # arrives beyond tolerance.
+    assert arm.drop_fraction >= 0.90
+    # Every dirty tuple still pays its archival lookup: pure waste.
+    assert arm.lookups_performed == arm.total_dirty
+    # The clean branch is unaffected.
+    assert arm.clean_delivered == arm.total_clean
+
+
+def test_figure6_with_feedback(benchmark, report):
+    config = Exp1Config.from_env()
+    arm = run_once(benchmark, lambda: run_arm(config, feedback=True))
+    report.extend(_render(arm, "Figure 6 -- imputation WITH feedback"))
+    report.append(f"paper: 29% dropped; measured: {arm.drop_fraction:.1%}")
+    assert arm.drop_fraction <= 0.40
+    # Feedback actually sheds work: lookups skipped at the guard.
+    assert arm.lookups_performed < arm.total_dirty
+    assert arm.feedback_messages > 0
+    assert arm.clean_delivered == arm.total_clean
+
+
+def test_feedback_vs_no_feedback_shape(report):
+    """The headline comparison: feedback wins by a large factor."""
+    config = Exp1Config.from_env()
+    no_fb = run_arm(config, feedback=False)
+    with_fb = run_arm(config, feedback=True)
+    report.append(
+        "timely imputed tuples: "
+        f"no feedback={no_fb.imputed_delivered}, "
+        f"with feedback={with_fb.imputed_delivered}"
+    )
+    report.append(series_summary(with_fb.imputed_series, name="fig6 imputed"))
+    # Timely imputed output improves by a large factor (paper: ~23x).
+    assert with_fb.imputed_delivered >= 5 * max(no_fb.imputed_delivered, 1)
+    # And total work drops (guard drops are cheaper than lookups).
+    assert with_fb.total_work < no_fb.total_work
+    # Drop ordering matches the paper's 97% vs 29%.
+    assert no_fb.drop_fraction > with_fb.drop_fraction + 0.4

@@ -1,0 +1,109 @@
+"""Figure 7: speed-map feedback schemes F0-F3 versus feedback frequency.
+
+Paper numbers (18 h of data, 9 segments x 40 detectors): F1 cuts query
+execution time by 50 %, F2 by 61 %, F3 by 65 %, with "no discernible
+overhead as the frequency of feedback increases" (2/4/6-minute switches).
+
+Asserted shape:
+
+* strict ordering F0 > F1 > F2 > F3 at every frequency;
+* F1 reduction in [40 %, 60 %], F2 in [52 %, 70 %], F3 in [58 %, 75 %];
+* across frequencies each scheme varies by < 5 %.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Exp2Config, SCHEMES, run_cell, run_experiment_2
+from repro.viz import grouped_bars
+
+from conftest import run_once
+
+REDUCTION_BANDS = {"F1": (0.40, 0.60), "F2": (0.52, 0.70), "F3": (0.58, 0.75)}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """The full scheme x frequency table, shared across assertions."""
+    return run_experiment_2(Exp2Config.from_env())
+
+
+def test_figure7_table(sweep, report):
+    frequencies = sorted(next(iter(sweep.values())).keys())
+    groups = {
+        f"feedback every {freq:g} min": {
+            scheme: sweep[scheme][freq].execution_time
+            for scheme in SCHEMES
+        }
+        for freq in frequencies
+    }
+    report.append(
+        grouped_bars(
+            groups,
+            title="Figure 7 -- execution time (virtual s) by scheme",
+            value_format="{:.1f}s",
+        )
+    )
+    baseline = sweep["F0"][frequencies[0]].execution_time
+    for scheme in ("F1", "F2", "F3"):
+        measured = 1 - sweep[scheme][frequencies[0]].execution_time / baseline
+        report.append(
+            f"{scheme}: paper reduction "
+            f"{ {'F1': '50%', 'F2': '61%', 'F3': '65%'}[scheme] }, "
+            f"measured {measured:.1%}"
+        )
+    for freq in frequencies:
+        times = [sweep[s][freq].execution_time for s in SCHEMES]
+        # Strict ordering F0 > F1 > F2 > F3.
+        assert times == sorted(times, reverse=True), (freq, times)
+        assert len(set(times)) == len(times)
+
+
+def test_figure7_reduction_bands(sweep):
+    frequencies = sorted(next(iter(sweep.values())).keys())
+    for freq in frequencies:
+        baseline = sweep["F0"][freq].execution_time
+        for scheme, (lo, hi) in REDUCTION_BANDS.items():
+            reduction = 1 - sweep[scheme][freq].execution_time / baseline
+            assert lo <= reduction <= hi, (
+                f"{scheme} @ {freq} min: reduction {reduction:.1%} outside "
+                f"[{lo:.0%}, {hi:.0%}]"
+            )
+
+
+def test_figure7_no_discernible_frequency_overhead(sweep, report):
+    """The paper: "no discernible overhead as frequency increases"."""
+    for scheme in ("F1", "F2", "F3"):
+        times = [cell.execution_time for cell in sweep[scheme].values()]
+        spread = (max(times) - min(times)) / min(times)
+        report.append(
+            f"{scheme}: frequency-induced spread {spread:.2%}"
+        )
+        assert spread < 0.05, (scheme, times)
+
+
+def test_figure7_guards_explain_the_savings(sweep):
+    """Scheme mechanics: each step saves where it should."""
+    freq = sorted(next(iter(sweep.values())).keys())[0]
+    f1, f2, f3 = sweep["F1"][freq], sweep["F2"][freq], sweep["F3"][freq]
+    # F1 suppresses at the aggregate's output only.
+    assert f1.guard_drops["average_output"] > 0
+    assert f1.guard_drops["average_input"] == 0
+    assert f1.guard_drops["quality_input"] == 0
+    # F2 moves the suppression to the aggregate's input.
+    assert f2.guard_drops["average_input"] > 0
+    assert f2.guard_drops["quality_input"] == 0
+    # F3 pushes it down to the quality filter.
+    assert f3.guard_drops["quality_input"] > 0
+    # All three render only the visible segment's results.
+    f0 = sweep["F0"][freq]
+    for cell in (f1, f2, f3):
+        assert cell.results_rendered < f0.results_rendered / 4
+
+
+def test_figure7_single_cell_benchmark(benchmark):
+    """Wall-time benchmark of one representative cell (scheme F3)."""
+    config = Exp2Config(horizon_hours=0.5)
+    cell = run_once(benchmark, lambda: run_cell(config, "F3", 2.0))
+    assert cell.execution_time > 0

@@ -1,0 +1,82 @@
+"""Microbenchmarks of the substrate primitives.
+
+Not figures from the paper -- these quantify the building blocks the
+feedback mechanism's economics rest on: guard checks must be much cheaper
+than the work they avoid, propagation planning must be cheap enough to run
+per feedback message, and queue/page throughput bounds the engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import FeedbackPunctuation, GuardSet, PropagationPlanner
+from repro.engine.plan import QueryPlan
+from repro.engine.simulator import Simulator
+from repro.operators import CollectSink, ListSource, Select
+from repro.punctuation import AtLeast, InSet, Pattern
+from repro.stream import DataQueue, Schema, SchemaMapping, StreamTuple
+
+SCHEMA = Schema.of("ts", "segment", "speed")
+RNG = random.Random(42)
+TUPLES = [
+    StreamTuple(SCHEMA, (float(i), i % 9, RNG.uniform(10, 70)))
+    for i in range(2000)
+]
+
+
+def test_pattern_match_throughput(benchmark):
+    pattern = Pattern.from_mapping(
+        SCHEMA, {"segment": InSet({1, 3, 5}), "speed": AtLeast(45.0)}
+    )
+    result = benchmark(lambda: sum(1 for t in TUPLES if pattern.matches(t)))
+    assert 0 < result < len(TUPLES)
+
+
+def test_guard_set_check_throughput(benchmark):
+    guards = GuardSet("bench")
+    for segment in range(4):
+        guards.install(Pattern.from_mapping(SCHEMA, {"segment": segment}))
+    result = benchmark(
+        lambda: sum(1 for t in TUPLES if guards.would_block(t))
+    )
+    assert result > 0
+
+
+def test_propagation_planning_throughput(benchmark):
+    left = Schema.of("a", "t", "id")
+    right = Schema.of("t", "id", "b")
+    planner = PropagationPlanner(
+        SchemaMapping.for_join(left, right, [("t", "t"), ("id", "id")])
+    )
+    feedback = FeedbackPunctuation.assumed(Pattern.build("*", 3, 4, "*"))
+    plans = benchmark(lambda: planner.propagate(feedback))
+    assert set(plans) == {0, 1}
+
+
+def test_data_queue_throughput(benchmark):
+    def pump():
+        queue = DataQueue("bench", page_size=64)
+        for tup in TUPLES:
+            queue.put(tup)
+        queue.close()
+        return sum(1 for _ in queue.drain_elements())
+
+    assert benchmark(pump) == len(TUPLES)
+
+
+def test_pipeline_tuples_per_second(benchmark):
+    """End-to-end engine throughput: source -> select -> sink."""
+    def run():
+        plan = QueryPlan("throughput")
+        source = ListSource(
+            "src", SCHEMA, [(0.0, t) for t in TUPLES]
+        )
+        keep = Select("keep", SCHEMA, lambda t: t["speed"] > 20.0)
+        sink = CollectSink("sink", SCHEMA)
+        plan.add(source)
+        plan.chain(source, keep, sink)
+        Simulator(plan).run()
+        return len(sink.results)
+
+    assert benchmark(run) > 0

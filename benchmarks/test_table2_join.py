@@ -1,0 +1,159 @@
+"""Table 2: the characterization of JOIN, rendered and verified live.
+
+Uses the paper's section 4.2 schemas -- A(a, t, id) ⋈ B(t, id, b) on
+(t, id), output C(a, t, id, b) -- and checks each Table 2 row against a
+live symmetric hash join: which hash tables are purged, which inputs are
+guarded, and what is propagated where.  The last row (``¬[l,*,r]``) is the
+famous no-safe-propagation case.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ExploitAction,
+    FeedbackPunctuation,
+    PropagationBehavior,
+    join_characterization,
+)
+from repro.engine.harness import OperatorHarness
+from repro.operators import SymmetricHashJoin
+from repro.punctuation import Pattern
+from repro.stream import Schema, StreamTuple
+
+from conftest import run_once
+
+LEFT = Schema.of("a", "t", "id")     # A(a, t, id)
+RIGHT = Schema.of("t", "id", "b")    # B(t, id, b)
+
+
+def seeded_join() -> OperatorHarness:
+    join = SymmetricHashJoin(
+        "join", LEFT, RIGHT, on=[("t", "t"), ("id", "id")]
+    )
+    harness = OperatorHarness(join)
+    for i in range(12):
+        harness.push(StreamTuple(LEFT, (40 + i, i % 4, i % 3)), port=0)
+        harness.push(StreamTuple(RIGHT, (i % 4, i % 3, 50 + i)), port=1)
+    return harness
+
+
+def test_table2_rendering(report):
+    char = join_characterization(
+        Schema.of("a", "t", "id", "b"), ["a"], ["t", "id"], ["b"]
+    )
+    report.append(char.render_table())
+    assert "no safe propagation" in char.render_table()
+
+
+def test_row1_join_attribute_feedback_reaches_both_inputs(report):
+    """¬[*,j,*]: purge both tables, guard input, propagate to both."""
+    harness = seeded_join()
+    join = harness.operator
+    before = join.metrics.state_size
+    actions = harness.feedback(
+        FeedbackPunctuation.assumed(
+            Pattern.from_mapping(join.output_schema, {"t": 1, "id": 1})
+        )
+    )
+    assert ExploitAction.PURGE_STATE in actions
+    assert ExploitAction.GUARD_INPUT in actions
+    assert join.metrics.state_size < before
+    left_fb = harness.upstream_feedback(0)
+    right_fb = harness.upstream_feedback(1)
+    assert len(left_fb) == 1 and len(right_fb) == 1
+    # ¬[*, j] to the left input, ¬[j, *] to the right input.
+    assert repr(left_fb[0].pattern) == "[*, 1, 1]"
+    assert repr(right_fb[0].pattern) == "[1, 1, *]"
+    report.append("row ¬[*,j,*]: both-sided purge and propagation confirmed")
+
+
+def test_row2_left_exclusive_feedback():
+    """¬[l,*,*]: purge left table only, propagate left only."""
+    harness = seeded_join()
+    join = harness.operator
+    actions = harness.feedback(
+        FeedbackPunctuation.assumed(
+            Pattern.from_mapping(join.output_schema, {"a": 45})
+        )
+    )
+    assert ExploitAction.PURGE_STATE in actions
+    assert harness.upstream_feedback(0) != []
+    assert harness.upstream_feedback(1) == []
+    assert harness.input_guard_count(0) == 1
+    assert harness.input_guard_count(1) == 0
+
+
+def test_row3_right_exclusive_feedback():
+    """¬[*,*,r]: purge right table only, propagate right only."""
+    harness = seeded_join()
+    join = harness.operator
+    harness.feedback(
+        FeedbackPunctuation.assumed(
+            Pattern.from_mapping(join.output_schema, {"b": 55})
+        )
+    )
+    assert harness.upstream_feedback(0) == []
+    assert harness.upstream_feedback(1) != []
+    assert harness.input_guard_count(1) == 1
+
+
+def test_row4_both_sides_no_safe_propagation(report):
+    """¬[l,*,r]: output guard only -- <49,2,3,50> must survive upstream.
+
+    Propagating ¬[50,*,*] and ¬[*,*,50] would wrongly suppress the tuple
+    <49, 2, 3, 50> (paper section 4.2); the only correct response is an
+    output guard.
+    """
+    harness = seeded_join()
+    join = harness.operator
+    actions = harness.feedback(
+        FeedbackPunctuation.assumed(
+            Pattern.from_mapping(join.output_schema, {"a": 50, "b": 50})
+        )
+    )
+    assert ExploitAction.GUARD_OUTPUT in actions
+    assert ExploitAction.PURGE_STATE not in actions
+    assert harness.upstream_feedback(0) == []
+    assert harness.upstream_feedback(1) == []
+    assert harness.input_guard_count(0) == 0
+    assert harness.input_guard_count(1) == 0
+    # The counter-example survives: a=49 joins with b=50 and is emitted.
+    harness.push(StreamTuple(LEFT, (49, 2, 0)), port=0)
+    harness.push(StreamTuple(RIGHT, (2, 0, 50)), port=1)
+    emitted = harness.emitted_tuples()
+    assert any(r["a"] == 49 and r["b"] == 50 for r in emitted)
+    # While a=50 & b=50 results are suppressed by the output guard.
+    harness.push(StreamTuple(LEFT, (50, 3, 0)), port=0)
+    harness.push(StreamTuple(RIGHT, (3, 0, 50)), port=1)
+    emitted = harness.emitted_tuples()
+    assert not any(r["a"] == 50 and r["b"] == 50 for r in emitted)
+    report.append("row ¬[l,*,r]: <49,2,3,50> counter-example preserved")
+
+
+def test_table2_classification_agrees():
+    out = Schema.of("a", "t", "id", "b")
+    char = join_characterization(out, ["a"], ["t", "id"], ["b"])
+    assert char.classify(
+        Pattern.from_mapping(out, {"t": 3, "id": 4})
+    ).label == "¬[*, j∈J, *]"
+    assert char.classify(
+        Pattern.from_mapping(out, {"a": 50})
+    ).propagation_targets == (0,)
+    rule = char.classify(Pattern.from_mapping(out, {"a": 50, "b": 50}))
+    assert rule.propagation is PropagationBehavior.NONE
+
+
+def test_join_feedback_throughput(benchmark):
+    """Micro: one full row-1 exploitation on a loaded join."""
+    def scenario():
+        harness = seeded_join()
+        harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(
+                    harness.operator.output_schema, {"t": 2, "id": 2}
+                )
+            )
+        )
+        return harness
+
+    run_once(benchmark, scenario)

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` falls back to `setup.py develop` through this file when
+PEP 660 editable wheels cannot be built (offline environments).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,156 @@
+"""repro: Inter-operator feedback in data stream management systems.
+
+A from-scratch Python reproduction of Fernández-Moctezuma, Tufte & Li,
+"Inter-Operator Feedback in Data Stream Management Systems via
+Punctuation" (CIDR 2009): a NiagaraST-style push-based stream engine with
+embedded punctuation plus the paper's contribution -- **feedback
+punctuation** flowing against the stream with assumed / desired / demanded
+intents.
+
+Quickstart::
+
+    from repro import (
+        Schema, StreamTuple, QueryPlan, Simulator,
+        ListSource, Select, CollectSink,
+    )
+
+    schema = Schema.of("ts", "value")
+    plan = QueryPlan("hello")
+    source = ListSource("src", schema,
+                        [(t, StreamTuple(schema, (t, t * 10))) for t in range(5)])
+    plan.chain(source, Select("keep_even", schema,
+                              lambda t: t["value"] % 20 == 0),
+               CollectSink("out", schema))
+    result = Simulator(plan).run()
+    print([t.values for t in result.sink("out").results])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.core import (
+    Characterization,
+    ExploitAction,
+    FeedbackIntent,
+    FeedbackLog,
+    FeedbackPunctuation,
+    GuardSet,
+    PropagationPlanner,
+    check_correct_exploitation,
+    count_characterization,
+    join_characterization,
+    max_characterization,
+    subset,
+    sum_characterization,
+)
+from repro.engine import (
+    PlanMetrics,
+    QueryPlan,
+    RunResult,
+    Simulator,
+    ThreadedRuntime,
+)
+from repro.operators import (
+    AggregateKind,
+    ArchiveDB,
+    CollectSink,
+    Duplicate,
+    GeneratorSource,
+    ImpatientJoin,
+    Impute,
+    ListSource,
+    Map,
+    OnDemandSink,
+    Operator,
+    Pace,
+    PassThrough,
+    PriorityBuffer,
+    Project,
+    PunctuatedSource,
+    QualityFilter,
+    Router,
+    Select,
+    SourceOperator,
+    SymmetricHashJoin,
+    ThriftyJoin,
+    Union,
+    WindowAggregate,
+)
+from repro.punctuation import (
+    AtLeast,
+    AtMost,
+    Equals,
+    GreaterThan,
+    InSet,
+    Interval,
+    LessThan,
+    Pattern,
+    ProgressPunctuator,
+    Punctuation,
+    PunctuationScheme,
+    WILDCARD,
+)
+from repro.stream import Attribute, Schema, SchemaMapping, StreamTuple
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateKind",
+    "ArchiveDB",
+    "AtLeast",
+    "AtMost",
+    "Attribute",
+    "Characterization",
+    "CollectSink",
+    "Duplicate",
+    "Equals",
+    "ExploitAction",
+    "FeedbackIntent",
+    "FeedbackLog",
+    "FeedbackPunctuation",
+    "GeneratorSource",
+    "GreaterThan",
+    "GuardSet",
+    "ImpatientJoin",
+    "Impute",
+    "InSet",
+    "Interval",
+    "LessThan",
+    "ListSource",
+    "Map",
+    "OnDemandSink",
+    "Operator",
+    "Pace",
+    "PassThrough",
+    "Pattern",
+    "PlanMetrics",
+    "PriorityBuffer",
+    "ProgressPunctuator",
+    "Project",
+    "PropagationPlanner",
+    "Punctuation",
+    "PunctuatedSource",
+    "PunctuationScheme",
+    "QualityFilter",
+    "QueryPlan",
+    "Router",
+    "RunResult",
+    "Schema",
+    "SchemaMapping",
+    "Select",
+    "Simulator",
+    "SourceOperator",
+    "StreamTuple",
+    "SymmetricHashJoin",
+    "ThreadedRuntime",
+    "ThriftyJoin",
+    "Union",
+    "WILDCARD",
+    "WindowAggregate",
+    "check_correct_exploitation",
+    "count_characterization",
+    "join_characterization",
+    "max_characterization",
+    "subset",
+    "sum_characterization",
+]

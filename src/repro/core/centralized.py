@@ -1,0 +1,82 @@
+"""Centralized adaptation baseline: the strawman of paper Figure 2(a).
+
+The paper argues *against* a centralized monitor that watches every
+operator, pulls (samples of) the data stream to a central point, and pushes
+parameter changes back -- the Aurora/Borealis-style architecture -- because
+
+1. optimization decisions are state-dependent, so the monitor needs access
+   to the data stream itself, and shipping the stream to a central point
+   is expensive in a distributed system; and
+2. the monitor must know every operator's semantics and interactions.
+
+To *quantify* claim (1), this module provides :class:`CentralizedMonitor`,
+an operator that models the monitor's data plane: it consumes a duplicated
+copy of the stream (each tuple charged ``transfer_cost`` -- the shipping
+and inspection overhead) and batches its decisions every
+``decision_interval`` of stream time (central decisions are made on a
+collection cycle, not per tuple -- the exploitation *latency* of the
+centralized design).
+
+The ablation benchmark (``benchmarks/test_ablation_centralized.py``) runs
+the Experiment 2 workload both ways and reports total work, data shipped
+to the decision point, and savings lost to decision latency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.operators.base import Operator
+from repro.stream.schema import Schema
+from repro.stream.tuples import StreamTuple
+
+__all__ = ["CentralizedMonitor"]
+
+
+class CentralizedMonitor(Operator):
+    """The monitor's data plane: consume a stream copy, batch decisions.
+
+    ``on_decision`` is invoked once per ``decision_interval`` of observed
+    stream time with the monitor's accumulated observation count; the
+    experiment harness uses it to apply the (late) parameter changes the
+    monitor would push to operators.  The monitor is itself
+    feedback-unaware -- it *is* the alternative to feedback.
+    """
+
+    feedback_aware = False
+    relay_enabled = False
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        *,
+        timestamp_attribute: str,
+        transfer_cost: float,
+        decision_interval: float,
+        on_decision: Callable[[float, int], None] | None = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(name, schema, tuple_cost=transfer_cost, **kwargs)
+        self._ts_index = schema.index_of(timestamp_attribute)
+        self.decision_interval = float(decision_interval)
+        self.on_decision = on_decision
+        self.tuples_observed = 0
+        self.decisions_made = 0
+        self._next_decision: float | None = None
+
+    def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
+        self.tuples_observed += 1
+        timestamp = float(tup.values[self._ts_index])
+        if self._next_decision is None:
+            self._next_decision = timestamp + self.decision_interval
+        while timestamp >= self._next_decision:
+            self.decisions_made += 1
+            if self.on_decision is not None:
+                self.on_decision(self._next_decision, self.tuples_observed)
+            self._next_decision += self.decision_interval
+
+    @property
+    def data_shipped(self) -> int:
+        """Tuples copied to the central decision point."""
+        return self.tuples_observed

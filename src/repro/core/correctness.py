@@ -1,0 +1,137 @@
+"""Correct exploitation of assumed feedback (paper Definition 1).
+
+An operator ``O`` with reference output ``SR`` (what it would produce with
+no feedback) *correctly exploits* assumed punctuation ``f`` iff its actual
+output ``S`` satisfies::
+
+    SR - subset(SR, f)  ⊆  S  ⊆  SR
+
+That is: exploitation may remove tuples **only** from the subset the
+feedback describes, and may never invent tuples.  The null response
+(``S = SR``) is correct; the maximum exploitation is
+``SR - subset(SR, f)``.
+
+Streams may contain duplicate tuples, so containment here is **multiset**
+containment (a stricter reading than the paper's set notation -- if the
+reference output contains a tuple twice and the feedback does not cover it,
+the exploited output must also contain it twice).
+
+These checkers power both the unit tests and the hypothesis property tests
+that run live operators with and without feedback.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.punctuation.patterns import Pattern
+from repro.stream.tuples import StreamTuple
+
+__all__ = [
+    "subset",
+    "max_exploitation",
+    "CorrectnessReport",
+    "check_correct_exploitation",
+]
+
+
+def subset(stream: Iterable[StreamTuple], pattern: Pattern) -> list[StreamTuple]:
+    """The paper's ``subset(stream, punctuation)`` over a finite stream."""
+    return [t for t in stream if pattern.matches(t)]
+
+
+def max_exploitation(
+    reference: Sequence[StreamTuple], pattern: Pattern
+) -> list[StreamTuple]:
+    """``SR - subset(SR, f)``: the smallest output a correct exploiter may have."""
+    return [t for t in reference if not pattern.matches(t)]
+
+
+@dataclass
+class CorrectnessReport:
+    """Outcome of a Definition 1 check, with enough detail to debug.
+
+    ``invented`` lists tuples present in the exploited output beyond their
+    multiplicity in the reference output (violating ``S ⊆ SR``).
+    ``wrongly_suppressed`` lists mandatory tuples that are missing
+    (violating ``SR - subset(SR, f) ⊆ S``).  ``suppressed`` lists tuples
+    legitimately removed (covered by the feedback), and ``exploitation``
+    is the fraction of coverable tuples actually removed (0.0 = null
+    response, 1.0 = maximum exploitation; None when nothing was coverable).
+    """
+
+    ok: bool
+    invented: list[StreamTuple] = field(default_factory=list)
+    wrongly_suppressed: list[StreamTuple] = field(default_factory=list)
+    suppressed: list[StreamTuple] = field(default_factory=list)
+    exploitation: float | None = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        if self.ok:
+            rate = (
+                "n/a" if self.exploitation is None
+                else f"{self.exploitation:.0%}"
+            )
+            return (
+                f"correct exploitation (suppressed {len(self.suppressed)} "
+                f"coverable tuples, exploitation={rate})"
+            )
+        lines = ["INCORRECT exploitation:"]
+        if self.invented:
+            lines.append(f"  invented tuples: {self.invented[:5]}")
+        if self.wrongly_suppressed:
+            lines.append(
+                f"  wrongly suppressed tuples: {self.wrongly_suppressed[:5]}"
+            )
+        return "\n".join(lines)
+
+
+def _counter_minus(a: Counter, b: Counter) -> list[StreamTuple]:
+    """Elements of multiset ``a`` exceeding their multiplicity in ``b``."""
+    extra: list[StreamTuple] = []
+    for element, count in a.items():
+        overflow = count - b.get(element, 0)
+        extra.extend([element] * max(0, overflow))
+    return extra
+
+
+def check_correct_exploitation(
+    reference: Sequence[StreamTuple],
+    exploited: Sequence[StreamTuple],
+    pattern: Pattern,
+) -> CorrectnessReport:
+    """Check ``SR - subset(SR, f) ⊆ S ⊆ SR`` with multiset semantics.
+
+    ``reference`` is SR (the no-feedback run), ``exploited`` is S (the run
+    that received assumed feedback with ``pattern``).
+    """
+    ref_counts = Counter(reference)
+    out_counts = Counter(exploited)
+
+    invented = _counter_minus(out_counts, ref_counts)
+
+    mandatory = Counter(max_exploitation(reference, pattern))
+    wrongly_suppressed = _counter_minus(mandatory, out_counts)
+
+    coverable = Counter(subset(reference, pattern))
+    removed = _counter_minus(ref_counts, out_counts)
+    # Removed tuples that are coverable count toward exploitation.
+    suppressed = [t for t in removed if pattern.matches(t)]
+    total_coverable = sum(coverable.values())
+    exploitation = (
+        len(suppressed) / total_coverable if total_coverable else None
+    )
+
+    ok = not invented and not wrongly_suppressed
+    return CorrectnessReport(
+        ok=ok,
+        invented=invented,
+        wrongly_suppressed=wrongly_suppressed,
+        suppressed=suppressed,
+        exploitation=exploitation,
+    )

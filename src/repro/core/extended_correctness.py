@@ -1,0 +1,161 @@
+"""Correct exploitation for *desired* and *demanded* punctuation.
+
+The paper defines correctness only for assumed punctuation (Definition 1)
+and names the rest as future work: "add theoretical descriptions of
+correct exploitation and safe propagation for desired and demanded
+punctuation" (section 8).  This module supplies working formalizations,
+used by tests and available to library users:
+
+**Desired** (``?[…]``, section 3.4): "does not change the overall result
+of the issuing operator, but affects … the production time and order of
+its result stream."  Two checkable halves:
+
+* *content preservation* — the exploited output equals the reference
+  output as a multiset (:func:`check_desired_content`);
+* *prioritisation* — tuples covered by the desired pattern appear no
+  later, in rank terms, than they did without feedback
+  (:func:`check_desired_prioritization` compares the mean output rank of
+  the covered subset).
+
+**Demanded** (``![…]``): the issuer accepts approximate results for the
+subset.  Formally (:func:`check_demanded_exploitation`):
+
+* nothing outside the demanded subset changes — extra (partial) tuples
+  must match the demanded pattern;
+* no exact result is lost — every reference tuple still appears (a partial
+  may precede it, but must not replace it silently unless it matches the
+  demanded pattern itself).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.punctuation.patterns import Pattern
+from repro.stream.tuples import StreamTuple
+
+__all__ = [
+    "DesiredReport",
+    "DemandedReport",
+    "check_desired_content",
+    "check_desired_prioritization",
+    "check_demanded_exploitation",
+]
+
+
+@dataclass
+class DesiredReport:
+    """Outcome of a desired-punctuation correctness check."""
+
+    ok: bool
+    missing: list[StreamTuple] = field(default_factory=list)
+    extra: list[StreamTuple] = field(default_factory=list)
+    reference_mean_rank: float | None = None
+    exploited_mean_rank: float | None = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @property
+    def rank_improvement(self) -> float | None:
+        """Positive when the covered subset moved earlier in the stream."""
+        if self.reference_mean_rank is None or self.exploited_mean_rank is None:
+            return None
+        return self.reference_mean_rank - self.exploited_mean_rank
+
+
+@dataclass
+class DemandedReport:
+    """Outcome of a demanded-punctuation correctness check."""
+
+    ok: bool
+    lost_exact_results: list[StreamTuple] = field(default_factory=list)
+    foreign_extras: list[StreamTuple] = field(default_factory=list)
+    partials: list[StreamTuple] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _multiset_diff(a: Sequence[StreamTuple], b: Sequence[StreamTuple]):
+    counts_a, counts_b = Counter(a), Counter(b)
+    only_a = [t for t, n in counts_a.items() for _ in range(n - counts_b.get(t, 0)) if n > counts_b.get(t, 0)]
+    only_b = [t for t, n in counts_b.items() for _ in range(n - counts_a.get(t, 0)) if n > counts_a.get(t, 0)]
+    return only_a, only_b
+
+
+def check_desired_content(
+    reference: Sequence[StreamTuple],
+    exploited: Sequence[StreamTuple],
+) -> DesiredReport:
+    """Desired feedback must leave the result multiset unchanged."""
+    missing, extra = _multiset_diff(reference, exploited)
+    return DesiredReport(ok=not missing and not extra,
+                         missing=missing, extra=extra)
+
+
+def check_desired_prioritization(
+    reference: Sequence[StreamTuple],
+    exploited: Sequence[StreamTuple],
+    pattern: Pattern,
+    *,
+    tolerance: float = 0.0,
+) -> DesiredReport:
+    """Content preserved *and* the covered subset not de-prioritised.
+
+    Rank = position in the output stream.  The mean rank of tuples
+    matching the desired pattern in the exploited run must not exceed the
+    reference mean rank by more than ``tolerance`` ranks.
+    """
+    content = check_desired_content(reference, exploited)
+
+    def mean_rank(stream: Sequence[StreamTuple]) -> float | None:
+        ranks = [i for i, t in enumerate(stream) if pattern.matches(t)]
+        return sum(ranks) / len(ranks) if ranks else None
+
+    ref_rank = mean_rank(reference)
+    new_rank = mean_rank(exploited)
+    ok = content.ok
+    if ref_rank is not None and new_rank is not None:
+        ok = ok and new_rank <= ref_rank + tolerance
+    return DesiredReport(
+        ok=ok,
+        missing=content.missing,
+        extra=content.extra,
+        reference_mean_rank=ref_rank,
+        exploited_mean_rank=new_rank,
+    )
+
+
+def check_demanded_exploitation(
+    reference: Sequence[StreamTuple],
+    exploited: Sequence[StreamTuple],
+    pattern: Pattern,
+) -> DemandedReport:
+    """Demanded feedback: partials allowed, but only inside the subset.
+
+    * every reference tuple must still appear (``lost_exact_results``
+    flags violations), and
+    * any extra tuple must match the demanded pattern (it is a partial for
+      the demanded subset); extras outside the pattern
+      (``foreign_extras``) are violations.
+    """
+    missing, extras = _multiset_diff(reference, exploited)
+    lost = [t for t in missing if not pattern.matches(t)]
+    partials = [t for t in extras if pattern.matches(t)]
+    foreign = [t for t in extras if not pattern.matches(t)]
+    # A missing exact result *inside* the subset is tolerable only if a
+    # partial stands in for it; we require at least as many appearances
+    # per (window/group) identity, which multiset accounting above already
+    # captures: a replaced exact shows up as one missing + one extra, both
+    # matching the pattern.
+    missing_inside = [t for t in missing if pattern.matches(t)]
+    ok = not lost and not foreign and len(missing_inside) <= len(partials)
+    return DemandedReport(
+        ok=ok,
+        lost_exact_results=lost,
+        foreign_extras=foreign,
+        partials=partials,
+    )

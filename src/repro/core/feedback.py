@@ -1,0 +1,176 @@
+"""Feedback punctuation: the paper's central mechanism.
+
+A :class:`FeedbackPunctuation` travels *against* the stream direction, out
+of band (on the control channel, never inside data pages), and carries two
+things (paper section 3.2):
+
+* a **pattern** describing the subset of tuples the feedback is about, and
+* an **intent** suggesting what the receiver should do about that subset:
+
+  ========  ========  =====================================================
+  intent    notation  meaning
+  ========  ========  =====================================================
+  ASSUMED   ``¬[…]``  the issuer will ignore this subset; avoid producing
+                      it (a hint -- a null response is still correct)
+  DESIRED   ``?[…]``  prioritise production of this subset (must not change
+                      the final result, only its timing/order)
+  DEMANDED  ``![…]``  the issuer needs this subset now and will accept
+                      partial/approximate results
+  ========  ========  =====================================================
+
+Feedback is final: the model has no retractions (paper section 4.4), so the
+class offers no "cancel" constructor and :mod:`repro.core.guards` never
+un-enacts a guard except through punctuation-driven expiration.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any
+
+from repro.errors import FeedbackError
+from repro.punctuation.patterns import Pattern
+from repro.stream.schema import Schema
+
+__all__ = ["FeedbackIntent", "FeedbackPunctuation"]
+
+_feedback_counter = itertools.count()
+
+
+class FeedbackIntent(enum.Enum):
+    """The three intents of section 3.4, with the paper's prefix glyphs."""
+
+    ASSUMED = "assumed"
+    DESIRED = "desired"
+    DEMANDED = "demanded"
+
+    @property
+    def glyph(self) -> str:
+        return {"assumed": "¬", "desired": "?", "demanded": "!"}[self.value]
+
+    @classmethod
+    def from_glyph(cls, glyph: str) -> "FeedbackIntent":
+        table = {"¬": cls.ASSUMED, "~": cls.ASSUMED,
+                 "?": cls.DESIRED, "!": cls.DEMANDED}
+        try:
+            return table[glyph]
+        except KeyError:
+            raise FeedbackError(f"unknown feedback glyph {glyph!r}") from None
+
+
+class FeedbackPunctuation:
+    """An intent plus a pattern, stamped with provenance.
+
+    ``issuer`` is the operator that produced the feedback, ``issued_at`` the
+    (virtual) time of production; both exist for logging and for the
+    experiments' provenance traces.  ``seq`` totally orders feedback
+    messages.  ``hops`` counts propagation steps -- each relayer derives a
+    new instance with ``hops + 1`` via :meth:`propagated`.
+
+    Instances are immutable and hashable on (intent, pattern).
+    """
+
+    __slots__ = ("intent", "pattern", "issuer", "issued_at", "seq", "hops")
+
+    is_punctuation = False  # feedback never flows inside data pages
+
+    def __init__(
+        self,
+        intent: FeedbackIntent,
+        pattern: Pattern,
+        *,
+        issuer: str = "",
+        issued_at: float = 0.0,
+        hops: int = 0,
+    ) -> None:
+        if pattern.is_all_wildcard and intent is FeedbackIntent.ASSUMED:
+            raise FeedbackError(
+                "assumed feedback with an all-wildcard pattern would "
+                "suppress the entire stream; issue a query change instead"
+            )
+        object.__setattr__(self, "intent", intent)
+        object.__setattr__(self, "pattern", pattern)
+        object.__setattr__(self, "issuer", issuer)
+        object.__setattr__(self, "issued_at", float(issued_at))
+        object.__setattr__(self, "seq", next(_feedback_counter))
+        object.__setattr__(self, "hops", int(hops))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("FeedbackPunctuation is immutable")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def assumed(cls, pattern: Pattern, **kw: Any) -> "FeedbackPunctuation":
+        """``¬[pattern]`` -- avoid producing this subset."""
+        return cls(FeedbackIntent.ASSUMED, pattern, **kw)
+
+    @classmethod
+    def desired(cls, pattern: Pattern, **kw: Any) -> "FeedbackPunctuation":
+        """``?[pattern]`` -- prioritise this subset."""
+        return cls(FeedbackIntent.DESIRED, pattern, **kw)
+
+    @classmethod
+    def demanded(cls, pattern: Pattern, **kw: Any) -> "FeedbackPunctuation":
+        """``![pattern]`` -- produce this subset now, partials acceptable."""
+        return cls(FeedbackIntent.DEMANDED, pattern, **kw)
+
+    # -- derivation -------------------------------------------------------------
+
+    def propagated(
+        self,
+        pattern: Pattern,
+        *,
+        relayer: str = "",
+        at: float | None = None,
+    ) -> "FeedbackPunctuation":
+        """A new feedback one hop further upstream with a mapped pattern."""
+        return FeedbackPunctuation(
+            self.intent,
+            pattern,
+            issuer=relayer or self.issuer,
+            issued_at=self.issued_at if at is None else at,
+            hops=self.hops + 1,
+        )
+
+    def rebound(self, schema: Schema) -> "FeedbackPunctuation":
+        """Same intent and atoms bound to another (same-arity) schema."""
+        return FeedbackPunctuation(
+            self.intent,
+            self.pattern.with_schema(schema),
+            issuer=self.issuer,
+            issued_at=self.issued_at,
+            hops=self.hops,
+        )
+
+    # -- semantics --------------------------------------------------------------
+
+    def concerns(self, element: Any) -> bool:
+        """True when ``element`` is in the subset this feedback describes."""
+        return self.pattern.matches(element)
+
+    @property
+    def is_assumed(self) -> bool:
+        return self.intent is FeedbackIntent.ASSUMED
+
+    @property
+    def is_desired(self) -> bool:
+        return self.intent is FeedbackIntent.DESIRED
+
+    @property
+    def is_demanded(self) -> bool:
+        return self.intent is FeedbackIntent.DEMANDED
+
+    # -- identity ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FeedbackPunctuation):
+            return NotImplemented
+        return self.intent is other.intent and self.pattern == other.pattern
+
+    def __hash__(self) -> int:
+        return hash((self.intent, self.pattern))
+
+    def __repr__(self) -> str:
+        return f"{self.intent.glyph}{self.pattern!r}"

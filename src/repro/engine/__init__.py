@@ -1,0 +1,35 @@
+"""Execution engines (systems S5, S6, S9 in DESIGN.md).
+
+* :class:`QueryPlan` -- the operator DAG shared by both engines;
+* :class:`Simulator` -- deterministic discrete-event engine on virtual
+  time (used by all experiments);
+* :class:`ThreadedRuntime` -- thread-per-operator runtime mirroring
+  NiagaraST's architecture;
+* metrics containers shared by both.
+"""
+
+from repro.engine.audit import QuiescenceReport, audit_quiescence
+from repro.engine.harness import OperatorHarness
+from repro.engine.metrics import (
+    OperatorMetrics,
+    OutputLog,
+    OutputRecord,
+    PlanMetrics,
+)
+from repro.engine.plan import QueryPlan
+from repro.engine.simulator import RunResult, Simulator
+from repro.engine.threaded import ThreadedRuntime
+
+__all__ = [
+    "OperatorHarness",
+    "QuiescenceReport",
+    "audit_quiescence",
+    "OperatorMetrics",
+    "OutputLog",
+    "OutputRecord",
+    "PlanMetrics",
+    "QueryPlan",
+    "RunResult",
+    "Simulator",
+    "ThreadedRuntime",
+]

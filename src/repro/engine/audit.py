@@ -1,0 +1,85 @@
+"""Post-run invariant audits.
+
+Section 4.4's core worry is silent accumulation: feedback must not leave
+predicate state behind, and stream completion must not leave tuple state
+behind.  :func:`audit_quiescence` inspects a finished plan and reports
+violations; the test suite runs it after end-to-end scenarios, and library
+users can call it after their own runs.
+
+Checked invariants:
+
+* every input queue is exhausted (closed and drained);
+* no operator holds tuple state (``state_size == 0``) unless it opted out
+  via ``retains_state_after_finish``;
+* guards that survived to the end either sit on *undelimited* attributes
+  (which the supportability rule warns about) or are reported as leaks
+  when ``strict`` is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.plan import QueryPlan
+
+__all__ = ["QuiescenceReport", "audit_quiescence"]
+
+
+@dataclass
+class QuiescenceReport:
+    """Findings of a quiescence audit over a finished plan."""
+
+    ok: bool
+    undrained_queues: list[str] = field(default_factory=list)
+    lingering_state: dict[str, int] = field(default_factory=dict)
+    lingering_guards: dict[str, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        if self.ok:
+            return "plan quiescent: no state or guard leaks"
+        parts = []
+        if self.undrained_queues:
+            parts.append(f"undrained queues: {self.undrained_queues}")
+        if self.lingering_state:
+            parts.append(f"state leaks: {self.lingering_state}")
+        if self.lingering_guards:
+            parts.append(f"guard leaks: {self.lingering_guards}")
+        return "NOT quiescent -- " + "; ".join(parts)
+
+
+def audit_quiescence(plan: QueryPlan, *, strict_guards: bool = False) -> QuiescenceReport:
+    """Audit a plan after its run finished.
+
+    With ``strict_guards`` any surviving guard counts as a leak; by
+    default guards are tolerated (a stream may simply have ended before
+    the covering punctuation arrived, which is not an accumulation bug).
+    """
+    undrained: list[str] = []
+    state: dict[str, int] = {}
+    guards: dict[str, int] = {}
+    for operator in plan:
+        for port in operator.inputs:
+            if port is None:
+                continue
+            if not port.queue.exhausted:
+                undrained.append(port.queue.name)
+            if strict_guards and port.guards.active:
+                guards[f"{operator.name}:input[{port.index}]"] = (
+                    port.guards.active
+                )
+        if strict_guards and operator.output_guards.active:
+            guards[f"{operator.name}:output"] = operator.output_guards.active
+        if operator.metrics.state_size > 0 and not getattr(
+            operator, "retains_state_after_finish", False
+        ):
+            state[operator.name] = operator.metrics.state_size
+    ok = not undrained and not state and not guards
+    return QuiescenceReport(
+        ok=ok,
+        undrained_queues=undrained,
+        lingering_state=state,
+        lingering_guards=guards,
+    )

@@ -1,0 +1,153 @@
+"""Metrics: per-operator counters and the plan-wide output log.
+
+The experiments report three kinds of numbers, all sourced here:
+
+* **work accounting** -- virtual seconds charged per operator (the
+  simulator's stand-in for the paper's "total query execution time" on a
+  single-CPU machine);
+* **output patterns** -- ``(tuple, emit_time)`` pairs recorded by sinks,
+  which regenerate the scatter shapes of Figures 5 and 6;
+* **feedback accounting** -- counts of feedback produced / exploited /
+  relayed plus guard drop counters, used for the savings breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["OperatorMetrics", "OutputRecord", "OutputLog", "PlanMetrics"]
+
+
+@dataclass
+class OperatorMetrics:
+    """Counters maintained by every operator.
+
+    ``busy_time`` is the virtual time spent processing (charged by the cost
+    model); ``state_size`` is a gauge the operator updates when its internal
+    state grows or shrinks (hash-table entries, open windows, backlog).
+    """
+
+    tuples_in: int = 0
+    tuples_out: int = 0
+    punctuations_in: int = 0
+    punctuations_out: int = 0
+    input_guard_drops: int = 0
+    output_guard_drops: int = 0
+    state_purged: int = 0
+    state_size: int = 0
+    peak_state_size: int = 0
+    feedback_received: int = 0
+    feedback_produced: int = 0
+    feedback_relayed: int = 0
+    feedback_ignored: int = 0
+    control_messages: int = 0
+    busy_time: float = 0.0
+
+    def grow_state(self, delta: int = 1) -> None:
+        self.state_size += delta
+        if self.state_size > self.peak_state_size:
+            self.peak_state_size = self.state_size
+
+    def shrink_state(self, delta: int = 1, *, purged: bool = False) -> None:
+        self.state_size = max(0, self.state_size - delta)
+        if purged:
+            self.state_purged += delta
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict view for reports and JSON-ish dumps."""
+        return {
+            "tuples_in": self.tuples_in,
+            "tuples_out": self.tuples_out,
+            "punctuations_in": self.punctuations_in,
+            "punctuations_out": self.punctuations_out,
+            "input_guard_drops": self.input_guard_drops,
+            "output_guard_drops": self.output_guard_drops,
+            "state_purged": self.state_purged,
+            "peak_state_size": self.peak_state_size,
+            "feedback_received": self.feedback_received,
+            "feedback_produced": self.feedback_produced,
+            "feedback_relayed": self.feedback_relayed,
+            "feedback_ignored": self.feedback_ignored,
+            "control_messages": self.control_messages,
+            "busy_time": self.busy_time,
+        }
+
+
+@dataclass(frozen=True)
+class OutputRecord:
+    """One sink emission: what arrived, when, and through which sink."""
+
+    time: float
+    element: Any
+    sink: str = ""
+    tag: str = ""
+
+
+class OutputLog:
+    """Append-only log of sink emissions (figures are drawn from this)."""
+
+    __slots__ = ("_records",)
+
+    def __init__(self) -> None:
+        self._records: list[OutputRecord] = []
+
+    def record(
+        self, time: float, element: Any, *, sink: str = "", tag: str = ""
+    ) -> None:
+        self._records.append(OutputRecord(time, element, sink, tag))
+
+    def __iter__(self) -> Iterator[OutputRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def tuples(self) -> list[OutputRecord]:
+        return [r for r in self._records if not r.element.is_punctuation]
+
+    def tagged(self, tag: str) -> list[OutputRecord]:
+        return [r for r in self._records if r.tag == tag]
+
+    def series(self, tag: str) -> list[tuple[float, Any]]:
+        """(time, element) pairs for one tag -- a figure data series."""
+        return [(r.time, r.element) for r in self._records if r.tag == tag]
+
+
+@dataclass
+class PlanMetrics:
+    """Aggregated view over a finished run."""
+
+    operator_metrics: dict[str, OperatorMetrics] = field(default_factory=dict)
+    makespan: float = 0.0
+    total_work: float = 0.0
+    events_processed: int = 0
+
+    def work_of(self, *operators: str) -> float:
+        """Summed busy time of the named operators."""
+        return sum(
+            self.operator_metrics[name].busy_time for name in operators
+        )
+
+    def table(self) -> str:
+        """Text table of per-operator counters (debugging aid)."""
+        names = sorted(self.operator_metrics)
+        header = (
+            f"{'operator':<18} {'in':>8} {'out':>8} {'grd_in':>7} "
+            f"{'grd_out':>8} {'purged':>7} {'fb_rx':>6} {'fb_tx':>6} "
+            f"{'busy':>10}"
+        )
+        lines = [header, "-" * len(header)]
+        for name in names:
+            m = self.operator_metrics[name]
+            lines.append(
+                f"{name:<18} {m.tuples_in:>8} {m.tuples_out:>8} "
+                f"{m.input_guard_drops:>7} {m.output_guard_drops:>8} "
+                f"{m.state_purged:>7} {m.feedback_received:>6} "
+                f"{m.feedback_produced:>6} {m.busy_time:>10.3f}"
+            )
+        lines.append(
+            f"total work: {self.total_work:.3f}s   makespan: "
+            f"{self.makespan:.3f}s   events: {self.events_processed}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Query plans: DAGs of operators connected by queues and control channels.
+
+A :class:`QueryPlan` owns the operators and the wiring between them.  Each
+``connect`` call creates one data queue (downstream pages) plus one control
+channel (bidirectional out-of-band messages) -- the inter-operator
+connection structure of the paper's Figure 3.
+
+Plans are engine-agnostic: the simulator and the threaded runtime both
+consume the same validated plan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import PlanError
+from repro.operators.base import Operator, OutputEdge, SourceOperator
+from repro.stream.control import ControlChannel
+from repro.stream.pages import DEFAULT_PAGE_SIZE
+from repro.stream.queues import DataQueue
+
+__all__ = ["QueryPlan"]
+
+
+class QueryPlan:
+    """A named collection of operators and their connections."""
+
+    def __init__(self, name: str = "plan") -> None:
+        self.name = name
+        self._operators: dict[str, Operator] = {}
+        self._edges: list[OutputEdge] = []
+
+    # -- construction ------------------------------------------------------------
+
+    def add(self, operator: Operator) -> Operator:
+        """Register an operator; names must be unique within the plan."""
+        if operator.name in self._operators:
+            raise PlanError(
+                f"plan {self.name!r} already has an operator named "
+                f"{operator.name!r}"
+            )
+        self._operators[operator.name] = operator
+        return operator
+
+    def connect(
+        self,
+        producer: Operator,
+        consumer: Operator,
+        *,
+        port: int = 0,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> OutputEdge:
+        """Wire producer -> consumer[port] with a fresh queue + channel."""
+        for op in (producer, consumer):
+            if op.name not in self._operators:
+                self.add(op)
+        edge_name = f"{producer.name}->{consumer.name}[{port}]"
+        queue = DataQueue(edge_name, page_size=page_size)
+        control = ControlChannel(edge_name)
+        edge = OutputEdge(queue, control, consumer, port)
+        producer.attach_output(edge)
+        consumer.attach_input(port, queue, control, producer)
+        self._edges.append(edge)
+        return edge
+
+    def chain(self, *operators: Operator, page_size: int = DEFAULT_PAGE_SIZE) -> Operator:
+        """Connect operators linearly; returns the last one."""
+        for producer, consumer in zip(operators, operators[1:]):
+            self.connect(producer, consumer, page_size=page_size)
+        return operators[-1]
+
+    # -- access -------------------------------------------------------------------
+
+    @property
+    def operators(self) -> list[Operator]:
+        return list(self._operators.values())
+
+    @property
+    def edges(self) -> list[OutputEdge]:
+        return list(self._edges)
+
+    def operator(self, name: str) -> Operator:
+        try:
+            return self._operators[name]
+        except KeyError:
+            raise PlanError(f"no operator named {name!r}") from None
+
+    def sources(self) -> list[SourceOperator]:
+        return [
+            op for op in self._operators.values()
+            if isinstance(op, SourceOperator)
+        ]
+
+    def sinks(self) -> list[Operator]:
+        return [op for op in self._operators.values() if not op.outputs]
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check connectivity and acyclicity; raise PlanError otherwise."""
+        if not self._operators:
+            raise PlanError(f"plan {self.name!r} is empty")
+        for op in self._operators.values():
+            for index, port in enumerate(op.inputs):
+                if port is None:
+                    raise PlanError(
+                        f"{op.name}: input port {index} is not connected"
+                    )
+        if not self.sources():
+            raise PlanError(f"plan {self.name!r} has no source operator")
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {name: WHITE for name in self._operators}
+
+        def visit(op: Operator) -> None:
+            colour[op.name] = GREY
+            for edge in op.outputs:
+                successor = edge.consumer
+                if colour[successor.name] == GREY:
+                    raise PlanError(
+                        f"plan {self.name!r} has a cycle through "
+                        f"{op.name!r} -> {successor.name!r}"
+                    )
+                if colour[successor.name] == WHITE:
+                    visit(successor)
+            colour[op.name] = BLACK
+
+        for op in self._operators.values():
+            if colour[op.name] == WHITE:
+                visit(op)
+
+    # -- reporting -----------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Text rendering of the plan topology."""
+        lines = [f"QueryPlan {self.name!r}:"]
+        for op in self._operators.values():
+            targets = ", ".join(
+                f"{e.consumer.name}[{e.consumer_port}]" for e in op.outputs
+            ) or "(sink)"
+            kind = type(op).__name__
+            lines.append(f"  {op.name} ({kind}) -> {targets}")
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[Operator]:
+        return iter(self._operators.values())
+
+    def __len__(self) -> int:
+        return len(self._operators)

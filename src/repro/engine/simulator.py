@@ -1,0 +1,421 @@
+"""Deterministic discrete-event simulator: the primary execution engine.
+
+The simulator models NiagaraST's runtime (one thread per operator, pages
+between operators, out-of-band control with priority) on a **virtual
+clock**:
+
+* every operator has a ``busy_until`` horizon; processing an element
+  advances it by the operator's cost model;
+* sources replay ``(arrival_time, element)`` timelines;
+* control messages (feedback!) are delivered with a configurable latency
+  and always drain **before** data pages -- NiagaraST's "control messages
+  are given high priority and processed before pending tuples";
+* emission times equal the virtual time at which the producing element
+  finished processing, so output-pattern figures (Figures 5-6) fall out of
+  the sink logs directly.
+
+Determinism: events are ordered by ``(time, priority, seq)`` where ``seq``
+is a global counter, so runs are exactly reproducible.  This engine is the
+substitution for the paper's 2.8 GHz Pentium 4 testbed (see DESIGN.md):
+cost *ratios* are preserved while removing host-machine noise.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.core.roles import FeedbackLog
+from repro.engine.metrics import OutputLog, PlanMetrics
+from repro.engine.plan import QueryPlan
+from repro.errors import EngineError
+from repro.operators.base import Operator, SourceOperator
+from repro.stream.clock import VirtualClock
+from repro.stream.control import ControlMessageKind
+
+__all__ = ["Simulator", "RunResult"]
+
+# Event priorities: control preempts everything at equal timestamps.
+_PRIO_CONTROL = 0
+_PRIO_ACTION = 1
+_PRIO_SOURCE = 2
+_PRIO_WORK = 3
+
+
+@dataclass
+class RunResult:
+    """Everything a finished simulation exposes to callers."""
+
+    plan: QueryPlan
+    metrics: PlanMetrics
+    output_log: OutputLog
+    feedback_log: FeedbackLog
+
+    @property
+    def makespan(self) -> float:
+        return self.metrics.makespan
+
+    @property
+    def total_work(self) -> float:
+        return self.metrics.total_work
+
+    def sink(self, name: str) -> Operator:
+        return self.plan.operator(name)
+
+
+class _SimRuntime:
+    """The runtime surface operators see (clock, logs, wake-ups)."""
+
+    def __init__(self, simulator: "Simulator") -> None:
+        self._simulator = simulator
+        self.feedback_log = FeedbackLog()
+        self.output_log = OutputLog()
+
+    def now(self) -> float:
+        return self._simulator.clock.now()
+
+    def notify_control(self, operator: Operator, at: float | None = None) -> None:
+        self._simulator.schedule_control(operator, at=at)
+
+    def notify_data(self, operator: Operator) -> None:
+        self._simulator.schedule_work(operator)
+
+
+class Simulator:
+    """Run a query plan to completion on virtual time.
+
+    Parameters
+    ----------
+    control_latency:
+        Virtual seconds between sending a control message and its arrival
+        (feedback propagation delay; default 0).
+    max_events:
+        Safety valve against runaway plans.
+    """
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        *,
+        control_latency: float = 0.0,
+        max_events: int = 50_000_000,
+    ) -> None:
+        plan.validate()
+        self.plan = plan
+        self.clock = VirtualClock()
+        self.control_latency = float(control_latency)
+        self.max_events = max_events
+        self.runtime = _SimRuntime(self)
+        self._events: list[tuple[float, int, int, str, Any]] = []
+        self._seq = itertools.count()
+        self._busy_until: dict[str, float] = {}
+        self._work_scheduled: dict[str, bool] = {}
+        self._source_iters: dict[str, Iterator[tuple[float, Any]]] = {}
+        self._rr_port: dict[str, int] = {}
+        self._events_processed = 0
+        self._started = False
+        self._actions: list[tuple[float, Callable[[], None]]] = []
+
+    # ------------------------------------------------------------ scheduling
+
+    def _push(self, time: float, priority: int, kind: str, payload: Any) -> None:
+        # An event can be *requested* for the past (e.g. work on a page
+        # that has been sitting ready while the consumer was busy); it is
+        # processed immediately -- virtual time never rewinds.
+        heapq.heappush(
+            self._events,
+            (max(time, self.clock.now()), priority, next(self._seq), kind,
+             payload),
+        )
+
+    def schedule_control(self, operator: Operator, at: float | None = None) -> None:
+        sent = self.clock.now() if at is None else max(at, self.clock.now())
+        self._push(
+            sent + self.control_latency,
+            _PRIO_CONTROL,
+            "control",
+            operator,
+        )
+
+    def schedule_work(self, operator: Operator, at: float | None = None) -> None:
+        if self._work_scheduled.get(operator.name):
+            return
+        self._work_scheduled[operator.name] = True
+        arrival = self.clock.now() if at is None else at
+        self._push(
+            max(arrival, self._busy_until[operator.name]),
+            _PRIO_WORK,
+            "work",
+            operator,
+        )
+
+    def at(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule a client-side action (poll, zoom, demand) at a time."""
+        if self._started:
+            raise EngineError("schedule actions before calling run()")
+        self._actions.append((time, action))
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> RunResult:
+        if self._started:
+            raise EngineError("simulator instances are single-use")
+        self._started = True
+        for op in self.plan:
+            op.runtime = self.runtime
+            self._busy_until[op.name] = 0.0
+            self._work_scheduled[op.name] = False
+            self._rr_port[op.name] = 0
+            op.set_now(0.0)
+            op.on_start()
+        for source in self.plan.sources():
+            iterator = iter(source.events())
+            self._source_iters[source.name] = iterator
+            self._schedule_next_source_event(source)
+        for time, action in self._actions:
+            self._push(time, _PRIO_ACTION, "action", action)
+
+        while self._events:
+            self._events_processed += 1
+            if self._events_processed > self.max_events:
+                raise EngineError(
+                    f"exceeded max_events={self.max_events}; "
+                    "plan is likely livelocked"
+                )
+            time, _prio, _seq, kind, payload = heapq.heappop(self._events)
+            self.clock.advance_to(time)
+            if kind == "source":
+                self._handle_source(payload)
+            elif kind == "control":
+                self._handle_control(payload)
+            elif kind == "action":
+                payload()
+            else:
+                self._handle_work(payload)
+        return self._finalise()
+
+    # ------------------------------------------------------------- sources
+
+    def _schedule_next_source_event(self, source: SourceOperator) -> None:
+        iterator = self._source_iters[source.name]
+        try:
+            arrival, element = next(iterator)
+        except StopIteration:
+            self._push(self.clock.now(), _PRIO_SOURCE, "source", (source, None))
+            return
+        self._push(max(arrival, self.clock.now()), _PRIO_SOURCE,
+                   "source", (source, element))
+
+    def _handle_source(self, payload: tuple[SourceOperator, Any]) -> None:
+        source, element = payload
+        if element is None:  # exhausted: close downstream
+            self._finish_operator(source)
+            return
+        source.set_now(self.clock.now())
+        if element.is_punctuation:
+            source.emit_punctuation(element)
+        else:
+            source.emit(element)
+        self._after_activity(source, at=self.clock.now())
+        self._schedule_next_source_event(source)
+
+    # ------------------------------------------------------------- control
+
+    def _drain_control(self, operator: Operator) -> bool:
+        """Deliver pending, *arrived* control for ``operator``; True if any.
+
+        A message arrives at ``sent_at + control_latency``; heads that have
+        not arrived yet stay queued and get their own control event at the
+        arrival time, preserving causality when a busy producer generated
+        feedback "in the future" relative to the event-loop clock.
+        """
+        delivered = False
+        now = self.clock.now()
+        while True:
+            message = None
+            from_edge = None
+            for edge in operator.outputs:  # feedback from consumers
+                head = edge.control.peek_upstream()
+                if head is None:
+                    continue
+                if head.sent_at + self.control_latency > now + 1e-12:
+                    self._push(
+                        head.sent_at + self.control_latency,
+                        _PRIO_CONTROL, "control", operator,
+                    )
+                    continue
+                message = edge.control.receive_upstream()
+                from_edge = edge
+                break
+            if message is None:
+                for port in operator.inputs:  # notices from producers
+                    if port is None:
+                        continue
+                    head = port.control.peek_downstream()
+                    if head is None:
+                        continue
+                    if head.sent_at + self.control_latency > now + 1e-12:
+                        self._push(
+                            head.sent_at + self.control_latency,
+                            _PRIO_CONTROL, "control", operator,
+                        )
+                        continue
+                    message = port.control.receive_downstream()
+                    break
+            if message is None:
+                return delivered
+            delivered = True
+            operator.metrics.control_messages += 1
+            cost = operator.control_cost
+            busy = max(self._busy_until[operator.name], self.clock.now())
+            busy += cost
+            self._busy_until[operator.name] = busy
+            operator.metrics.busy_time += cost
+            operator.set_now(busy)
+            if message.kind is ControlMessageKind.FEEDBACK:
+                operator.receive_feedback(message.payload, from_edge=from_edge)
+            elif message.kind is ControlMessageKind.RESULT_REQUEST:
+                operator.on_result_request(message.payload)
+            # END_OF_STREAM / SHUTDOWN are carried via queue closure.
+
+    def _handle_control(self, operator: Operator) -> None:
+        if operator.finished:
+            # Late feedback to a finished operator is dropped; the stream
+            # is over and there is nothing left to exploit.
+            return
+        self._drain_control(operator)
+        self._after_activity(operator)
+        if self._has_data_work(operator):
+            self.schedule_work(operator)
+
+    # ---------------------------------------------------------------- work
+
+    def _has_data_work(self, operator: Operator) -> bool:
+        return any(
+            port is not None and port.queue.ready_pages > 0
+            for port in operator.inputs
+        )
+
+    def _next_port_with_work(self, operator: Operator):
+        """The port whose head page became available earliest.
+
+        Ties break round-robin so neither input of a join can starve.
+        """
+        ports = [p for p in operator.inputs if p is not None]
+        if not ports:
+            return None
+        start = self._rr_port[operator.name] % len(ports)
+        best = None
+        best_at = None
+        for offset in range(len(ports)):
+            port = ports[(start + offset) % len(ports)]
+            head = port.queue.peek_page()
+            if head is None:
+                continue
+            available = head.available_at or 0.0
+            if best_at is None or available < best_at - 1e-12:
+                best, best_at = port, available
+        if best is not None:
+            self._rr_port[operator.name] = (
+                ports.index(best) + 1
+            ) % max(1, len(ports))
+        return best
+
+    def _handle_work(self, operator: Operator) -> None:
+        self._work_scheduled[operator.name] = False
+        if operator.finished:
+            return
+        self._drain_control(operator)
+        port = self._next_port_with_work(operator)
+        if port is not None:
+            page = port.queue.get_page()
+            busy = max(
+                self._busy_until[operator.name],
+                page.available_at or 0.0,
+            )
+            for element in page:
+                cost = operator.admission_cost(port.index, element)
+                busy += cost
+                operator.metrics.busy_time += cost
+                self._busy_until[operator.name] = busy
+                operator.set_now(busy)
+                operator.process_element(port.index, element)
+                self._after_activity(operator, at=busy)
+        self._check_input_completion(operator)
+        self._after_activity(operator, at=self._busy_until[operator.name])
+        if not operator.finished and self._has_data_work(operator):
+            self.schedule_work(operator, at=self._earliest_ready(operator))
+
+    # ------------------------------------------------------------ completion
+
+    def _check_input_completion(self, operator: Operator) -> None:
+        if operator.finished or isinstance(operator, SourceOperator):
+            return
+        all_done = True
+        for port in operator.inputs:
+            if port is None:
+                continue
+            if not port.done and port.queue.exhausted:
+                port.done = True
+                operator.set_now(
+                    max(self._busy_until[operator.name], self.clock.now())
+                )
+                operator.on_input_done(port.index)
+            all_done = all_done and port.done
+        if all_done and operator.inputs:
+            self._finish_operator(operator)
+
+    def _finish_operator(self, operator: Operator) -> None:
+        if operator.finished:
+            return
+        operator.finished = True
+        operator.set_now(
+            max(self._busy_until[operator.name], self.clock.now())
+        )
+        operator.on_finish()
+        for edge in operator.outputs:
+            edge.queue.close()
+        self._after_activity(
+            operator, at=max(self._busy_until[operator.name], self.clock.now())
+        )
+
+    # -------------------------------------------------------------- plumbing
+
+    def _after_activity(self, operator: Operator, at: float | None = None) -> None:
+        """Stamp freshly flushed pages and wake the consumers."""
+        stamp_time = self.clock.now() if at is None else at
+        for edge in operator.outputs:
+            flushed = edge.queue.stamp_ready(stamp_time)
+            if flushed or edge.queue.closed:
+                self.schedule_work(edge.consumer, at=stamp_time)
+
+    def _earliest_ready(self, operator: Operator) -> float:
+        """Earliest availability among the operator's pending pages."""
+        earliest = None
+        for port in operator.inputs:
+            if port is None:
+                continue
+            head = port.queue.peek_page()
+            if head is None:
+                continue
+            available = head.available_at or 0.0
+            if earliest is None or available < earliest:
+                earliest = available
+        return self.clock.now() if earliest is None else earliest
+
+    def _finalise(self) -> RunResult:
+        metrics = PlanMetrics(events_processed=self._events_processed)
+        for op in self.plan:
+            metrics.operator_metrics[op.name] = op.metrics
+            metrics.total_work += op.metrics.busy_time
+        metrics.makespan = max(
+            [self.clock.now()] + list(self._busy_until.values())
+        )
+        return RunResult(
+            plan=self.plan,
+            metrics=metrics,
+            output_log=self.runtime.output_log,
+            feedback_log=self.runtime.feedback_log,
+        )

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller embedding the stream system can catch one base class.  Sub-classes are
+grouped by subsystem (schema/pattern/plan/engine/feedback) and carry plain
+human-readable messages; no error stores live references to engine state.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """Schema construction or attribute resolution failed.
+
+    Raised for duplicate attribute names, unknown attribute lookups and
+    arity mismatches between a schema and a value sequence.
+    """
+
+
+class PatternError(ReproError):
+    """A pattern or punctuation is malformed or used against a wrong schema.
+
+    Raised for arity mismatches between a pattern and a schema, illegal atom
+    combinations, and unparsable punctuation literals.
+    """
+
+
+class PlanError(ReproError):
+    """A query plan is structurally invalid.
+
+    Raised for cycles, unconnected ports, duplicate operator names, and
+    schema mismatches between connected operators.
+    """
+
+
+class EngineError(ReproError):
+    """An execution engine reached an inconsistent state.
+
+    Raised for double-started engines, events scheduled in the past, and
+    operators that emit after declaring end-of-stream.
+    """
+
+
+class FeedbackError(ReproError):
+    """Feedback punctuation was produced or handled incorrectly.
+
+    Raised for feedback whose pattern does not match the receiving schema
+    and for attempts to retract enacted feedback (retraction is not part of
+    the paper's model; see DESIGN.md section 7).
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with invalid parameters."""

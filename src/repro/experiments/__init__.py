@@ -1,0 +1,43 @@
+"""Experiment drivers shared by the benchmark harness and the examples.
+
+* :mod:`repro.experiments.exp1` -- the imputation plan (Figures 5-6);
+* :mod:`repro.experiments.exp2` -- the speed-map schemes (Figure 7);
+* :mod:`repro.experiments.ablation` -- centralized-vs-localized,
+  PACE bound policy, and feedback-frequency overhead studies.
+"""
+
+from repro.experiments.ablation import (
+    CentralizedComparison,
+    run_centralized_ablation,
+    run_frequency_overhead_ablation,
+    run_pace_bound_ablation,
+)
+from repro.experiments.exp1 import (
+    Exp1ArmResult,
+    Exp1Config,
+    run_arm,
+    run_experiment_1,
+)
+from repro.experiments.exp2 import (
+    SCHEMES,
+    Exp2CellResult,
+    Exp2Config,
+    run_cell,
+    run_experiment_2,
+)
+
+__all__ = [
+    "CentralizedComparison",
+    "Exp1ArmResult",
+    "Exp1Config",
+    "Exp2CellResult",
+    "Exp2Config",
+    "SCHEMES",
+    "run_arm",
+    "run_cell",
+    "run_centralized_ablation",
+    "run_experiment_1",
+    "run_experiment_2",
+    "run_frequency_overhead_ablation",
+    "run_pace_bound_ablation",
+]

@@ -1,0 +1,20 @@
+"""Punctuation mini-language (system S8 in DESIGN.md)."""
+
+from repro.lang.query import Catalog, compile_query
+from repro.lang.punctlang import (
+    format_feedback,
+    format_pattern,
+    parse_feedback,
+    parse_pattern,
+    parse_punctuation,
+)
+
+__all__ = [
+    "Catalog",
+    "compile_query",
+    "format_feedback",
+    "format_pattern",
+    "parse_feedback",
+    "parse_pattern",
+    "parse_punctuation",
+]

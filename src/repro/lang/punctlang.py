@@ -1,0 +1,215 @@
+"""The punctuation mini-language: parse and print the paper's notation.
+
+The paper writes patterns and punctuations as bracketed atom lists::
+
+    [*, *, <='2008-12-08 9:00']     embedded punctuation
+    ¬[*, >=50]                      assumed feedback
+    ?[7, 3, *]                      desired feedback
+    ![<=5, *]                       demanded feedback
+
+This module turns those strings into library objects and back.  Grammar::
+
+    feedback    := intent pattern
+    intent      := '¬' | '~' | '?' | '!'
+    pattern     := '[' atom (',' atom)* ']'
+    atom        := '*' | comparison | set | literal
+    comparison  := ('<=' | '>=' | '<' | '>' | '=') literal
+    set         := 'in' '{' literal (',' literal)* '}'
+    literal     := number | quoted string | bareword
+
+Numbers parse as int when possible, then float; anything quoted (single or
+double) is a string; barewords are strings too.  ``~`` is accepted for
+``¬`` so feedback literals can be typed in plain ASCII.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.feedback import FeedbackIntent, FeedbackPunctuation
+from repro.errors import PatternError
+from repro.punctuation.atoms import (
+    AtLeast,
+    AtMost,
+    Atom,
+    Equals,
+    GreaterThan,
+    InSet,
+    LessThan,
+    WILDCARD,
+)
+from repro.punctuation.embedded import Punctuation
+from repro.punctuation.patterns import Pattern
+from repro.stream.schema import Schema
+
+__all__ = [
+    "parse_pattern",
+    "parse_punctuation",
+    "parse_feedback",
+    "format_pattern",
+    "format_feedback",
+]
+
+_INTENT_GLYPHS = {"¬", "~", "?", "!"}
+
+
+class _Scanner:
+    """Minimal cursor over the source text."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def take(self, expected: str) -> None:
+        self.skip_ws()
+        if not self.text.startswith(expected, self.pos):
+            raise PatternError(
+                f"expected {expected!r} at position {self.pos} in "
+                f"{self.text!r}"
+            )
+        self.pos += len(expected)
+
+    def try_take(self, expected: str) -> bool:
+        self.skip_ws()
+        if self.text.startswith(expected, self.pos):
+            self.pos += len(expected)
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+
+def _parse_literal(scanner: _Scanner) -> Any:
+    scanner.skip_ws()
+    ch = scanner.peek()
+    if ch in ("'", '"'):
+        quote = ch
+        scanner.pos += 1
+        start = scanner.pos
+        while scanner.pos < len(scanner.text) and scanner.text[scanner.pos] != quote:
+            scanner.pos += 1
+        if scanner.pos >= len(scanner.text):
+            raise PatternError(f"unterminated string in {scanner.text!r}")
+        value = scanner.text[start:scanner.pos]
+        scanner.pos += 1
+        return value
+    start = scanner.pos
+    while scanner.pos < len(scanner.text) and scanner.text[scanner.pos] not in ",]}":
+        scanner.pos += 1
+    raw = scanner.text[start:scanner.pos].strip()
+    if not raw:
+        raise PatternError(f"empty literal at position {start} in {scanner.text!r}")
+    for caster in (int, float):
+        try:
+            return caster(raw)
+        except ValueError:
+            continue
+    if raw == "None":
+        return None
+    if raw in ("True", "False"):
+        return raw == "True"
+    return raw
+
+
+def _parse_atom(scanner: _Scanner) -> Atom:
+    scanner.skip_ws()
+    if scanner.try_take("*"):
+        return WILDCARD
+    if scanner.try_take("in"):
+        scanner.take("{")
+        values = [_parse_literal(scanner)]
+        while scanner.try_take(","):
+            values.append(_parse_literal(scanner))
+        scanner.take("}")
+        return InSet(values)
+    for token, factory in (
+        ("<=", AtMost), (">=", AtLeast),
+        ("≤", AtMost), ("≥", AtLeast),
+        ("<", LessThan), (">", GreaterThan),
+        ("=", Equals),
+    ):
+        if scanner.try_take(token):
+            return factory(_parse_literal(scanner))
+    return Equals(_parse_literal(scanner))
+
+
+def parse_pattern(text: str, schema: Schema | None = None) -> Pattern:
+    """Parse ``[atom, atom, ...]`` into a :class:`Pattern`."""
+    scanner = _Scanner(text)
+    scanner.take("[")
+    atoms = [_parse_atom(scanner)]
+    while scanner.try_take(","):
+        atoms.append(_parse_atom(scanner))
+    scanner.take("]")
+    if not scanner.at_end():
+        raise PatternError(f"trailing input after pattern: {text!r}")
+    return Pattern(atoms, schema=schema)
+
+
+def parse_punctuation(text: str, schema: Schema | None = None) -> Punctuation:
+    """Parse an embedded punctuation literal (a bare pattern)."""
+    return Punctuation(parse_pattern(text, schema=schema))
+
+
+def parse_feedback(
+    text: str,
+    schema: Schema | None = None,
+    *,
+    issuer: str = "",
+) -> FeedbackPunctuation:
+    """Parse an intent-prefixed literal like ``¬[*, >=50]`` or ``?[7,3,*]``."""
+    stripped = text.strip()
+    if not stripped or stripped[0] not in _INTENT_GLYPHS:
+        raise PatternError(
+            f"feedback literal must start with one of "
+            f"{sorted(_INTENT_GLYPHS)}: {text!r}"
+        )
+    intent = FeedbackIntent.from_glyph(stripped[0])
+    pattern = parse_pattern(stripped[1:], schema=schema)
+    return FeedbackPunctuation(intent, pattern, issuer=issuer)
+
+
+def _format_atom(atom: Atom) -> str:
+    if atom.is_wildcard:
+        return "*"
+    if isinstance(atom, Equals):
+        return _format_literal(atom.value)
+    if isinstance(atom, AtMost):
+        return f"<={_format_literal(atom.value)}"
+    if isinstance(atom, AtLeast):
+        return f">={_format_literal(atom.value)}"
+    if isinstance(atom, LessThan):
+        return f"<{_format_literal(atom.value)}"
+    if isinstance(atom, GreaterThan):
+        return f">{_format_literal(atom.value)}"
+    if isinstance(atom, InSet):
+        inner = ", ".join(
+            _format_literal(v) for v in sorted(atom.values, key=repr)
+        )
+        return f"in{{{inner}}}"
+    return repr(atom)  # intervals fall back to repr
+
+
+def _format_literal(value: Any) -> str:
+    if isinstance(value, str):
+        return f"'{value}'"
+    return repr(value)
+
+
+def format_pattern(pattern: Pattern) -> str:
+    """Render a pattern in the paper's bracket notation (parse-roundtrip)."""
+    return "[" + ", ".join(_format_atom(a) for a in pattern.atoms) + "]"
+
+
+def format_feedback(feedback: FeedbackPunctuation) -> str:
+    """Render feedback with its intent glyph, e.g. ``¬[*, >=50]``."""
+    return feedback.intent.glyph + format_pattern(feedback.pattern)

@@ -1,0 +1,270 @@
+"""A mini query language compiling to query plans.
+
+Section 3.3 of the paper sketches a SQL-like surface for explicit feedback
+policies::
+
+    SELECT *
+    FROM stream1 UNION stream2
+    WITH PACE ON MAX(stream1.time, stream2.time) 1 MINUTE
+
+This module implements a small language in that spirit, compiled straight
+onto the operator library::
+
+    SELECT *                                   (or a projection list)
+    FROM <stream> [UNION <stream> ...]
+    [WHERE <attr> <op> <literal> [AND ...]]
+    [AGGREGATE <kind>(<attr>) GROUP BY <attr>[, ...]
+        WINDOW <n> [SLIDE <n>] ON <attr>]
+    [WITH PACE ON <attr> <n> [SECOND[S]|MINUTE[S]]]
+
+Streams are named in a :class:`Catalog` mapping stream name to a schema
+plus an arrival timeline.  ``compile_query`` returns a ready-to-run
+:class:`~repro.engine.plan.QueryPlan` whose sink is named ``"result"``.
+
+The language is deliberately small — it exists to show the feedback
+machinery slotting under a declarative surface (PACE clauses become
+feedback-producing operators), not to be a SQL implementation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.plan import QueryPlan
+from repro.errors import PlanError
+from repro.operators.aggregate import AggregateKind, WindowAggregate
+from repro.operators.pace import Pace
+from repro.operators.project import Project
+from repro.operators.select import Select
+from repro.operators.sink import CollectSink
+from repro.operators.source import ListSource
+from repro.operators.union import Union
+from repro.punctuation.atoms import (
+    AtLeast,
+    AtMost,
+    Atom,
+    Equals,
+    GreaterThan,
+    LessThan,
+)
+from repro.punctuation.patterns import Pattern
+from repro.stream.schema import Schema
+
+__all__ = ["Catalog", "compile_query"]
+
+
+@dataclass
+class Catalog:
+    """Available streams: name -> (schema, timeline)."""
+
+    streams: dict[str, tuple[Schema, list]]
+
+    def lookup(self, name: str) -> tuple[Schema, list]:
+        try:
+            return self.streams[name]
+        except KeyError:
+            raise PlanError(f"unknown stream {name!r}") from None
+
+
+_TIME_UNITS = {
+    "second": 1.0, "seconds": 1.0,
+    "minute": 60.0, "minutes": 60.0,
+    "hour": 3600.0, "hours": 3600.0,
+}
+
+_COMPARATORS: dict[str, type] = {
+    "<=": AtMost, ">=": AtLeast, "<": LessThan, ">": GreaterThan,
+    "=": Equals,
+}
+
+
+@dataclass
+class _ParsedQuery:
+    projection: list[str] | None
+    streams: list[str]
+    where: list[tuple[str, str, Any]]
+    aggregate: dict[str, Any] | None
+    pace: dict[str, Any] | None
+
+
+def _parse_literal(text: str) -> Any:
+    text = text.strip()
+    if text.startswith("'") and text.endswith("'"):
+        return text[1:-1]
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse(query: str) -> _ParsedQuery:
+    flat = " ".join(query.split())
+    pattern = re.compile(
+        r"^SELECT\s+(?P<projection>\*|[\w\s,.]+?)\s+"
+        r"FROM\s+(?P<streams>[\w\s]+?)"
+        r"(?:\s+WHERE\s+(?P<where>.+?))?"
+        r"(?:\s+AGGREGATE\s+(?P<agg_kind>\w+)\((?P<agg_attr>\*|\w+)\)"
+        r"\s+GROUP\s+BY\s+(?P<group_by>[\w\s,]+?)"
+        r"\s+WINDOW\s+(?P<window>[\d.]+)"
+        r"(?:\s+SLIDE\s+(?P<slide>[\d.]+))?"
+        r"\s+ON\s+(?P<window_attr>\w+))?"
+        r"(?:\s+WITH\s+PACE\s+ON\s+(?P<pace_attr>\w+)"
+        r"\s+(?P<pace_n>[\d.]+)(?:\s+(?P<pace_unit>\w+))?)?$",
+        re.IGNORECASE,
+    )
+    match = pattern.match(flat.strip().rstrip(";"))
+    if match is None:
+        raise PlanError(f"cannot parse query: {query!r}")
+    groups = match.groupdict()
+
+    projection = None
+    if groups["projection"].strip() != "*":
+        projection = [a.strip() for a in groups["projection"].split(",")]
+
+    streams = [
+        s.strip() for s in re.split(
+            r"\s+UNION\s+", groups["streams"], flags=re.IGNORECASE
+        )
+    ]
+
+    where: list[tuple[str, str, Any]] = []
+    if groups["where"]:
+        for clause in re.split(r"\s+AND\s+", groups["where"],
+                               flags=re.IGNORECASE):
+            m = re.match(
+                r"^(\w+)\s*(<=|>=|<|>|=)\s*(.+)$", clause.strip()
+            )
+            if m is None:
+                raise PlanError(f"cannot parse WHERE clause {clause!r}")
+            where.append((m.group(1), m.group(2), _parse_literal(m.group(3))))
+
+    aggregate = None
+    if groups["agg_kind"]:
+        kind = groups["agg_kind"].lower()
+        if kind not in AggregateKind.ALL:
+            raise PlanError(f"unknown aggregate {kind!r}")
+        aggregate = {
+            "kind": kind,
+            "attr": None if groups["agg_attr"] == "*" else groups["agg_attr"],
+            "group_by": [g.strip() for g in groups["group_by"].split(",")],
+            "window": float(groups["window"]),
+            "slide": float(groups["slide"]) if groups["slide"] else None,
+            "window_attr": groups["window_attr"],
+        }
+
+    pace = None
+    if groups["pace_attr"]:
+        unit = (groups["pace_unit"] or "seconds").lower()
+        if unit not in _TIME_UNITS:
+            raise PlanError(f"unknown time unit {unit!r}")
+        pace = {
+            "attr": groups["pace_attr"],
+            "tolerance": float(groups["pace_n"]) * _TIME_UNITS[unit],
+        }
+    return _ParsedQuery(projection, streams, where, aggregate, pace)
+
+
+def compile_query(
+    query: str,
+    catalog: Catalog,
+    *,
+    plan_name: str = "query",
+    page_size: int = 16,
+) -> QueryPlan:
+    """Compile a query string into a runnable plan (sink: ``"result"``).
+
+    ``WITH PACE`` requires at least two streams or a disordered single
+    stream; it unions the FROM streams under the disorder bound and makes
+    the plan a feedback producer exactly as in the paper's sketch.
+    """
+    parsed = _parse(query)
+    plan = QueryPlan(plan_name)
+
+    sources = []
+    schema: Schema | None = None
+    for stream_name in parsed.streams:
+        stream_schema, timeline = catalog.lookup(stream_name)
+        if schema is None:
+            schema = stream_schema
+        elif schema.names != stream_schema.names:
+            raise PlanError(
+                f"UNION streams must share a schema: {schema.names} vs "
+                f"{stream_schema.names}"
+            )
+        source = ListSource(stream_name, stream_schema, timeline)
+        plan.add(source)
+        sources.append(source)
+
+    assert schema is not None
+    # Merge stage: PACE when requested, plain UNION for several streams.
+    if parsed.pace is not None:
+        merge = Pace(
+            "pace", schema,
+            timestamp_attribute=parsed.pace["attr"],
+            tolerance=parsed.pace["tolerance"],
+            arity=max(len(sources), 2),
+            feedback_interval=parsed.pace["tolerance"] / 2.0,
+        )
+        plan.add(merge)
+        for index, source in enumerate(sources):
+            plan.connect(source, merge, port=index, page_size=page_size)
+        if len(sources) == 1:
+            # Single-stream PACE: the second port closes immediately.
+            empty = ListSource("empty", schema, [])
+            plan.add(empty)
+            plan.connect(empty, merge, port=1, page_size=page_size)
+        upstream = merge
+    elif len(sources) > 1:
+        merge = Union("union", schema, arity=len(sources))
+        plan.add(merge)
+        for index, source in enumerate(sources):
+            plan.connect(source, merge, port=index, page_size=page_size)
+        upstream = merge
+    else:
+        upstream = sources[0]
+
+    if parsed.where:
+        pattern_constraints: dict[str, Atom] = {}
+        for attr, op, literal in parsed.where:
+            pattern_constraints[attr] = _COMPARATORS[op](literal)
+        keep = Select(
+            "where",
+            schema,
+            Pattern.from_mapping(schema, pattern_constraints),
+        )
+        plan.add(keep)
+        plan.connect(upstream, keep, page_size=page_size)
+        upstream = keep
+
+    if parsed.aggregate is not None:
+        spec = parsed.aggregate
+        aggregate = WindowAggregate(
+            "aggregate", schema,
+            kind=spec["kind"],
+            window_attribute=spec["window_attr"],
+            width=spec["window"],
+            slide=spec["slide"],
+            value_attribute=spec["attr"],
+            group_by=tuple(spec["group_by"]),
+        )
+        plan.add(aggregate)
+        plan.connect(upstream, aggregate, page_size=page_size)
+        upstream = aggregate
+
+    if parsed.projection is not None:
+        project = Project(
+            "project", upstream.output_schema, parsed.projection
+        )
+        plan.add(project)
+        plan.connect(upstream, project, page_size=page_size)
+        upstream = project
+
+    sink = CollectSink("result", upstream.output_schema)
+    plan.add(sink)
+    plan.connect(upstream, sink, page_size=page_size)
+    plan.validate()
+    return plan

@@ -1,0 +1,640 @@
+"""Windowed group aggregates: COUNT / SUM / AVG / MAX / MIN.
+
+Output schema is ``(window, g..., a)``: a window identifier, the grouping
+attributes, and the aggregate value.  Windows are defined over a
+progressing (timestamp) attribute with ``width`` and ``slide`` --
+``slide == width`` gives tumbling windows, ``slide < width`` the paper's
+overlapping "slide-by-tuple"-style windows of Example 2.
+
+Feedback handling implements Table 1 and the section 3.5 narrative:
+
+* ``¬[g,*]`` (group/window constrained, value free): purge matching state;
+  for **tumbling** windows also guard the input (window atoms translate to
+  timestamp ranges) and relay upstream.  For **sliding** windows input
+  guarding and relaying are *incorrect* -- a tuple of a useless window also
+  belongs to other windows (Example 2) -- so exploitation stays internal:
+  guarded windows are simply never accumulated.
+* ``¬[*, >=a]`` with a monotone aggregate (COUNT, MAX): groups whose
+  partial already satisfies the bound are *certain* to match; they are
+  purged, their (window, group) pairs are input-guarded, and the concrete
+  set G is propagated upstream ("state-dependent" propagation).
+* ``¬[*, <=a]`` or any value feedback on non-monotone aggregates
+  (SUM, AVG): output guard only -- a partial that matches now may grow out
+  of the region later (the paper's AVERAGE-with-partial-51 example).
+* ``![…]`` (demanded): matching open windows emit their current partial
+  immediately (the financial-speculator example) -- partial results now
+  beat exact results too late.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.characterization import ConstraintShape
+from repro.core.feedback import FeedbackPunctuation
+from repro.core.roles import ExploitAction
+from repro.errors import PlanError
+from repro.operators.base import Operator
+from repro.punctuation.atoms import (
+    AtLeast,
+    AtMost,
+    Atom,
+    Equals,
+    GreaterThan,
+    InSet,
+    Interval,
+    LessThan,
+    WILDCARD,
+)
+from repro.punctuation.embedded import Punctuation
+from repro.punctuation.patterns import Pattern
+from repro.stream.schema import Attribute, AttributeOrigin, Schema, SchemaMapping
+from repro.stream.tuples import StreamTuple
+
+__all__ = ["AggregateKind", "WindowAggregate"]
+
+
+class AggregateKind:
+    """Names and properties of the supported aggregate functions."""
+
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MAX = "max"
+    MIN = "min"
+
+    ALL = (COUNT, SUM, AVG, MAX, MIN)
+
+    #: Aggregates whose partial value can only grow as tuples arrive.
+    MONOTONE_INCREASING = frozenset({COUNT, MAX})
+    #: Aggregates whose partial value can only shrink as tuples arrive.
+    MONOTONE_DECREASING = frozenset({MIN})
+
+
+@dataclass
+class _WindowState:
+    """Partial aggregate for one (window, group) pair."""
+
+    count: int = 0
+    total: float = 0.0
+    maximum: float | None = None
+    minimum: float | None = None
+    partial_emitted: bool = False
+
+    def add(self, value: float | None) -> None:
+        self.count += 1
+        if value is None:
+            return
+        self.total += value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+
+    def value(self, kind: str) -> float | None:
+        if kind == AggregateKind.COUNT:
+            return self.count
+        if kind == AggregateKind.SUM:
+            return self.total
+        if kind == AggregateKind.AVG:
+            return self.total / self.count if self.count else None
+        if kind == AggregateKind.MAX:
+            return self.maximum
+        return self.minimum
+
+
+class WindowAggregate(Operator):
+    """Group-by window aggregation with full feedback support."""
+
+    feedback_aware = True
+
+    def __init__(
+        self,
+        name: str,
+        input_schema: Schema,
+        *,
+        kind: str,
+        window_attribute: str,
+        width: float,
+        slide: float | None = None,
+        value_attribute: str | None = None,
+        group_by: Sequence[str] = (),
+        origin: float = 0.0,
+        window_name: str = "window",
+        value_name: str | None = None,
+        emit_on_close: bool = True,
+        exploit_level: int = 2,
+        **kwargs: Any,
+    ) -> None:
+        if kind not in AggregateKind.ALL:
+            raise PlanError(f"unknown aggregate kind {kind!r}")
+        if kind != AggregateKind.COUNT and value_attribute is None:
+            raise PlanError(f"{kind} requires a value attribute")
+        if width <= 0:
+            raise PlanError(f"window width must be > 0: {width}")
+        slide = width if slide is None else slide
+        if slide <= 0 or slide > width:
+            raise PlanError(
+                f"slide must be in (0, width]: slide={slide}, width={width}"
+            )
+        if value_name is None:
+            value_name = (
+                "count" if kind == AggregateKind.COUNT
+                else f"{kind}_{value_attribute}"
+            )
+        output_schema = Schema(
+            [Attribute(window_name, "int", progressing=True)]
+            + [input_schema.attribute(g) for g in group_by]
+            + [Attribute(value_name, "float")]
+        )
+        mapping = SchemaMapping(
+            output_schema,
+            (input_schema,),
+            {
+                window_name: (),  # computed (but monotone-translatable)
+                value_name: (),
+                **{
+                    g: (AttributeOrigin(0, g, exact=True),) for g in group_by
+                },
+            },
+        )
+        super().__init__(name, output_schema, mapping=mapping, **kwargs)
+        if exploit_level not in (1, 2):
+            raise PlanError(
+                f"exploit_level must be 1 (output guard only) or 2 "
+                f"(full local exploitation): {exploit_level}"
+            )
+        #: Experiment 2's scheme knob: level 1 restricts every assumed
+        #: response to an output guard (scheme F1); level 2 enables purging
+        #: and input guards (schemes F2/F3; F3 additionally sets
+        #: ``relay_enabled`` on the instance).
+        self.exploit_level = exploit_level
+        self.kind = kind
+        self.input_schema = input_schema
+        self.window_name = window_name
+        self.value_name = value_name
+        self.width = float(width)
+        self.slide = float(slide)
+        self.origin = float(origin)
+        self.emit_on_close = emit_on_close
+        self.group_by = tuple(group_by)
+        self._ts_index = input_schema.index_of(window_attribute)
+        self.window_attribute = input_schema[self._ts_index].name
+        self._value_index = (
+            input_schema.index_of(value_attribute)
+            if value_attribute is not None else None
+        )
+        self._group_indices = tuple(
+            input_schema.index_of(g) for g in group_by
+        )
+        self._state: dict[tuple[int, tuple], _WindowState] = {}
+        # Internal window guards: output-schema patterns whose matching
+        # (window, group) pairs must not be accumulated (Example 2).
+        self._window_guards: list[Pattern] = []
+        self.windows_skipped = 0
+        self._result_buffer: list[StreamTuple] = []
+        self._closed_watermark: float | None = None
+
+    # -------------------------------------------------------------- windows
+
+    @property
+    def tumbling(self) -> bool:
+        return self.slide == self.width
+
+    def window_ids(self, timestamp: float) -> range:
+        """All window ids containing ``timestamp``."""
+        offset = timestamp - self.origin
+        last = math.floor(offset / self.slide)
+        first = math.floor((offset - self.width) / self.slide) + 1
+        return range(max(first, 0), last + 1)
+
+    def window_bounds(self, window_id: int) -> tuple[float, float]:
+        """Half-open ``[start, end)`` timestamp range of a window."""
+        start = self.origin + window_id * self.slide
+        return start, start + self.width
+
+    def window_interval_atom(self, window_atom: Atom) -> Atom | None:
+        """Translate an atom over window ids to one over timestamps.
+
+        Window ids grow monotonically with time, so exact / bounded window
+        constraints translate to timestamp ranges.  Returns None for
+        shapes that have no sound translation.
+        """
+        shape = ConstraintShape.of_atom(window_atom)
+        if shape is ConstraintShape.EXACT and window_atom.is_point:
+            start, end = self.window_bounds(int(window_atom.point_value()))
+            return Interval(start, end, hi_inclusive=False)
+        if shape is ConstraintShape.EXACT and isinstance(window_atom, InSet):
+            ids = sorted(window_atom.values)
+            if ids and all(isinstance(w, int) for w in ids) and (
+                ids == list(range(ids[0], ids[-1] + 1))
+            ):
+                start, _ = self.window_bounds(ids[0])
+                _, end = self.window_bounds(ids[-1])
+                return Interval(start, end, hi_inclusive=False)
+            return None  # non-contiguous window sets have no single range
+        if shape is ConstraintShape.UPPER:
+            if isinstance(window_atom, AtMost):
+                _, end = self.window_bounds(int(window_atom.value))
+                return LessThan(end)
+            if isinstance(window_atom, LessThan):
+                _, end = self.window_bounds(int(window_atom.value) - 1)
+                return LessThan(end)
+        if shape is ConstraintShape.LOWER:
+            if isinstance(window_atom, AtLeast):
+                start, _ = self.window_bounds(int(window_atom.value))
+                return AtLeast(start)
+            if isinstance(window_atom, GreaterThan):
+                start, _ = self.window_bounds(int(window_atom.value) + 1)
+                return AtLeast(start)
+        if shape is ConstraintShape.RANGE and isinstance(window_atom, Interval):
+            lo_start, _ = self.window_bounds(int(window_atom.lo))
+            _, hi_end = self.window_bounds(int(window_atom.hi))
+            return Interval(lo_start, hi_end, hi_inclusive=False)
+        return None
+
+    # ---------------------------------------------------------------- data
+
+    def _group_key(self, tup: StreamTuple) -> tuple:
+        return tuple(tup.values[i] for i in self._group_indices)
+
+    def _output_values(
+        self, window_id: int, group: tuple, value: float | None
+    ) -> list:
+        return [window_id, *group, value]
+
+    def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
+        timestamp = float(tup.values[self._ts_index])
+        group = self._group_key(tup)
+        value = (
+            None if self._value_index is None
+            else tup.values[self._value_index]
+        )
+        for window_id in self.window_ids(timestamp):
+            if self._window_guarded(window_id, group):
+                self.windows_skipped += 1
+                continue
+            key = (window_id, group)
+            state = self._state.get(key)
+            if state is None:
+                state = _WindowState()
+                self._state[key] = state
+                self.metrics.grow_state()
+            state.add(None if value is None else float(value))
+
+    def _window_guarded(self, window_id: int, group: tuple) -> bool:
+        if not self._window_guards:
+            return False
+        probe = self._output_values(window_id, group, None)
+        return any(g.matches(probe) for g in self._window_guards)
+
+    # ---------------------------------------------------------- punctuation
+
+    def on_punctuation(self, port_index: int, punct: Punctuation) -> None:
+        """Close windows the punctuation completes; forward progress.
+
+        Handles the two practically relevant punctuation families:
+        timestamp progress (``[..., <=T, ...]``) and group completion
+        (exact atoms on group attributes).
+        """
+        pattern = punct.pattern
+        constrained = set(pattern.constrained_indices())
+        ts_atom = pattern.atoms[self._ts_index]
+        group_positions = set(self._group_indices)
+        if constrained and constrained <= {self._ts_index}:
+            bound = self._upper_bound_of(ts_atom)
+            if bound is not None:
+                self._close_windows_before(bound)
+            return
+        if constrained and constrained <= group_positions:
+            self._close_groups(pattern)
+            return
+        if not constrained:  # end-of-stream punctuation
+            self._close_all()
+            self.emit_punctuation(
+                Punctuation(
+                    Pattern.all_wildcards(
+                        len(self.output_schema), schema=self.output_schema
+                    ),
+                    source=self.name,
+                )
+            )
+
+    @staticmethod
+    def _upper_bound_of(atom: Atom) -> float | None:
+        if isinstance(atom, AtMost):
+            return float(atom.value)
+        if isinstance(atom, LessThan):
+            return float(atom.value)
+        return None
+
+    def _close_windows_before(self, bound: float) -> None:
+        """Emit and purge every window whose end lies at or before bound."""
+        closable = [
+            key for key in self._state
+            if self.window_bounds(key[0])[1] <= bound
+        ]
+        for key in sorted(closable):
+            self._emit_window(key)
+        if closable or self._closed_watermark is None:
+            self._closed_watermark = bound
+            last_closed = math.floor(
+                (bound - self.origin - self.width) / self.slide
+            )
+            if last_closed >= 0:
+                self._expire_window_guards(int(last_closed))
+                self.emit_punctuation(
+                    Punctuation(
+                        Pattern.single(
+                            self.output_schema,
+                            self.window_name,
+                            AtMost(int(last_closed)),
+                        ),
+                        source=self.name,
+                    )
+                )
+
+    def _expire_window_guards(self, last_closed: int) -> None:
+        """Drop internal window guards that can never fire again.
+
+        A guard whose window atom admits no window id above
+        ``last_closed`` is dead: those windows are closed and will not
+        re-form.  This is the same predicate-state bound that
+        :class:`~repro.core.guards.GuardSet` enforces via punctuation
+        (paper section 4.4), applied to the aggregate's internal guards.
+        """
+        survivors = []
+        future = GreaterThan(last_closed)
+        for guard in self._window_guards:
+            window_atom = guard.atoms[0]
+            if window_atom.is_wildcard or not window_atom.is_disjoint(future):
+                survivors.append(guard)
+        self._window_guards = survivors
+
+    def _close_groups(self, input_pattern: Pattern) -> None:
+        """A group is complete on the input: close all its windows."""
+        group_atoms = [input_pattern.atoms[i] for i in self._group_indices]
+        closable = [
+            key for key in self._state
+            if all(a.matches(v) for a, v in zip(group_atoms, key[1]))
+        ]
+        for key in sorted(closable):
+            self._emit_window(key)
+        out_atoms: list[Atom] = [WILDCARD] * len(self.output_schema)
+        for offset, atom in enumerate(group_atoms):
+            out_atoms[1 + offset] = atom
+        self.emit_punctuation(
+            Punctuation(
+                Pattern(out_atoms, schema=self.output_schema),
+                source=self.name,
+            )
+        )
+
+    def _close_all(self) -> None:
+        for key in sorted(self._state):
+            self._emit_window(key)
+
+    def _emit_window(self, key: tuple[int, tuple]) -> None:
+        state = self._state.pop(key, None)
+        if state is None:
+            return
+        self.metrics.shrink_state()
+        value = state.value(self.kind)
+        result = StreamTuple(
+            self.output_schema,
+            self._output_values(key[0], key[1], value),
+        )
+        if self.emit_on_close:
+            self.emit(result)
+        else:
+            self._result_buffer.append(result)
+
+    def on_finish(self) -> None:
+        self._close_all()
+        self.flush_buffered()
+
+    def flush_buffered(self) -> list[StreamTuple]:
+        """Emit buffered results (poll-based mode, Example 4)."""
+        flushed = self._result_buffer
+        self._result_buffer = []
+        for result in flushed:
+            self.emit(result)
+        if flushed:
+            self.flush_outputs()
+        return flushed
+
+    def on_result_request(self, pattern: Pattern | None) -> None:
+        """On-demand production: release buffered results, then forward."""
+        if pattern is None:
+            self.flush_buffered()
+        else:
+            keep: list[StreamTuple] = []
+            for result in self._result_buffer:
+                if pattern.matches(result):
+                    self.emit(result)
+                else:
+                    keep.append(result)
+            self._result_buffer = keep
+        super().on_result_request(pattern)
+
+    # ------------------------------------------------------------- feedback
+
+    def _shape_split(
+        self, pattern: Pattern
+    ) -> tuple[bool, bool, ConstraintShape]:
+        """(group/window constrained?, value constrained?, value shape)."""
+        value_index = len(self.output_schema) - 1
+        value_atom = pattern.atoms[value_index]
+        constrained = set(pattern.constrained_indices())
+        gw_constrained = bool(constrained - {value_index})
+        return (
+            gw_constrained,
+            value_index in constrained,
+            ConstraintShape.of_atom(value_atom),
+        )
+
+    def on_assumed(self, feedback: FeedbackPunctuation) -> list[ExploitAction]:
+        pattern = feedback.pattern
+        gw_constrained, value_constrained, value_shape = (
+            self._shape_split(pattern)
+        )
+        if self.exploit_level == 1 or (value_constrained and gw_constrained):
+            # Level 1 (scheme F1), or mixed constraints outside Table 1:
+            # guard the output only -- always correct, minimally invasive.
+            self.output_guards.install(pattern, origin=feedback, at=self.now())
+            return [ExploitAction.GUARD_OUTPUT]
+        if value_constrained:
+            return self._assumed_on_value(feedback, value_shape)
+        return self._assumed_on_groups(feedback)
+
+    # -- ¬[g, *] ------------------------------------------------------------
+
+    def _assumed_on_groups(
+        self, feedback: FeedbackPunctuation
+    ) -> list[ExploitAction]:
+        pattern = feedback.pattern
+        actions = [ExploitAction.PURGE_STATE]
+        purged = [
+            key for key in self._state if self._key_matches(pattern, key)
+        ]
+        for key in purged:
+            self._state.pop(key)
+            self.metrics.shrink_state(purged=True)
+        # Never accumulate guarded windows again (works for sliding too).
+        self._window_guards.append(pattern)
+        if self.tumbling:
+            input_pattern = self._input_pattern_from_output(pattern)
+            if input_pattern is not None:
+                self.input_port(0).guards.install(
+                    input_pattern, origin=feedback, at=self.now()
+                )
+                actions.append(ExploitAction.GUARD_INPUT)
+        self.output_guards.install(pattern, origin=feedback, at=self.now())
+        actions.append(ExploitAction.GUARD_OUTPUT)
+        return actions
+
+    def _key_matches(self, pattern: Pattern, key: tuple[int, tuple]) -> bool:
+        return pattern.matches(self._output_values(key[0], key[1], None))
+
+    # -- ¬[*, θa] ------------------------------------------------------------
+
+    def _assumed_on_value(
+        self, feedback: FeedbackPunctuation, shape: ConstraintShape
+    ) -> list[ExploitAction]:
+        pattern = feedback.pattern
+        value_atom = pattern.atoms[-1]
+        certain = (
+            shape is ConstraintShape.LOWER
+            and self.kind in AggregateKind.MONOTONE_INCREASING
+        ) or (
+            shape is ConstraintShape.UPPER
+            and self.kind in AggregateKind.MONOTONE_DECREASING
+        )
+        self.output_guards.install(pattern, origin=feedback, at=self.now())
+        if not certain:
+            return [ExploitAction.GUARD_OUTPUT]
+        # G <- pairs whose partial aggregate already satisfies the bound;
+        # their final value is certain to match, so they are dead weight.
+        group_set = [
+            key for key, state in self._state.items()
+            if state.value(self.kind) is not None
+            and value_atom.matches(state.value(self.kind))
+        ]
+        if not group_set:
+            return [ExploitAction.GUARD_OUTPUT]
+        for key in group_set:
+            self._state.pop(key)
+            self.metrics.shrink_state(purged=True)
+        actions = [ExploitAction.PURGE_STATE, ExploitAction.GUARD_OUTPUT]
+        port = self.input_port(0)
+        relay_cap = 64
+        for key in group_set[:relay_cap]:
+            input_pattern = self._pair_input_pattern(key)
+            if input_pattern is None:
+                continue
+            port.guards.install(input_pattern, origin=feedback, at=self.now())
+            if ExploitAction.GUARD_INPUT not in actions:
+                actions.append(ExploitAction.GUARD_INPUT)
+            # State-dependent propagation of G (Table 1, row 3).
+            self.metrics.feedback_relayed += 1
+            self._send_upstream(
+                0,
+                feedback.propagated(
+                    input_pattern, relayer=self.name, at=self.now()
+                ),
+            )
+        # Stop matching windows from re-forming locally.
+        for key in group_set:
+            self._window_guards.append(
+                Pattern.from_mapping(
+                    self.output_schema,
+                    {
+                        self.window_name: key[0],
+                        **{g: v for g, v in zip(self.group_by, key[1])},
+                    },
+                )
+            )
+        return actions
+
+    def _pair_input_pattern(self, key: tuple[int, tuple]) -> Pattern | None:
+        """Input pattern for one (window, group) pair: ts range ∧ group."""
+        if not self.tumbling:
+            return None  # a tuple belongs to several windows (Example 2)
+        start, end = self.window_bounds(key[0])
+        constraints: dict[str, Any] = {
+            self.window_attribute: Interval(start, end, hi_inclusive=False)
+        }
+        for name, value in zip(self.group_by, key[1]):
+            constraints[name] = Equals(value)
+        return Pattern.from_mapping(self.input_schema, constraints)
+
+    # -- relaying --------------------------------------------------------------
+
+    def _input_pattern_from_output(self, pattern: Pattern) -> Pattern | None:
+        """Translate an output pattern to the input schema when sound.
+
+        Group atoms map positionally; a window atom maps to a timestamp
+        range (tumbling windows only); value atoms are untranslatable.
+        """
+        value_index = len(self.output_schema) - 1
+        atoms: list[Atom] = [WILDCARD] * len(self.input_schema)
+        for out_pos in pattern.constrained_indices():
+            if out_pos == value_index:
+                return None
+            if out_pos == 0:  # window id
+                if not self.tumbling:
+                    return None
+                translated = self.window_interval_atom(pattern.atoms[0])
+                if translated is None:
+                    return None
+                atoms[self._ts_index] = translated
+                continue
+            group_offset = out_pos - 1
+            atoms[self._group_indices[group_offset]] = pattern.atoms[out_pos]
+        result = Pattern(atoms, schema=self.input_schema)
+        return None if result.is_all_wildcard else result
+
+    def relay_feedback(
+        self, feedback: FeedbackPunctuation
+    ) -> dict[int, FeedbackPunctuation]:
+        input_pattern = self._input_pattern_from_output(feedback.pattern)
+        if input_pattern is None:
+            return {}
+        return {
+            0: feedback.propagated(
+                input_pattern, relayer=self.name, at=self.now()
+            )
+        }
+
+    # -- demanded ---------------------------------------------------------------
+
+    def on_demanded(self, feedback: FeedbackPunctuation) -> list[ExploitAction]:
+        """Unblock: emit current partials for matching open windows now."""
+        pattern = feedback.pattern
+        emitted = False
+        for key, state in list(self._state.items()):
+            if state.partial_emitted:
+                continue
+            value = state.value(self.kind)
+            candidate = self._output_values(key[0], key[1], value)
+            probe = self._output_values(key[0], key[1], None)
+            if pattern.matches(candidate) or pattern.matches(probe):
+                state.partial_emitted = True
+                self.emit(
+                    StreamTuple(self.output_schema, candidate)
+                )
+                emitted = True
+        # Buffered (poll-mode) results matching the demand ship as well.
+        keep: list[StreamTuple] = []
+        for result in self._result_buffer:
+            if pattern.matches(result):
+                self.emit(result)
+                emitted = True
+            else:
+                keep.append(result)
+        self._result_buffer = keep
+        if emitted:
+            self.flush_outputs()  # "now" means now, not at page boundary
+        return [ExploitAction.EMIT_PARTIAL] if emitted else []

@@ -1,0 +1,565 @@
+"""Operator framework: ports, control handling, guards, feedback hooks.
+
+Operators follow NiagaraST's execution model (paper section 5): each
+operator owns input data queues (pages of tuples and embedded punctuation)
+paired with bidirectional control channels.  Control is out-of-band and high
+priority -- engines always drain an operator's pending control messages
+before handing it data pages.
+
+The feedback roles of section 3 map onto this class as follows:
+
+* **exploiter** -- :meth:`receive_feedback` dispatches to the per-intent
+  hooks (:meth:`on_assumed`, :meth:`on_desired`, :meth:`on_demanded`).  The
+  default assumed-response installs an **output guard**, which is correct
+  for every operator (it yields exactly ``SR - subset(SR, f)`` on the
+  guarded output, the maximum exploitation permitted by Definition 1).
+  Stateful operators override the hook to add input guards and state
+  purging where their semantics allow (Tables 1-2).
+* **relayer** -- :meth:`relay_feedback` uses the operator's
+  :class:`~repro.stream.schema.SchemaMapping` and the safe-propagation
+  planner (Definition 2).  Operators with state-dependent propagation
+  (e.g. COUNT under ``¬[*, >=a]``) override it.
+* **producer** -- operators call :meth:`produce_feedback` when they discover
+  an opportunity (PACE's divergence bound, THRIFTY JOIN's empty windows).
+
+Feedback-unaware operators (``feedback_aware = False``, the default) ignore
+feedback and cannot relay it -- exactly the paper's incremental-deployment
+story (section 5, "Feedback Support").
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator, Sequence
+
+from repro.core.feedback import FeedbackIntent, FeedbackPunctuation
+from repro.core.guards import GuardSet
+from repro.core.propagation import PropagationPlanner
+from repro.core.roles import ExploitAction, FeedbackLog
+from repro.engine.metrics import OperatorMetrics, OutputLog
+from repro.errors import FeedbackError, PlanError
+from repro.punctuation.embedded import Punctuation
+from repro.punctuation.patterns import Pattern
+from repro.stream.control import (
+    ControlChannel,
+    ControlMessage,
+    ControlMessageKind,
+    Direction,
+)
+from repro.stream.queues import DataQueue
+from repro.stream.schema import Schema, SchemaMapping
+from repro.stream.tuples import StreamTuple
+
+__all__ = ["InputPort", "OutputEdge", "Operator", "SourceOperator"]
+
+
+class InputPort:
+    """One input of an operator: data queue, control channel, guards."""
+
+    __slots__ = ("index", "queue", "control", "producer", "guards", "done")
+
+    def __init__(
+        self,
+        index: int,
+        queue: DataQueue,
+        control: ControlChannel,
+        producer: "Operator | None",
+    ) -> None:
+        self.index = index
+        self.queue = queue
+        self.control = control
+        self.producer = producer
+        self.guards = GuardSet(f"input[{index}]")
+        self.done = False  # producer closed and queue drained
+
+    def __repr__(self) -> str:
+        who = self.producer.name if self.producer else "<external>"
+        return f"InputPort({self.index}, from={who}, done={self.done})"
+
+
+class OutputEdge:
+    """One downstream connection: data queue, control channel, consumer."""
+
+    __slots__ = ("queue", "control", "consumer", "consumer_port")
+
+    def __init__(
+        self,
+        queue: DataQueue,
+        control: ControlChannel,
+        consumer: "Operator",
+        consumer_port: int,
+    ) -> None:
+        self.queue = queue
+        self.control = control
+        self.consumer = consumer
+        self.consumer_port = consumer_port
+
+    def __repr__(self) -> str:
+        return f"OutputEdge(to={self.consumer.name}[{self.consumer_port}])"
+
+
+class _DetachedRuntime:
+    """Placeholder runtime so operators are usable before plan wiring.
+
+    Unit tests drive operators directly through this stub; the engines
+    replace it at start-up with a live runtime exposing the same surface.
+    """
+
+    def __init__(self) -> None:
+        self.feedback_log = FeedbackLog()
+        self.output_log = OutputLog()
+
+    def now(self) -> float:
+        return 0.0
+
+    def notify_control(
+        self, operator: "Operator", at: float | None = None
+    ) -> None:
+        """A control message was queued for ``operator``; engines schedule it."""
+
+    def notify_data(self, operator: "Operator") -> None:
+        """New data is ready for ``operator``; engines schedule it."""
+
+
+class Operator(abc.ABC):
+    """Base class for every query operator.
+
+    Subclasses must implement :meth:`on_tuple` and may override
+    :meth:`on_punctuation` (default: forward), the feedback hooks, and the
+    lifecycle hooks :meth:`on_start`, :meth:`on_input_done`,
+    :meth:`on_finish`.
+
+    Cost model: ``tuple_cost`` / ``punctuation_cost`` / ``control_cost``
+    are virtual seconds charged by the simulator per element or message;
+    :meth:`cost_of` may be overridden for data-dependent costs (IMPUTE's
+    archival lookups).
+    """
+
+    #: Number of input streams (0 for sources, 2 for joins).
+    n_inputs: int = 1
+    #: Whether this operator understands feedback punctuation at all.
+    feedback_aware: bool = False
+    #: Whether assumed feedback is forwarded upstream when safely mappable.
+    relay_enabled: bool = True
+
+    def __init__(
+        self,
+        name: str,
+        output_schema: Schema | None,
+        *,
+        mapping: SchemaMapping | None = None,
+        tuple_cost: float = 0.0,
+        punctuation_cost: float = 0.0,
+        control_cost: float = 0.0,
+    ) -> None:
+        if not name:
+            raise PlanError("operator requires a non-empty name")
+        self.name = name
+        self.output_schema = output_schema
+        self.mapping = mapping
+        self.tuple_cost = float(tuple_cost)
+        self.punctuation_cost = float(punctuation_cost)
+        self.control_cost = float(control_cost)
+        self.inputs: list[InputPort | None] = [None] * self.n_inputs
+        self.outputs: list[OutputEdge] = []
+        self.output_guards = GuardSet("output")
+        self.metrics = OperatorMetrics()
+        self.runtime: Any = _DetachedRuntime()
+        self.finished = False
+        self._planner: PropagationPlanner | None = (
+            PropagationPlanner(mapping) if mapping is not None else None
+        )
+
+    # ------------------------------------------------------------------ wiring
+
+    def attach_input(
+        self,
+        port_index: int,
+        queue: DataQueue,
+        control: ControlChannel,
+        producer: "Operator | None",
+    ) -> InputPort:
+        if not 0 <= port_index < self.n_inputs:
+            raise PlanError(
+                f"{self.name}: input port {port_index} out of range "
+                f"(operator has {self.n_inputs} inputs)"
+            )
+        if self.inputs[port_index] is not None:
+            raise PlanError(
+                f"{self.name}: input port {port_index} already connected"
+            )
+        port = InputPort(port_index, queue, control, producer)
+        self.inputs[port_index] = port
+        return port
+
+    def attach_output(self, edge: OutputEdge) -> None:
+        self.outputs.append(edge)
+
+    def input_port(self, index: int) -> InputPort:
+        port = self.inputs[index]
+        if port is None:
+            raise PlanError(f"{self.name}: input port {index} not connected")
+        return port
+
+    @property
+    def connected(self) -> bool:
+        return all(p is not None for p in self.inputs)
+
+    # ------------------------------------------------------------------ time
+
+    _now: float = 0.0
+
+    def now(self) -> float:
+        """Virtual (or wall) time at the current processing step."""
+        return self._now
+
+    def set_now(self, timestamp: float) -> None:
+        """Engines stamp the operator's clock before each callback."""
+        self._now = timestamp
+
+    # ---------------------------------------------------------------- costs
+
+    #: Cost of evaluating input guards against a tuple that gets dropped.
+    #: Kept near zero: guard evaluation is a pattern match, vastly cheaper
+    #: than the work it avoids (that asymmetry *is* the savings mechanism).
+    guard_check_cost: float = 0.0
+
+    def cost_of(self, element: Any) -> float:
+        """Virtual processing cost of one stream element."""
+        if element.is_punctuation:
+            return self.punctuation_cost
+        return self.tuple_cost
+
+    def admission_cost(self, port_index: int, element: Any) -> float:
+        """Cost the engine charges for delivering one element.
+
+        Guard-dropped tuples cost ``guard_check_cost`` instead of the full
+        processing cost -- dropping a tuple at the guard is the whole point
+        of exploiting assumed feedback.
+        """
+        if element.is_punctuation:
+            return self.punctuation_cost
+        port = self.inputs[port_index]
+        if port is not None and port.guards.would_block(element):
+            return self.guard_check_cost
+        return self.cost_of(element)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def on_start(self) -> None:
+        """Called once before any element is delivered."""
+
+    def on_input_done(self, port_index: int) -> None:
+        """Called when one input is closed and fully drained."""
+
+    def on_finish(self) -> None:
+        """Called when all inputs are done; emit any final results here."""
+
+    # --------------------------------------------------------- data handling
+
+    def process_element(self, port_index: int, element: Any) -> None:
+        """Engine entry point for one stream element on one input."""
+        port = self.input_port(port_index)
+        if element.is_punctuation:
+            self.metrics.punctuations_in += 1
+            released = port.guards.expire_with(element)
+            if released:
+                self.on_guards_expired(port_index, element, released)
+            self.on_punctuation(port_index, element)
+            return
+        self.metrics.tuples_in += 1
+        if port.guards.blocks(element):
+            self.metrics.input_guard_drops += 1
+            self.on_guarded_drop(port_index, element)
+            return
+        self.on_tuple(port_index, element)
+
+    @abc.abstractmethod
+    def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
+        """Process one data tuple."""
+
+    def on_punctuation(self, port_index: int, punct: Punctuation) -> None:
+        """Process one embedded punctuation.  Default: forward it.
+
+        Stateless unary operators keep this default; stateful operators
+        override it to close windows / purge state first.
+        """
+        self.emit_punctuation(punct)
+
+    def on_guarded_drop(self, port_index: int, tup: StreamTuple) -> None:
+        """Hook invoked when an input guard suppressed a tuple."""
+
+    def on_guards_expired(
+        self, port_index: int, punct: Punctuation, released: list
+    ) -> None:
+        """Hook invoked when punctuation released input guards."""
+
+    # -------------------------------------------------------------- emission
+
+    def emit(self, tup: StreamTuple) -> bool:
+        """Send a result tuple downstream (all outputs).
+
+        Applies output guards; returns False when the tuple was suppressed.
+        """
+        if self.output_guards.blocks(tup):
+            self.metrics.output_guard_drops += 1
+            return False
+        self.metrics.tuples_out += 1
+        for edge in self.outputs:
+            edge.queue.put(tup)
+        return True
+
+    def emit_to(self, output_index: int, tup: StreamTuple) -> bool:
+        """Send a result tuple on a single output (multi-output operators)."""
+        if self.output_guards.blocks(tup):
+            self.metrics.output_guard_drops += 1
+            return False
+        self.metrics.tuples_out += 1
+        self.outputs[output_index].queue.put(tup)
+        return True
+
+    def emit_punctuation(self, punct: Punctuation) -> None:
+        """Send an embedded punctuation downstream (flushes pages).
+
+        Also expires output guards the punctuation covers: once this subset
+        of the output is complete, its guards can never fire again.
+        """
+        self.output_guards.expire_with(punct)
+        self.metrics.punctuations_out += 1
+        for edge in self.outputs:
+            edge.queue.put(punct)
+
+    def flush_outputs(self) -> None:
+        """Seal and ship partially-filled output pages immediately.
+
+        Demanded feedback and result requests carry "produce *now*"
+        semantics; results emitted in response must not sit in an open
+        page waiting for it to fill (the same latency problem NiagaraST
+        solves by letting punctuation flush pages).
+        """
+        for edge in self.outputs:
+            edge.queue.flush()
+
+    # ----------------------------------------------------- feedback: produce
+
+    def produce_feedback(
+        self,
+        feedback: FeedbackPunctuation,
+        *,
+        input_indices: Sequence[int] | None = None,
+    ) -> None:
+        """Issue feedback upstream on the given inputs (default: all).
+
+        The feedback pattern must be phrased in terms of the target input's
+        stream schema -- for unary operators that is this operator's input
+        schema; producers of cross-input feedback pass explicit indices.
+        """
+        self.metrics.feedback_produced += 1
+        self.runtime.feedback_log.record(
+            self.now(), self.name, feedback, (), note="produced"
+        )
+        targets = (
+            range(self.n_inputs) if input_indices is None else input_indices
+        )
+        for index in targets:
+            self._send_upstream(index, feedback)
+
+    def _send_upstream(
+        self, port_index: int, feedback: FeedbackPunctuation
+    ) -> None:
+        port = self.input_port(port_index)
+        message = ControlMessage(
+            ControlMessageKind.FEEDBACK,
+            Direction.UPSTREAM,
+            payload=feedback,
+            sender=self.name,
+            sent_at=self.now(),
+        )
+        port.control.send(message)
+        if port.producer is not None:
+            self.runtime.notify_control(port.producer, at=self.now())
+
+    def inject_feedback(self, feedback: FeedbackPunctuation) -> None:
+        """Send client-originated feedback upstream from this operator.
+
+        This is the entry point for *event-driven* feedback (section 3.3):
+        an application event -- the user zooming the speed map, a poll --
+        happens at this operator's seat in the plan and flows upstream like
+        operator-discovered feedback.
+        """
+        # Injection happens at engine-clock time (a client action), which
+        # may be ahead of this operator's last processing step.
+        self.set_now(max(self._now, self.runtime.now()))
+        self.metrics.feedback_produced += 1
+        self.runtime.feedback_log.record(
+            self.now(), self.name, feedback, (), note="injected"
+        )
+        for index in range(self.n_inputs):
+            self._send_upstream(index, feedback)
+
+    def request_results(self, pattern: Pattern | None = None) -> None:
+        """Send a RESULT_REQUEST upstream on every input (Example 4)."""
+        for index in range(self.n_inputs):
+            port = self.input_port(index)
+            port.control.send(
+                ControlMessage(
+                    ControlMessageKind.RESULT_REQUEST,
+                    Direction.UPSTREAM,
+                    payload=pattern,
+                    sender=self.name,
+                    sent_at=self.now(),
+                )
+            )
+            if port.producer is not None:
+                self.runtime.notify_control(port.producer, at=self.now())
+
+    # ----------------------------------------------------- feedback: receive
+
+    #: The output edge the feedback currently being handled arrived on
+    #: (None when unknown).  Multi-output operators such as DUPLICATE need
+    #: this to reconcile feedback across consumers before acting.
+    feedback_source_edge: "OutputEdge | None" = None
+
+    def receive_feedback(
+        self,
+        feedback: FeedbackPunctuation,
+        from_edge: "OutputEdge | None" = None,
+    ) -> list[ExploitAction]:
+        """Engine entry point for feedback arriving from downstream.
+
+        The pattern is phrased over this operator's *output* schema.
+        Feedback-unaware operators ignore it (and cannot relay it).
+        """
+        self.feedback_source_edge = from_edge
+        self.metrics.feedback_received += 1
+        if self.output_schema is not None and (
+            feedback.pattern.arity != len(self.output_schema)
+        ):
+            raise FeedbackError(
+                f"{self.name}: feedback {feedback!r} has arity "
+                f"{feedback.pattern.arity}, output schema has "
+                f"{len(self.output_schema)}"
+            )
+        if not self.feedback_aware:
+            self.metrics.feedback_ignored += 1
+            self.runtime.feedback_log.record(
+                self.now(), self.name, feedback, (ExploitAction.IGNORE,),
+                note="feedback-unaware",
+            )
+            return [ExploitAction.IGNORE]
+        if feedback.intent is FeedbackIntent.ASSUMED:
+            actions = list(self.on_assumed(feedback))
+        elif feedback.intent is FeedbackIntent.DESIRED:
+            actions = list(self.on_desired(feedback))
+        else:
+            actions = list(self.on_demanded(feedback))
+        if self.relay_enabled:
+            relayed = self.relay_feedback(feedback)
+            for index, sub in relayed.items():
+                self.metrics.feedback_relayed += 1
+                self._send_upstream(index, sub)
+            if relayed:
+                actions.append(ExploitAction.PROPAGATE)
+        self.runtime.feedback_log.record(
+            self.now(), self.name, feedback, actions
+        )
+        return actions
+
+    # Per-intent exploitation hooks -------------------------------------------
+
+    def on_assumed(self, feedback: FeedbackPunctuation) -> list[ExploitAction]:
+        """Default assumed-response: guard the output.
+
+        Correct for every operator: the guarded output is exactly
+        ``SR - subset(SR, f)``, the maximum exploitation Definition 1
+        permits.  Stateful subclasses override to purge state and guard
+        input where their semantics allow.
+        """
+        self.output_guards.install(
+            feedback.pattern, origin=feedback, at=self.now()
+        )
+        return [ExploitAction.GUARD_OUTPUT]
+
+    def on_desired(self, feedback: FeedbackPunctuation) -> list[ExploitAction]:
+        """Default desired-response: none (prioritisation is op-specific)."""
+        return []
+
+    def on_demanded(self, feedback: FeedbackPunctuation) -> list[ExploitAction]:
+        """Default demanded-response: none (partial results are op-specific)."""
+        return []
+
+    def on_result_request(self, pattern: Pattern | None) -> None:
+        """Handle an on-demand result request; default: forward upstream."""
+        for index in range(self.n_inputs):
+            port = self.inputs[index]
+            if port is None:
+                continue
+            port.control.send(
+                ControlMessage(
+                    ControlMessageKind.RESULT_REQUEST,
+                    Direction.UPSTREAM,
+                    payload=pattern,
+                    sender=self.name,
+                    sent_at=self.now(),
+                )
+            )
+            if port.producer is not None:
+                self.runtime.notify_control(port.producer, at=self.now())
+
+    # -------------------------------------------------------- feedback: relay
+
+    def relay_feedback(
+        self, feedback: FeedbackPunctuation
+    ) -> dict[int, FeedbackPunctuation]:
+        """Map feedback onto input schemas where safe (Definition 2).
+
+        The default uses the schema-level planner; operators with
+        state-dependent propagation override this.  Operators without a
+        schema mapping relay nothing.
+        """
+        if self._planner is None:
+            return {}
+        return self._planner.propagate(
+            feedback, relayer=self.name, at=self.now()
+        )
+
+    # ---------------------------------------------------------------- repr
+
+    def __repr__(self) -> str:
+        kind = type(self).__name__
+        return f"{kind}({self.name!r})"
+
+
+class SourceOperator(Operator):
+    """Base class for stream sources (no inputs).
+
+    Subclasses implement :meth:`events`, yielding ``(arrival_time,
+    element)`` pairs in non-decreasing arrival order; the engine replays
+    them onto the output queue at those virtual times.  Assumed feedback
+    reaching a source installs an output guard, which suppresses matching
+    tuples *before they enter the plan* -- the cheapest possible
+    exploitation point.
+    """
+
+    n_inputs = 0
+    feedback_aware = True
+
+    def __init__(
+        self,
+        name: str,
+        output_schema: Schema,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(name, output_schema, **kwargs)
+
+    @abc.abstractmethod
+    def events(self) -> Iterator[tuple[float, Any]]:
+        """Yield ``(arrival_time, element)`` pairs in arrival order."""
+
+    def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
+        raise PlanError(f"source {self.name} cannot receive tuples")
+
+    def relay_feedback(
+        self, feedback: FeedbackPunctuation
+    ) -> dict[int, FeedbackPunctuation]:
+        return {}  # nothing upstream of a source

@@ -1,0 +1,134 @@
+"""PriorityBuffer: honouring *desired* feedback by reordering production.
+
+Desired punctuation (``?[…]``, section 3.4) asks antecedents to produce a
+subset **sooner** without changing the overall result.  This operator makes
+that concrete: it holds up to ``capacity`` pending tuples and, on every
+arrival, releases the highest-priority pending tuple -- where priority
+means "matches an active desired pattern" (most recent desire first),
+falling back to arrival order.
+
+With no desired feedback the buffer is a FIFO delay line of depth
+``capacity``; once a ``?[…]`` arrives, matching tuples overtake the
+backlog.  The operator also honours assumed feedback with the usual input
+guard (a prioritised subset can still later be abandoned).
+
+Example 1 of the paper maps onto this operator: vehicle readings from
+highly-congested segments marked high-priority overtake readings from
+other segments inside the cleaning/aggregation pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.core.feedback import FeedbackPunctuation
+from repro.core.roles import ExploitAction
+from repro.operators.base import Operator
+from repro.punctuation.embedded import Punctuation
+from repro.punctuation.patterns import Pattern
+from repro.stream.schema import Schema, SchemaMapping
+from repro.stream.tuples import StreamTuple
+
+__all__ = ["PriorityBuffer"]
+
+
+class PriorityBuffer(Operator):
+    """Bounded reordering buffer driven by desired feedback."""
+
+    feedback_aware = True
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        *,
+        capacity: int = 64,
+        max_desires: int = 16,
+        **kwargs: Any,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        super().__init__(
+            name, schema, mapping=SchemaMapping.identity(schema), **kwargs
+        )
+        self.capacity = capacity
+        self.max_desires = max_desires
+        self._pending: deque[StreamTuple] = deque()
+        self._desires: deque[Pattern] = deque()
+        self.priority_releases = 0
+
+    # -- data --------------------------------------------------------------------
+
+    def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
+        self._pending.append(tup)
+        self.metrics.grow_state()
+        while len(self._pending) >= self.capacity:
+            self._release_one()
+
+    def on_punctuation(self, port_index: int, punct: Punctuation) -> None:
+        """Punctuation flushes covered pending tuples, then forwards.
+
+        Tuples covered by the punctuation cannot be held back -- downstream
+        operators will treat their subset as complete once the punctuation
+        passes.
+        """
+        kept: deque[StreamTuple] = deque()
+        for tup in self._pending:
+            if punct.covers(tup):
+                self._emit_pending(tup)
+            else:
+                kept.append(tup)
+        self._pending = kept
+        self.emit_punctuation(punct)
+
+    def on_finish(self) -> None:
+        while self._pending:
+            self._release_one()
+
+    def _release_one(self) -> None:
+        """Release the best pending tuple (desired match first, then FIFO)."""
+        for pattern in self._desires:
+            for index, tup in enumerate(self._pending):
+                if pattern.matches(tup):
+                    del self._pending[index]
+                    self.priority_releases += 1
+                    self._emit_pending(tup)
+                    return
+        self._emit_pending(self._pending.popleft())
+
+    def _emit_pending(self, tup: StreamTuple) -> None:
+        self.metrics.shrink_state()
+        self.emit(tup)
+
+    # -- feedback ---------------------------------------------------------------
+
+    def on_desired(self, feedback: FeedbackPunctuation) -> list[ExploitAction]:
+        """Record the desire (most recent first) and surface matches now."""
+        self._desires.appendleft(feedback.pattern)
+        while len(self._desires) > self.max_desires:
+            self._desires.pop()
+        released = 0
+        matching = [t for t in self._pending if feedback.pattern.matches(t)]
+        for tup in matching:
+            self._pending.remove(tup)
+            self.priority_releases += 1
+            released += 1
+            self._emit_pending(tup)
+        if released:
+            self.flush_outputs()  # prioritised tuples must not wait on a page
+        return [ExploitAction.PRIORITIZE]
+
+    def on_assumed(self, feedback: FeedbackPunctuation) -> list[ExploitAction]:
+        """Guard input and drop covered pending tuples (they are unneeded)."""
+        self.input_port(0).guards.install(
+            feedback.pattern, origin=feedback, at=self.now()
+        )
+        before = len(self._pending)
+        self._pending = deque(
+            t for t in self._pending if not feedback.pattern.matches(t)
+        )
+        dropped = before - len(self._pending)
+        if dropped:
+            self.metrics.shrink_state(dropped, purged=True)
+        return [ExploitAction.GUARD_INPUT, ExploitAction.PURGE_STATE]

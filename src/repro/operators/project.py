@@ -1,0 +1,79 @@
+"""Projection: reorder / drop attributes, with exact lineage for relaying.
+
+Feedback arriving at a projection is phrased over the projected schema;
+every kept attribute has an exact origin in the input, so the planner can
+always map the pattern back (dropped attributes are simply unconstrained
+upstream -- which *widens* nothing, because they were unconstrained in the
+feedback too).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.feedback import FeedbackPunctuation
+from repro.core.roles import ExploitAction
+from repro.operators.base import Operator
+from repro.punctuation.embedded import Punctuation
+from repro.stream.schema import AttributeOrigin, Schema, SchemaMapping
+from repro.stream.tuples import StreamTuple
+
+__all__ = ["Project"]
+
+
+class Project(Operator):
+    """Emit each input tuple projected onto ``attributes`` (in order)."""
+
+    feedback_aware = True
+
+    def __init__(
+        self,
+        name: str,
+        input_schema: Schema,
+        attributes: Sequence[str],
+        **kwargs: Any,
+    ) -> None:
+        output_schema = input_schema.project(attributes)
+        mapping = SchemaMapping(
+            output_schema,
+            (input_schema,),
+            {
+                output_schema[i].name: (
+                    AttributeOrigin(0, attributes[i], exact=True),
+                )
+                for i in range(len(attributes))
+            },
+        )
+        super().__init__(name, output_schema, mapping=mapping, **kwargs)
+        self.input_schema = input_schema
+        self._attributes = list(attributes)
+        self._indices = input_schema.indices_of(attributes)
+
+    def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
+        values = [tup.values[i] for i in self._indices]
+        self.emit(StreamTuple(self.output_schema, values))
+
+    def on_punctuation(self, port_index: int, punct: Punctuation) -> None:
+        """Project the punctuation pattern; forward only when lossless.
+
+        A punctuation that constrains a dropped attribute cannot be
+        projected soundly (the projected pattern would cover *more* output
+        tuples than the original asserts complete), so it is absorbed.
+        """
+        constrained = set(punct.pattern.constrained_indices())
+        kept = set(self._indices)
+        if constrained <= kept:
+            projected = punct.pattern.project(
+                self._indices, schema=self.output_schema
+            )
+            self.emit_punctuation(Punctuation(projected, source=self.name))
+
+    def on_assumed(self, feedback: FeedbackPunctuation) -> list[ExploitAction]:
+        """Guard the input using the back-mapped pattern (stateless)."""
+        relayable = self.relay_feedback(feedback)
+        if 0 in relayable:
+            self.input_port(0).guards.install(
+                relayable[0].pattern, origin=feedback, at=self.now()
+            )
+            return [ExploitAction.GUARD_INPUT]
+        return super().on_assumed(feedback)

@@ -1,0 +1,95 @@
+"""Sinks: terminal operators that collect results and drive demand.
+
+:class:`CollectSink` records every arriving tuple with its (virtual)
+arrival time into the run's output log -- Figures 5 and 6 are drawn
+directly from these records.
+
+:class:`OnDemandSink` models Example 4's poll-based client: results are
+produced only when the application asks.  ``poll()`` sends a
+``RESULT_REQUEST`` control message upstream (released buffered results flow
+back down), and ``demand(pattern)`` issues demanded feedback ``![…]`` that
+makes blocking operators emit partial results immediately (the
+financial-speculator scenario of section 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.feedback import FeedbackPunctuation
+from repro.operators.base import Operator
+from repro.punctuation.embedded import Punctuation
+from repro.punctuation.patterns import Pattern
+from repro.stream.schema import Schema
+from repro.stream.tuples import StreamTuple
+
+__all__ = ["CollectSink", "OnDemandSink"]
+
+
+class CollectSink(Operator):
+    """Collect tuples (and optionally punctuation) with arrival times."""
+
+    feedback_aware = False  # a sink exploits nothing; it only observes
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema | None = None,
+        *,
+        tag: str = "",
+        keep_punctuation: bool = False,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(name, schema, **kwargs)
+        self.tag = tag or name
+        self.keep_punctuation = keep_punctuation
+        self.results: list[StreamTuple] = []
+        self.arrivals: list[tuple[float, StreamTuple]] = []
+        self.punctuations: list[Punctuation] = []
+
+    def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
+        self.results.append(tup)
+        self.arrivals.append((self.now(), tup))
+        self.runtime.output_log.record(
+            self.now(), tup, sink=self.name, tag=self.tag
+        )
+
+    def on_punctuation(self, port_index: int, punct: Punctuation) -> None:
+        if self.keep_punctuation:
+            self.punctuations.append(punct)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class OnDemandSink(CollectSink):
+    """A polling client: requests results instead of streaming them.
+
+    ``poll`` and ``demand`` are driven either by test/example code between
+    engine runs or by a scheduled callback inside the engines.
+    """
+
+    def __init__(self, name: str, schema: Schema | None = None, **kwargs: Any) -> None:
+        super().__init__(name, schema, **kwargs)
+        self.polls = 0
+        self.demands = 0
+
+    def poll(self, pattern: Pattern | None = None) -> None:
+        """Ask upstream operators to release buffered results."""
+        self.set_now(max(self._now, self.runtime.now()))
+        self.polls += 1
+        self.request_results(pattern)
+
+    def demand(self, pattern: Pattern) -> None:
+        """Issue ``![pattern]``: partial results now beat exact later."""
+        self.set_now(max(self._now, self.runtime.now()))
+        self.demands += 1
+        feedback = FeedbackPunctuation.demanded(
+            pattern, issuer=self.name, issued_at=self.now()
+        )
+        self.metrics.feedback_produced += 1
+        self.runtime.feedback_log.record(
+            self.now(), self.name, feedback, (), note="demanded by client"
+        )
+        for index in range(self.n_inputs):
+            self._send_upstream(index, feedback)

@@ -1,0 +1,114 @@
+"""Stream sources: replayed, generated and punctuated inputs.
+
+Sources yield ``(arrival_time, element)`` pairs that the engine replays at
+those virtual times.  Because :class:`~repro.operators.base.SourceOperator`
+is feedback-aware, assumed feedback that propagates all the way to a source
+suppresses tuples before they enter the plan -- the best case of the
+paper's "avoidance of unnecessary work".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import WorkloadError
+from repro.operators.base import SourceOperator
+from repro.punctuation.embedded import Punctuation
+from repro.punctuation.schemes import ProgressPunctuator
+from repro.stream.schema import Schema
+from repro.stream.tuples import StreamTuple
+
+__all__ = ["ListSource", "GeneratorSource", "PunctuatedSource"]
+
+
+class ListSource(SourceOperator):
+    """Replays a pre-built list of ``(arrival_time, element)`` pairs.
+
+    Arrival times must be non-decreasing.  The element may be a
+    :class:`StreamTuple` or an embedded :class:`Punctuation`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        output_schema: Schema,
+        timeline: Sequence[tuple[float, Any]],
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(name, output_schema, **kwargs)
+        previous = float("-inf")
+        for arrival, _ in timeline:
+            if arrival < previous:
+                raise WorkloadError(
+                    f"{name}: timeline arrival times must be non-decreasing"
+                )
+            previous = arrival
+        self._timeline = list(timeline)
+
+    def events(self) -> Iterator[tuple[float, Any]]:
+        return iter(self._timeline)
+
+
+class GeneratorSource(SourceOperator):
+    """Wraps any generator of ``(arrival_time, element)`` pairs.
+
+    The factory is invoked lazily at engine start, so one source object can
+    describe an arbitrarily long stream without materialising it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        output_schema: Schema,
+        factory: Callable[[], Iterable[tuple[float, Any]]],
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(name, output_schema, **kwargs)
+        self._factory = factory
+
+    def events(self) -> Iterator[tuple[float, Any]]:
+        return iter(self._factory())
+
+
+class PunctuatedSource(SourceOperator):
+    """Replays tuples and interleaves progress punctuation automatically.
+
+    Wraps a plain tuple timeline with a
+    :class:`~repro.punctuation.schemes.ProgressPunctuator` on one attribute,
+    emitting ``[... <= boundary ...]`` punctuation as the stream advances,
+    plus a final all-covering punctuation at end of stream.  This is the
+    standard NiagaraST-style input: data plus embedded progress markers.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        output_schema: Schema,
+        timeline: Sequence[tuple[float, StreamTuple]],
+        *,
+        punctuate_on: str,
+        punctuation_interval: float,
+        grace: float = 0.0,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(name, output_schema, **kwargs)
+        self._timeline = list(timeline)
+        self._punctuate_on = punctuate_on
+        self._interval = punctuation_interval
+        self._grace = grace
+
+    def events(self) -> Iterator[tuple[float, Any]]:
+        punctuator = ProgressPunctuator(
+            self.output_schema,
+            self._punctuate_on,
+            self._interval,
+            grace=self._grace,
+            source=self.name,
+        )
+        last_arrival = 0.0
+        for arrival, tup in self._timeline:
+            last_arrival = arrival
+            yield arrival, tup
+            for punct in punctuator.observe(tup[self._punctuate_on]):
+                yield arrival, punct
+        yield last_arrival, punctuator.final()

@@ -1,0 +1,113 @@
+"""Embedded punctuation: in-stream assertions about stream progress.
+
+An embedded punctuation (paper section 3.1, after [12][13]) flows *with* the
+data and asserts: **no tuple matching this pattern will appear later in the
+stream**.  Operators use it to unblock (emit results for closed windows) and
+to purge state.  In this library punctuations travel inside data pages and
+flush them (see :mod:`repro.stream.pages`).
+
+The classic shape is a progress punctuation on a timestamp attribute --
+``[*, *, <='2008-12-08 9:00']`` -- but the representation is general: any
+pattern may be punctuated, which is what makes feedback expiration on
+delimited attributes possible (paper section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import PatternError
+from repro.punctuation.atoms import AtMost, LessThan
+from repro.punctuation.patterns import Pattern
+from repro.stream.schema import Schema
+from repro.stream.tuples import StreamTuple
+
+__all__ = ["Punctuation"]
+
+
+class Punctuation:
+    """An in-stream statement that a subset of the stream is complete.
+
+    Instances are immutable.  ``source`` names the operator (or external
+    source) that emitted the punctuation, for diagnostics.
+    """
+
+    __slots__ = ("pattern", "source")
+
+    is_punctuation = True
+
+    def __init__(self, pattern: Pattern, source: str = "") -> None:
+        object.__setattr__(self, "pattern", pattern)
+        object.__setattr__(self, "source", source)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Punctuation is immutable")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def up_to(
+        cls,
+        schema: Schema,
+        attribute: str,
+        bound: Any,
+        *,
+        inclusive: bool = True,
+        source: str = "",
+    ) -> "Punctuation":
+        """Progress punctuation: all tuples with ``attribute`` <= ``bound``
+        (or < when ``inclusive`` is False) have been seen.
+        """
+        atom = AtMost(bound) if inclusive else LessThan(bound)
+        return cls(Pattern.single(schema, attribute, atom), source=source)
+
+    @classmethod
+    def group_done(
+        cls,
+        schema: Schema,
+        constraints: dict[str, Any],
+        *,
+        source: str = "",
+    ) -> "Punctuation":
+        """Punctuation asserting a specific group/window is complete.
+
+        For example ``group_done(schema, {"window": 4})`` is the paper's
+        "all vehicle data has been seen for window 4".
+        """
+        return cls(Pattern.from_mapping(schema, constraints), source=source)
+
+    # -- semantics ---------------------------------------------------------------
+
+    def covers(self, element: StreamTuple) -> bool:
+        """True when ``element`` belongs to the completed subset."""
+        return self.pattern.matches(element)
+
+    def subsumes(self, other: "Punctuation") -> bool:
+        """True when this punctuation implies ``other``."""
+        return self.pattern.subsumes(other.pattern)
+
+    @property
+    def schema(self) -> Schema | None:
+        return self.pattern.schema
+
+    def rebound(self, schema: Schema) -> "Punctuation":
+        """The same pattern bound to a different schema (same arity)."""
+        if len(schema) != self.pattern.arity:
+            raise PatternError(
+                f"cannot rebind punctuation of arity {self.pattern.arity} "
+                f"to schema {schema.names}"
+            )
+        return Punctuation(self.pattern.with_schema(schema), source=self.source)
+
+    # -- identity ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Punctuation):
+            return NotImplemented
+        return self.pattern == other.pattern
+
+    def __hash__(self) -> int:
+        return hash(("punctuation", self.pattern))
+
+    def __repr__(self) -> str:
+        return f"Punct{self.pattern!r}"

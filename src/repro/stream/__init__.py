@@ -1,0 +1,41 @@
+"""Stream substrate: schemas, tuples, pages, queues, control, clocks.
+
+This package is the foundation layer (system S1 in DESIGN.md): everything
+here is engine-agnostic and carries no query or feedback semantics of its
+own.  Higher layers build on it:
+
+* :mod:`repro.punctuation` defines patterns and embedded punctuation;
+* :mod:`repro.core` defines feedback punctuation and its correctness rules;
+* :mod:`repro.operators` implement the query algebra;
+* :mod:`repro.engine` drives plans on a virtual or wall clock.
+"""
+
+from repro.stream.clock import Clock, VirtualClock, WallClock
+from repro.stream.control import (
+    ControlChannel,
+    ControlMessage,
+    ControlMessageKind,
+    Direction,
+)
+from repro.stream.pages import DEFAULT_PAGE_SIZE, Page
+from repro.stream.queues import DataQueue
+from repro.stream.schema import Attribute, AttributeOrigin, Schema, SchemaMapping
+from repro.stream.tuples import StreamTuple
+
+__all__ = [
+    "Attribute",
+    "AttributeOrigin",
+    "Clock",
+    "ControlChannel",
+    "ControlMessage",
+    "ControlMessageKind",
+    "DataQueue",
+    "DEFAULT_PAGE_SIZE",
+    "Direction",
+    "Page",
+    "Schema",
+    "SchemaMapping",
+    "StreamTuple",
+    "VirtualClock",
+    "WallClock",
+]

@@ -1,0 +1,77 @@
+"""Clocks: virtual time for simulation, wall time for the threaded runtime.
+
+The experiments in the paper are timing-sensitive (PACE tolerances, output
+divergence, execution-time comparisons).  Running them against wall-clock
+time in Python would make results depend on interpreter speed and the host
+machine, so the primary engine uses :class:`VirtualClock` -- a discrete-event
+clock advanced explicitly by the simulator.  Operator cost models charge
+virtual seconds per unit of work, which keeps the paper's cost *ratios*
+while making every run deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+from repro.errors import EngineError
+
+__all__ = ["Clock", "VirtualClock", "WallClock"]
+
+
+class Clock(Protocol):
+    """Minimal clock interface used by operators and metrics."""
+
+    def now(self) -> float:
+        """Current time in seconds."""
+        ...
+
+
+class VirtualClock:
+    """A simulated clock that only moves when the engine advances it.
+
+    Time is a float in seconds, starting at ``origin`` (default 0.0).
+    Moving backwards raises :class:`~repro.errors.EngineError`; a
+    discrete-event simulation must never rewind.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, origin: float = 0.0) -> None:
+        self._now = float(origin)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Jump to an absolute time at or after the current time."""
+        if timestamp < self._now - 1e-12:
+            raise EngineError(
+                f"virtual clock cannot go backwards: now={self._now}, "
+                f"requested={timestamp}"
+            )
+        self._now = max(self._now, float(timestamp))
+
+    def advance_by(self, delta: float) -> None:
+        """Move forward by a non-negative number of seconds."""
+        if delta < 0:
+            raise EngineError(f"cannot advance clock by negative delta {delta}")
+        self._now += delta
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f})"
+
+
+class WallClock:
+    """Real time, measured from instantiation with a monotonic source."""
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._start
+
+    def __repr__(self) -> str:
+        return f"WallClock(now={self.now():.6f})"

@@ -1,0 +1,91 @@
+"""Pages: batched transport units between operators.
+
+NiagaraST's inter-operator queues carry *pages* of tuples rather than single
+tuples: batching amortises hand-off cost and reduces context switching
+(paper section 5).  The downside -- a slow stream may take arbitrarily long
+to fill a page -- is resolved exactly as in the paper: **punctuations flush
+pages**.  A page is handed to the queue when it is full or when a punctuation
+is appended.
+
+Pages are also flushed by explicit ``flush()`` (end of stream) so no element
+is ever stranded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List
+
+from repro.errors import EngineError
+
+__all__ = ["Page", "DEFAULT_PAGE_SIZE"]
+
+DEFAULT_PAGE_SIZE = 64
+
+
+class Page:
+    """A bounded batch of stream elements (tuples and embedded punctuation).
+
+    A page never contains elements appended after a punctuation: appending a
+    punctuation marks the page complete, mirroring NiagaraST's flush-on-
+    punctuation rule.  Appending to a complete page raises
+    :class:`~repro.errors.EngineError`.
+    """
+
+    __slots__ = ("capacity", "elements", "_complete", "available_at")
+
+    def __init__(self, capacity: int = DEFAULT_PAGE_SIZE) -> None:
+        if capacity < 1:
+            raise EngineError(f"page capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.elements: List[Any] = []
+        self._complete = False
+        #: Virtual time at which the page became visible downstream.
+        #: Stamped by the engine when the producer flushes it; None until
+        #: then.  Consumers never start a page before this time.
+        self.available_at: float | None = None
+
+    def append(self, element: Any) -> bool:
+        """Append one element; return True when the page became complete.
+
+        The page completes when it reaches capacity or when ``element`` is a
+        punctuation (``element.is_punctuation`` is truthy).
+        """
+        if self._complete:
+            raise EngineError("cannot append to a complete page")
+        self.elements.append(element)
+        if element.is_punctuation or len(self.elements) >= self.capacity:
+            self._complete = True
+        return self._complete
+
+    @property
+    def complete(self) -> bool:
+        return self._complete
+
+    @property
+    def empty(self) -> bool:
+        return not self.elements
+
+    def seal(self) -> None:
+        """Mark the page complete regardless of fill level (explicit flush)."""
+        self._complete = True
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.elements)
+
+    def tuple_count(self) -> int:
+        """Number of data tuples (excluding punctuations) on the page."""
+        return sum(1 for e in self.elements if not e.is_punctuation)
+
+    def punctuation_count(self) -> int:
+        """Number of embedded punctuations on the page."""
+        return sum(1 for e in self.elements if e.is_punctuation)
+
+    def __repr__(self) -> str:
+        state = "complete" if self._complete else "open"
+        return (
+            f"Page({len(self.elements)}/{self.capacity} elements, "
+            f"{self.punctuation_count()} puncts, {state})"
+        )

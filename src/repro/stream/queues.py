@@ -1,0 +1,131 @@
+"""Inter-operator data queues.
+
+A :class:`DataQueue` connects a producer operator to a consumer operator and
+carries complete :class:`~repro.stream.pages.Page` objects.  The producer
+writes single elements; the queue maintains the producer's *open page* and
+moves it into the ready backlog when it completes (full, punctuation, or
+explicit flush).
+
+This class is deliberately not thread-safe: the deterministic simulator
+drives all operators from one loop.  The threaded runtime
+(:mod:`repro.engine.threaded`) wraps it with locking and blocking semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterator
+
+from repro.stream.pages import DEFAULT_PAGE_SIZE, Page
+
+__all__ = ["DataQueue"]
+
+
+class DataQueue:
+    """FIFO of complete pages with a producer-side open page.
+
+    ``name`` identifies the edge for diagnostics (``"select->average"``).
+    """
+
+    __slots__ = ("name", "page_size", "_open_page", "_ready", "_closed",
+                 "pages_flushed", "elements_enqueued")
+
+    def __init__(self, name: str = "", page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        self.name = name
+        self.page_size = page_size
+        self._open_page = Page(page_size)
+        self._ready: deque[Page] = deque()
+        self._closed = False
+        self.pages_flushed = 0
+        self.elements_enqueued = 0
+
+    # -- producer side -----------------------------------------------------------
+
+    def put(self, element: Any) -> bool:
+        """Enqueue one element; return True when a page became ready.
+
+        Punctuations complete the open page immediately (flush-on-
+        punctuation), so downstream operators observe stream progress
+        without waiting for a full page.
+        """
+        self.elements_enqueued += 1
+        completed = self._open_page.append(element)
+        if completed:
+            self._ready.append(self._open_page)
+            self._open_page = Page(self.page_size)
+            self.pages_flushed += 1
+        return completed
+
+    def flush(self) -> bool:
+        """Seal and enqueue the open page if it holds anything."""
+        if self._open_page.empty:
+            return False
+        self._open_page.seal()
+        self._ready.append(self._open_page)
+        self._open_page = Page(self.page_size)
+        self.pages_flushed += 1
+        return True
+
+    def close(self) -> None:
+        """Flush any residue and mark the queue closed (end of stream)."""
+        self.flush()
+        self._closed = True
+
+    # -- consumer side ---------------------------------------------------------
+
+    def get_page(self) -> Page | None:
+        """Pop the oldest ready page, or None when nothing is ready."""
+        if self._ready:
+            return self._ready.popleft()
+        return None
+
+    def peek_page(self) -> Page | None:
+        """The oldest ready page without removing it."""
+        if self._ready:
+            return self._ready[0]
+        return None
+
+    def stamp_ready(self, at: float) -> bool:
+        """Stamp availability on freshly flushed pages; True if any.
+
+        Engines call this right after a producer processed an element, with
+        the producer's virtual completion time; newly flushed pages (those
+        without a stamp) become visible downstream at that time.
+        """
+        stamped = False
+        for page in reversed(self._ready):
+            if page.available_at is not None:
+                break
+            page.available_at = at
+            stamped = True
+        return stamped
+
+    def drain_elements(self) -> Iterator[Any]:
+        """Yield every element from every ready page (testing convenience)."""
+        while (page := self.get_page()) is not None:
+            yield from page
+
+    # -- inspection ----------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def ready_pages(self) -> int:
+        return len(self._ready)
+
+    def pending_elements(self) -> int:
+        """Elements buffered in ready pages plus the open page."""
+        return sum(len(p) for p in self._ready) + len(self._open_page)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when closed and fully drained."""
+        return self._closed and not self._ready and self._open_page.empty
+
+    def __repr__(self) -> str:
+        return (
+            f"DataQueue({self.name!r}, ready={len(self._ready)} pages, "
+            f"open={len(self._open_page)}, closed={self._closed})"
+        )

@@ -1,0 +1,125 @@
+"""Bid-auction workload: the supportability example of paper section 4.4.
+
+The paper grounds feedback *supportability* in a bid-auction stream:
+
+* "Do not show bids prior to 1:00 p.m." -- supportable: timestamps are
+  punctuated, so the guard eventually expires;
+* "Do not produce results related to bidder #2 for auction #4" --
+  supportable: state "will be cleansed when auction #4 finishes" (the
+  close punctuation delimits the auction attribute);
+* "Don't show bids more than $1.00" -- **unsupportable**: nothing
+  punctuates amounts, the guard would live forever ("the user should have
+  issued a different query").
+
+:class:`AuctionWorkload` generates exactly that stream: bids over a set of
+auctions with staggered close times, timestamp progress punctuation, and a
+``group_done`` punctuation per auction at its close -- two delimited
+attributes, amounts deliberately undelimited.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.punctuation.embedded import Punctuation
+from repro.punctuation.schemes import ProgressPunctuator, PunctuationScheme
+from repro.stream.schema import Attribute, Schema
+from repro.stream.tuples import StreamTuple
+
+__all__ = ["BID_SCHEMA", "AuctionWorkload"]
+
+BID_SCHEMA = Schema([
+    Attribute("auction_id", "int"),
+    Attribute("bidder_id", "int"),
+    Attribute("timestamp", "timestamp", progressing=True),
+    Attribute("amount", "float"),
+])
+
+
+@dataclass
+class AuctionWorkload:
+    """Bids over staggered auctions, fully punctuated.
+
+    Auction *i* opens at ``i * stagger`` and closes ``duration`` later.
+    Bids arrive uniformly while an auction is open, with amounts drifting
+    upward (later bids bid higher).
+    """
+
+    auctions: int = 8
+    bidders: int = 20
+    bids_per_auction: int = 50
+    duration: float = 60.0
+    stagger: float = 15.0
+    seed: int = 77
+
+    def __post_init__(self) -> None:
+        if self.auctions < 1 or self.bidders < 1 or self.bids_per_auction < 1:
+            raise WorkloadError("auctions, bidders and bids must be >= 1")
+        if self.duration <= 0 or self.stagger < 0:
+            raise WorkloadError("duration must be > 0 and stagger >= 0")
+
+    @property
+    def horizon(self) -> float:
+        return (self.auctions - 1) * self.stagger + self.duration
+
+    def close_time(self, auction_id: int) -> float:
+        return auction_id * self.stagger + self.duration
+
+    def scheme(self) -> PunctuationScheme:
+        """Timestamps and auction ids are delimited; amounts are not."""
+        return PunctuationScheme(
+            BID_SCHEMA, delimited=["timestamp", "auction_id"]
+        )
+
+    def events(self) -> Iterator[tuple[float, object]]:
+        """Bids plus progress and auction-close punctuation, in order."""
+        rng = random.Random(self.seed)
+        bids: list[tuple[float, StreamTuple]] = []
+        for auction in range(self.auctions):
+            open_at = auction * self.stagger
+            for _ in range(self.bids_per_auction):
+                offset = rng.uniform(0.0, self.duration)
+                amount = round(
+                    0.5 + offset / self.duration + rng.uniform(0, 0.5), 2
+                )
+                bids.append((
+                    open_at + offset,
+                    StreamTuple(
+                        BID_SCHEMA,
+                        (auction, rng.randrange(self.bidders),
+                         open_at + offset, amount),
+                    ),
+                ))
+        bids.sort(key=lambda pair: pair[0])
+
+        punctuator = ProgressPunctuator(
+            BID_SCHEMA, "timestamp", interval=self.duration / 4,
+        )
+        closes = [
+            (self.close_time(a), a) for a in range(self.auctions)
+        ]
+        close_index = 0
+        for arrival, bid in bids:
+            while (
+                close_index < len(closes)
+                and closes[close_index][0] <= arrival
+            ):
+                when, auction = closes[close_index]
+                yield when, Punctuation.group_done(
+                    BID_SCHEMA, {"auction_id": auction}, source="auctioneer"
+                )
+                close_index += 1
+            yield arrival, bid
+            for punct in punctuator.observe(bid["timestamp"]):
+                yield arrival, punct
+        for when, auction in closes[close_index:]:
+            yield when, Punctuation.group_done(
+                BID_SCHEMA, {"auction_id": auction}, source="auctioneer"
+            )
+        yield self.horizon, punctuator.final()
+
+    def timeline(self) -> list[tuple[float, object]]:
+        return list(self.events())

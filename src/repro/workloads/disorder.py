@@ -1,0 +1,90 @@
+"""Disorder and burst injection for arrival timelines.
+
+The paper targets "distributed, unreliable, bursty, disordered data
+sources".  These utilities perturb any ``(arrival_time, element)`` timeline:
+
+* :func:`inject_disorder` delays a random subset of elements, producing
+  out-of-order arrival (tuple timestamps keep their original values -- the
+  OOP architecture handles the skew via punctuation);
+* :func:`inject_bursts` compresses periodic stretches of the timeline into
+  near-instant bursts, keeping the average rate;
+* :func:`merge_timelines` interleaves several timelines by arrival time.
+
+All functions are deterministic under an explicit seed and keep the
+returned timeline sorted by arrival time (that is what sources replay).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+from repro.errors import WorkloadError
+
+__all__ = ["inject_disorder", "inject_bursts", "merge_timelines"]
+
+Timeline = list[tuple[float, Any]]
+
+
+def inject_disorder(
+    timeline: Sequence[tuple[float, Any]],
+    *,
+    fraction: float,
+    max_delay: float,
+    seed: int = 0,
+) -> Timeline:
+    """Delay a ``fraction`` of elements by up to ``max_delay`` seconds.
+
+    Delayed elements arrive late relative to their neighbours, so any
+    downstream operator keyed on tuple timestamps observes disorder.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise WorkloadError(f"fraction must be in [0, 1]: {fraction}")
+    if max_delay < 0:
+        raise WorkloadError(f"max_delay must be >= 0: {max_delay}")
+    rng = random.Random(seed)
+    perturbed: Timeline = []
+    for arrival, element in timeline:
+        if rng.random() < fraction:
+            arrival = arrival + rng.uniform(0.0, max_delay)
+        perturbed.append((arrival, element))
+    perturbed.sort(key=lambda pair: pair[0])
+    return perturbed
+
+
+def inject_bursts(
+    timeline: Sequence[tuple[float, Any]],
+    *,
+    period: float,
+    burst_fraction: float = 0.1,
+    seed: int = 0,
+) -> Timeline:
+    """Compress each period's arrivals into its first ``burst_fraction``.
+
+    Elements keep their relative order; only arrival times change.  The
+    result models sources that buffer and flush (bursty networks).
+    """
+    if period <= 0:
+        raise WorkloadError(f"period must be > 0: {period}")
+    if not 0.0 < burst_fraction <= 1.0:
+        raise WorkloadError(
+            f"burst_fraction must be in (0, 1]: {burst_fraction}"
+        )
+    compressed: Timeline = []
+    for arrival, element in timeline:
+        period_index = int(arrival // period)
+        offset = arrival - period_index * period
+        compressed.append(
+            (period_index * period + offset * burst_fraction, element)
+        )
+    compressed.sort(key=lambda pair: pair[0])
+    return compressed
+
+
+def merge_timelines(*timelines: Sequence[tuple[float, Any]]) -> Timeline:
+    """Interleave timelines by arrival time (stable across inputs)."""
+    merged: Timeline = []
+    for timeline in timelines:
+        merged.extend(timeline)
+    merged.sort(key=lambda pair: pair[0])
+    return merged

@@ -1,0 +1,64 @@
+"""Financial tick workload: the demanded-punctuation scenario.
+
+Section 3.4's demanded example: a currency speculator with a margin of
+action of a few seconds wants a best-guess trend estimate *now* -- "partial
+results are better than no results, or seeing results after the end of the
+margin of action."
+
+The stream is a random-walk exchange rate ``(timestamp, pair_id, rate)``
+aggregated into fixed windows; a demanded punctuation ``![window, pair]``
+makes the aggregate emit its current partial average before the window
+closes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.stream.schema import Attribute, Schema
+from repro.stream.tuples import StreamTuple
+
+__all__ = ["TICK_SCHEMA", "FinanceWorkload"]
+
+TICK_SCHEMA = Schema([
+    Attribute("timestamp", "timestamp", progressing=True),
+    Attribute("pair_id", "int"),
+    Attribute("rate", "float"),
+])
+
+
+@dataclass
+class FinanceWorkload:
+    """Random-walk exchange-rate ticks for a few currency pairs."""
+
+    pairs: int = 4
+    ticks_per_second: float = 20.0
+    horizon: float = 60.0
+    initial_rate: float = 1.0
+    volatility: float = 0.0004
+    seed: int = 99
+
+    def __post_init__(self) -> None:
+        if self.pairs < 1 or self.ticks_per_second <= 0 or self.horizon <= 0:
+            raise WorkloadError("invalid finance workload parameters")
+
+    def events(self) -> Iterator[tuple[float, StreamTuple]]:
+        rng = random.Random(self.seed)
+        rates = [
+            self.initial_rate * (1 + 0.05 * i) for i in range(self.pairs)
+        ]
+        interval = 1.0 / self.ticks_per_second
+        steps = int(self.horizon * self.ticks_per_second)
+        for step in range(steps):
+            timestamp = step * interval
+            pair = step % self.pairs
+            rates[pair] *= 1.0 + rng.gauss(0.0, self.volatility)
+            yield timestamp, StreamTuple(
+                TICK_SCHEMA, (timestamp, pair, rates[pair])
+            )
+
+    def timeline(self) -> list[tuple[float, StreamTuple]]:
+        return list(self.events())

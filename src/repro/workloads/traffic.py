@@ -1,0 +1,211 @@
+"""Synthetic traffic workload: the paper's speed-map scenario.
+
+The paper's motivating application (Figure 1) and Experiment 2 run on
+Portland-metro loop-detector data.  That feed is proprietary, so this
+module generates a synthetic equivalent with the published shape:
+
+* a freeway network of ``segments`` segments with ``detectors_per_segment``
+  fixed detectors each;
+* every detector reports ``(detector_id, segment, timestamp, speed)`` once
+  per ``report_interval`` (the paper: one report per segment every 20 s,
+  9 segments x 40 detectors, 18 h of data ~= 1.17 M tuples);
+* traffic state follows a day curve with congestion waves: free-flow speed
+  ~60 mph, rush-hour troughs where congested segments drop below 45 mph
+  (the query's congestion threshold), plus white noise;
+* optional sensor dropouts produce None speeds (the dirty tuples of the
+  imputation scenario);
+* probe vehicles emit ``(vehicle_id, segment, timestamp, speed)`` GPS
+  readings at a per-segment rate proportional to detector speed (slower
+  traffic, more vehicles present).
+
+All randomness goes through an explicit seed; two generators with the same
+parameters produce identical streams.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.stream.schema import Attribute, Schema
+from repro.stream.tuples import StreamTuple
+
+__all__ = [
+    "DETECTOR_SCHEMA",
+    "PROBE_SCHEMA",
+    "TrafficModel",
+    "TrafficWorkload",
+]
+
+DETECTOR_SCHEMA = Schema([
+    Attribute("detector_id", "int"),
+    Attribute("segment", "int"),
+    Attribute("timestamp", "timestamp", progressing=True),
+    Attribute("speed", "float"),
+])
+
+PROBE_SCHEMA = Schema([
+    Attribute("vehicle_id", "int"),
+    Attribute("segment", "int"),
+    Attribute("timestamp", "timestamp", progressing=True),
+    Attribute("speed", "float"),
+])
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Parameters of the synthetic traffic state.
+
+    ``congested_segments`` dip into congestion during the rush window;
+    everything else cruises near free flow.
+    """
+
+    free_flow_speed: float = 60.0
+    congested_speed: float = 25.0
+    congestion_threshold: float = 45.0
+    rush_start: float = 0.25   # fraction of the horizon
+    rush_end: float = 0.60
+    noise: float = 3.0
+    congested_segments: tuple[int, ...] = (0, 3, 7)
+
+    def mean_speed(self, segment: int, phase: float) -> float:
+        """Mean speed for a segment at ``phase`` in [0, 1] of the horizon."""
+        if segment not in self.congested_segments:
+            return self.free_flow_speed
+        if not self.rush_start <= phase <= self.rush_end:
+            return self.free_flow_speed
+        # Smooth dip: cosine ramp into and out of congestion.
+        span = self.rush_end - self.rush_start
+        local = (phase - self.rush_start) / span
+        depth = 0.5 - 0.5 * math.cos(2 * math.pi * local)
+        return (
+            self.free_flow_speed
+            - depth * (self.free_flow_speed - self.congested_speed)
+        )
+
+
+@dataclass
+class TrafficWorkload:
+    """Generator of detector and probe streams for one traffic scenario."""
+
+    segments: int = 9
+    detectors_per_segment: int = 40
+    report_interval: float = 20.0
+    horizon: float = 18 * 3600.0
+    seed: int = 7
+    model: TrafficModel = field(default_factory=TrafficModel)
+    dropout_rate: float = 0.0       # fraction of detector reports gone dirty
+    probes_per_segment: float = 0.0  # mean probe reports per segment/interval
+
+    def __post_init__(self) -> None:
+        if self.segments < 1 or self.detectors_per_segment < 1:
+            raise WorkloadError("need at least one segment and detector")
+        if self.report_interval <= 0 or self.horizon <= 0:
+            raise WorkloadError("report_interval and horizon must be > 0")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise WorkloadError("dropout_rate must be in [0, 1)")
+
+    # -- sizing ------------------------------------------------------------------
+
+    @property
+    def reports_per_interval(self) -> int:
+        return self.segments * self.detectors_per_segment
+
+    @property
+    def intervals(self) -> int:
+        return int(self.horizon // self.report_interval)
+
+    @property
+    def detector_tuple_count(self) -> int:
+        return self.reports_per_interval * self.intervals
+
+    # -- detector stream ------------------------------------------------------------
+
+    def detector_events(self) -> Iterator[tuple[float, StreamTuple]]:
+        """Yield ``(arrival_time, tuple)`` for the full detector stream.
+
+        Arrival time equals the report timestamp (the stream is in order;
+        disorder is injected, when wanted, by
+        :mod:`repro.workloads.disorder`).
+        """
+        rng = random.Random(self.seed)
+        for interval in range(self.intervals):
+            timestamp = interval * self.report_interval
+            phase = timestamp / self.horizon
+            for segment in range(self.segments):
+                mean = self.model.mean_speed(segment, phase)
+                for local_id in range(self.detectors_per_segment):
+                    detector_id = segment * self.detectors_per_segment + local_id
+                    if (
+                        self.dropout_rate > 0.0
+                        and rng.random() < self.dropout_rate
+                    ):
+                        speed = None
+                    else:
+                        speed = max(
+                            1.0, rng.gauss(mean, self.model.noise)
+                        )
+                    yield timestamp, StreamTuple(
+                        DETECTOR_SCHEMA,
+                        (detector_id, segment, timestamp, speed),
+                    )
+
+    # -- probe stream ------------------------------------------------------------------
+
+    def probe_events(self) -> Iterator[tuple[float, StreamTuple]]:
+        """Yield probe-vehicle GPS readings.
+
+        The per-interval count per segment is Poisson-ish around
+        ``probes_per_segment``, scaled up when the segment is congested
+        (slow traffic accumulates vehicles).
+        """
+        if self.probes_per_segment <= 0:
+            return
+        rng = random.Random(self.seed + 1)
+        vehicle_counter = 0
+        for interval in range(self.intervals):
+            base_time = interval * self.report_interval
+            phase = base_time / self.horizon
+            for segment in range(self.segments):
+                mean_speed = self.model.mean_speed(segment, phase)
+                density_boost = self.model.free_flow_speed / max(
+                    mean_speed, 5.0
+                )
+                expected = self.probes_per_segment * density_boost
+                count = self._poisson(rng, expected)
+                for _ in range(count):
+                    vehicle_counter += 1
+                    offset = rng.uniform(0, self.report_interval)
+                    speed = max(
+                        1.0, rng.gauss(mean_speed, self.model.noise * 1.5)
+                    )
+                    yield base_time + offset, StreamTuple(
+                        PROBE_SCHEMA,
+                        (
+                            vehicle_counter,
+                            segment,
+                            base_time + offset,
+                            speed,
+                        ),
+                    )
+
+    @staticmethod
+    def _poisson(rng: random.Random, mean: float) -> int:
+        """Knuth's Poisson sampler (small means only)."""
+        threshold = math.exp(-mean)
+        count, product = 0, rng.random()
+        while product > threshold:
+            count += 1
+            product *= rng.random()
+        return count
+
+    # -- convenience ------------------------------------------------------------------
+
+    def detector_timeline(self) -> list[tuple[float, StreamTuple]]:
+        return list(self.detector_events())
+
+    def probe_timeline(self) -> list[tuple[float, StreamTuple]]:
+        return sorted(self.probe_events(), key=lambda pair: pair[0])

@@ -1,0 +1,57 @@
+"""Shared fixtures: canonical schemas and tuple builders from the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream import Attribute, Schema, StreamTuple
+
+
+@pytest.fixture
+def ts_value_schema() -> Schema:
+    """The paper's running example schema: (timestamp, datavalue)."""
+    return Schema([
+        Attribute("timestamp", "timestamp", progressing=True),
+        Attribute("datavalue", "float"),
+    ])
+
+
+@pytest.fixture
+def detector_schema() -> Schema:
+    """detector(id, freeway_id, milepost, timestamp, speed) from section 3.5."""
+    return Schema([
+        Attribute("id", "int"),
+        Attribute("freeway_id", "int"),
+        Attribute("milepost", "int"),
+        Attribute("timestamp", "timestamp", progressing=True),
+        Attribute("speed", "float"),
+    ])
+
+
+@pytest.fixture
+def probe_schema() -> Schema:
+    """probe(id, freeway_id, milepost, timestamp, speed) from section 3.5."""
+    return Schema([
+        Attribute("id", "int"),
+        Attribute("freeway_id", "int"),
+        Attribute("milepost", "int"),
+        Attribute("timestamp", "timestamp", progressing=True),
+        Attribute("speed", "float"),
+    ])
+
+
+@pytest.fixture
+def stream_a_schema() -> Schema:
+    """A(a, t, id) from the safe-propagation example in section 4.2."""
+    return Schema.of("a", "t", "id")
+
+
+@pytest.fixture
+def stream_b_schema() -> Schema:
+    """B(t, id, b) from the safe-propagation example in section 4.2."""
+    return Schema.of("t", "id", "b")
+
+
+def make_tuples(schema: Schema, rows: list[tuple]) -> list[StreamTuple]:
+    """Build a list of tuples over ``schema`` from plain value rows."""
+    return [StreamTuple(schema, row) for row in rows]

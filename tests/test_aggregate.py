@@ -1,0 +1,380 @@
+"""Unit tests for windowed aggregates: windows, punctuation, feedback."""
+
+import pytest
+
+from repro.core import ExploitAction, FeedbackPunctuation
+from repro.engine.harness import OperatorHarness
+from repro.errors import PlanError
+from repro.operators import AggregateKind, WindowAggregate
+from repro.punctuation import AtLeast, AtMost, Interval, Pattern, Punctuation
+from repro.stream import Schema, StreamTuple
+
+SCHEMA = Schema([
+    ("ts", "timestamp", True), ("seg", "int"), ("speed", "float"),
+])
+
+
+def tup(ts, seg=0, speed=50.0):
+    return StreamTuple(SCHEMA, (ts, seg, speed))
+
+
+def make(kind=AggregateKind.AVG, **kwargs):
+    defaults = dict(
+        window_attribute="ts", width=10.0,
+        value_attribute=None if kind == AggregateKind.COUNT else "speed",
+        group_by=("seg",),
+    )
+    defaults.update(kwargs)
+    return WindowAggregate("agg", SCHEMA, kind=kind, **defaults)
+
+
+def progress(bound):
+    return Punctuation.up_to(SCHEMA, "ts", bound, inclusive=False)
+
+
+class TestWindows:
+    def test_window_assignment_tumbling(self):
+        agg = make()
+        assert list(agg.window_ids(0.0)) == [0]
+        assert list(agg.window_ids(9.99)) == [0]
+        assert list(agg.window_ids(10.0)) == [1]
+
+    def test_window_assignment_sliding(self):
+        agg = make(width=10.0, slide=5.0)
+        assert list(agg.window_ids(12.0)) == [1, 2]
+
+    def test_window_bounds(self):
+        agg = make()
+        assert agg.window_bounds(3) == (30.0, 40.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PlanError):
+            make(width=-1)
+        with pytest.raises(PlanError):
+            make(slide=20.0)  # slide > width
+        with pytest.raises(PlanError):
+            WindowAggregate("x", SCHEMA, kind="median",
+                            window_attribute="ts", width=1.0)
+        with pytest.raises(PlanError):
+            WindowAggregate("x", SCHEMA, kind="sum",
+                            window_attribute="ts", width=1.0)  # no value attr
+        with pytest.raises(PlanError):
+            make(exploit_level=3)
+
+
+class TestAggregation:
+    @pytest.mark.parametrize("kind, expected", [
+        (AggregateKind.COUNT, 3),
+        (AggregateKind.SUM, 90.0),
+        (AggregateKind.AVG, 30.0),
+        (AggregateKind.MAX, 40.0),
+        (AggregateKind.MIN, 20.0),
+    ])
+    def test_kinds(self, kind, expected):
+        agg = make(kind)
+        harness = OperatorHarness(agg)
+        for speed in (20.0, 30.0, 40.0):
+            harness.push(tup(1.0, seg=0, speed=speed))
+        harness.finish()
+        result = harness.emitted_tuples()[0]
+        assert result.values[-1] == expected
+
+    def test_grouping(self):
+        agg = make(AggregateKind.COUNT)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0, seg=0))
+        harness.push(tup(1.0, seg=1))
+        harness.push(tup(2.0, seg=1))
+        harness.finish()
+        results = {r["seg"]: r["count"] for r in harness.emitted_tuples()}
+        assert results == {0: 1, 1: 2}
+
+    def test_sliding_window_tuple_in_multiple_windows(self):
+        agg = make(AggregateKind.COUNT, width=10.0, slide=5.0)
+        harness = OperatorHarness(agg)
+        harness.push(tup(7.0))
+        harness.finish()
+        windows = sorted(r["window"] for r in harness.emitted_tuples())
+        assert windows == [0, 1]
+
+
+class TestPunctuationDriven:
+    def test_progress_punctuation_closes_windows(self):
+        agg = make(AggregateKind.COUNT)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0))
+        harness.push(tup(12.0))
+        harness.push_punctuation(progress(10.0))
+        out = harness.emitted_tuples()
+        assert len(out) == 1 and out[0]["window"] == 0
+        # Window 1 is still open.
+        assert agg.metrics.state_size == 1
+
+    def test_emits_window_punctuation_downstream(self):
+        agg = make(AggregateKind.COUNT)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0))
+        harness.push_punctuation(progress(10.0))
+        puncts = harness.emitted_punctuation()
+        assert len(puncts) == 1
+        assert puncts[0].pattern.matches((0, 99, 99))     # window 0 closed
+        assert not puncts[0].pattern.matches((1, 99, 99))
+
+    def test_group_punctuation_closes_group(self):
+        agg = make(AggregateKind.COUNT)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0, seg=0))
+        harness.push(tup(1.0, seg=1))
+        harness.push_punctuation(
+            Punctuation(Pattern.from_mapping(SCHEMA, {"seg": 0}))
+        )
+        out = harness.emitted_tuples()
+        assert len(out) == 1 and out[0]["seg"] == 0
+        assert agg.metrics.state_size == 1
+
+    def test_all_wildcard_punctuation_closes_everything(self):
+        agg = make(AggregateKind.COUNT)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0))
+        harness.push(tup(25.0))
+        harness.push_punctuation(
+            Punctuation(Pattern.all_wildcards(3, schema=SCHEMA))
+        )
+        assert len(harness.emitted_tuples()) == 2
+        assert agg.metrics.state_size == 0
+
+
+class TestGroupFeedback:
+    def test_window_and_group_feedback_purges_and_guards(self):
+        agg = make(AggregateKind.AVG)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0, seg=1))
+        harness.push(tup(1.0, seg=2))
+        fb = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(agg.output_schema, {"window": 0, "seg": 1})
+        )
+        actions = harness.feedback(fb)
+        assert ExploitAction.PURGE_STATE in actions
+        assert ExploitAction.GUARD_INPUT in actions
+        assert agg.metrics.state_purged == 1
+        # Re-forming the purged window is prevented: on tumbling windows
+        # the input guard intercepts the tuple before window assignment.
+        harness.push(tup(2.0, seg=1))
+        assert agg.metrics.input_guard_drops == 1
+        harness.finish()
+        results = harness.emitted_tuples()
+        assert not [r for r in results if r["seg"] == 1 and r["window"] == 0]
+        assert [r for r in results if r["seg"] == 2]
+
+    def test_relay_translates_window_to_timestamp_range(self):
+        agg = make(AggregateKind.AVG)
+        harness = OperatorHarness(agg)
+        fb = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(
+                agg.output_schema, {"window": Interval(2, 4), "seg": 1}
+            )
+        )
+        harness.feedback(fb)
+        relayed = harness.upstream_feedback(0)
+        assert len(relayed) == 1
+        pattern = relayed[0].pattern
+        assert pattern.matches((25.0, 1, 0.0))
+        assert pattern.matches((49.9, 1, 0.0))
+        assert not pattern.matches((50.0, 1, 0.0))
+        assert not pattern.matches((25.0, 2, 0.0))
+
+    def test_sliding_windows_forbid_input_guard_and_relay(self):
+        """Example 2: a filter at the bottom of the plan is incorrect."""
+        agg = make(AggregateKind.AVG, width=10.0, slide=5.0)
+        harness = OperatorHarness(agg)
+        fb = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(agg.output_schema, {"window": 3})
+        )
+        actions = harness.feedback(fb)
+        assert ExploitAction.GUARD_INPUT not in actions
+        assert harness.upstream_feedback(0) == []
+        assert harness.input_guard_count() == 0
+        # But the aggregate itself avoids the unneeded window: a tuple in
+        # windows {2, 3} accumulates only into window 2.
+        harness.push(tup(17.0))
+        harness.finish()
+        windows = sorted(r["window"] for r in harness.emitted_tuples())
+        assert windows == [2]
+        assert agg.windows_skipped == 1
+
+    def test_exploit_level_1_output_guard_only(self):
+        agg = make(AggregateKind.AVG, exploit_level=1)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0, seg=1))
+        actions = harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(agg.output_schema, {"seg": 1})
+            )
+        )
+        assert actions == [ExploitAction.GUARD_OUTPUT,
+                           ExploitAction.PROPAGATE]
+        assert agg.metrics.state_purged == 0
+
+
+class TestValueFeedback:
+    def test_avg_value_feedback_output_guard_only(self):
+        """Section 3.5: purging on partial average 51 would be a mistake."""
+        agg = make(AggregateKind.AVG)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0, speed=51.0))
+        actions = harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(
+                    agg.output_schema, {"avg_speed": AtLeast(50.0)}
+                )
+            )
+        )
+        assert actions == [ExploitAction.GUARD_OUTPUT]
+        assert agg.metrics.state_purged == 0
+        # A later small value drags the average below 50: result survives.
+        harness.push(tup(2.0, speed=9.0))
+        harness.finish()
+        out = harness.emitted_tuples()
+        assert len(out) == 1 and out[0]["avg_speed"] == 30.0
+
+    def test_max_lower_bound_closes_certain_windows(self):
+        """Section 3.5's MAX: partial >= bound is certain to match."""
+        agg = make(AggregateKind.MAX)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0, seg=0, speed=55.0))  # certain
+        harness.push(tup(1.0, seg=1, speed=40.0))  # not certain
+        actions = harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(
+                    agg.output_schema, {"max_speed": AtLeast(50.0)}
+                )
+            )
+        )
+        assert ExploitAction.PURGE_STATE in actions
+        assert ExploitAction.GUARD_INPUT in actions
+        # The guard stops the purged window from re-forming on value 40
+        # (the paper's "incorrect partial aggregate" hazard).
+        harness.push(tup(2.0, seg=0, speed=40.0))
+        harness.finish()
+        results = {r["seg"]: r["max_speed"] for r in harness.emitted_tuples()}
+        assert 0 not in results           # certain window suppressed
+        assert results[1] == 40.0         # uncertain window survives
+
+    def test_max_late_bloomer_caught_by_output_guard(self):
+        agg = make(AggregateKind.MAX)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0, seg=1, speed=40.0))
+        harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(
+                    agg.output_schema, {"max_speed": AtLeast(50.0)}
+                )
+            )
+        )
+        harness.push(tup(2.0, seg=1, speed=70.0))  # grows past the bound
+        harness.finish()
+        assert harness.emitted_tuples() == []  # suppressed at the output
+
+    def test_count_state_dependent_relay(self):
+        agg = make(AggregateKind.COUNT)
+        harness = OperatorHarness(agg)
+        for _ in range(5):
+            harness.push(tup(1.0, seg=2))
+        harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(agg.output_schema, {"count": AtLeast(5)})
+            )
+        )
+        relayed = harness.upstream_feedback(0)
+        assert len(relayed) == 1
+        # The propagated G names window 0 x segment 2 in input terms.
+        assert relayed[0].pattern.matches((5.0, 2, 0.0))
+        assert not relayed[0].pattern.matches((5.0, 3, 0.0))
+        assert not relayed[0].pattern.matches((15.0, 2, 0.0))
+
+    def test_min_symmetry_upper_bound_is_certain(self):
+        agg = make(AggregateKind.MIN)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0, seg=0, speed=10.0))
+        actions = harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(
+                    agg.output_schema, {"min_speed": AtMost(20.0)}
+                )
+            )
+        )
+        assert ExploitAction.PURGE_STATE in actions
+
+    def test_sum_is_never_certain(self):
+        agg = make(AggregateKind.SUM)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0, speed=100.0))
+        for atom in (AtLeast(50.0), AtMost(500.0)):
+            actions = harness.feedback(
+                FeedbackPunctuation.assumed(
+                    Pattern.from_mapping(
+                        agg.output_schema, {"sum_speed": atom}
+                    )
+                )
+            )
+            assert ExploitAction.PURGE_STATE not in actions
+
+
+class TestDemandedAndPolling:
+    def test_demanded_emits_partial_now(self):
+        agg = make(AggregateKind.AVG)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0, seg=0, speed=30.0))
+        actions = harness.feedback(
+            FeedbackPunctuation.demanded(
+                Pattern.from_mapping(agg.output_schema, {"window": 0})
+            )
+        )
+        assert actions[0] is ExploitAction.EMIT_PARTIAL
+        out = harness.emitted_tuples()
+        assert len(out) == 1 and out[0]["avg_speed"] == 30.0
+
+    def test_demanded_matches_on_current_value_too(self):
+        agg = make(AggregateKind.AVG)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0, speed=30.0))
+        harness.feedback(
+            FeedbackPunctuation.demanded(
+                Pattern.from_mapping(
+                    agg.output_schema, {"avg_speed": AtLeast(25.0)}
+                )
+            )
+        )
+        assert len(harness.emitted_tuples()) == 1
+
+    def test_demanded_only_once_per_window(self):
+        agg = make(AggregateKind.AVG)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0, speed=30.0))
+        fb = FeedbackPunctuation.demanded(
+            Pattern.from_mapping(agg.output_schema, {"window": 0})
+        )
+        harness.feedback(fb)
+        actions = harness.feedback(fb)
+        assert ExploitAction.EMIT_PARTIAL not in actions
+
+    def test_poll_mode_buffers_until_request(self):
+        agg = make(AggregateKind.AVG, emit_on_close=False)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0, speed=30.0))
+        harness.push_punctuation(progress(10.0))
+        assert harness.emitted_tuples() == []  # buffered
+        agg.on_result_request(None)
+        assert len(harness.emitted_tuples()) == 1
+
+    def test_poll_with_pattern_releases_matching_only(self):
+        agg = make(AggregateKind.AVG, emit_on_close=False)
+        harness = OperatorHarness(agg)
+        harness.push(tup(1.0, seg=0, speed=30.0))
+        harness.push(tup(1.0, seg=1, speed=40.0))
+        harness.push_punctuation(progress(10.0))
+        agg.on_result_request(
+            Pattern.from_mapping(agg.output_schema, {"seg": 1})
+        )
+        out = harness.emitted_tuples()
+        assert len(out) == 1 and out[0]["seg"] == 1

@@ -1,0 +1,171 @@
+"""Unit tests for pattern atoms: matching, subsumption, intersection."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.punctuation import (
+    AtLeast,
+    AtMost,
+    Equals,
+    GreaterThan,
+    InSet,
+    Interval,
+    LessThan,
+    WILDCARD,
+    Wildcard,
+    atom_from_literal,
+)
+
+
+class TestMatching:
+    def test_wildcard_matches_everything(self):
+        assert WILDCARD.matches(5)
+        assert WILDCARD.matches("x")
+        assert WILDCARD.matches(None)
+
+    def test_equals(self):
+        assert Equals(3).matches(3)
+        assert not Equals(3).matches(4)
+
+    def test_equals_none_matches_none_only(self):
+        assert Equals(None).matches(None)
+        assert not Equals(None).matches(0)
+
+    def test_inset(self):
+        atom = InSet({1, 2})
+        assert atom.matches(1)
+        assert not atom.matches(3)
+
+    def test_inset_empty_rejected(self):
+        with pytest.raises(PatternError):
+            InSet([])
+
+    @pytest.mark.parametrize(
+        "atom, yes, no",
+        [
+            (LessThan(5), 4, 5),
+            (AtMost(5), 5, 6),
+            (GreaterThan(5), 6, 5),
+            (AtLeast(5), 5, 4),
+        ],
+    )
+    def test_order_atoms(self, atom, yes, no):
+        assert atom.matches(yes)
+        assert not atom.matches(no)
+
+    def test_order_atoms_never_match_none(self):
+        for atom in (LessThan(5), AtMost(5), GreaterThan(5), AtLeast(5)):
+            assert not atom.matches(None)
+
+    def test_order_atom_incomparable_type_no_match(self):
+        assert not AtLeast(5).matches("fifty")
+
+    def test_interval_inclusive_bounds(self):
+        atom = Interval(1, 3)
+        assert atom.matches(1) and atom.matches(3) and atom.matches(2)
+        assert not atom.matches(0) and not atom.matches(4)
+
+    def test_interval_exclusive_bounds(self):
+        atom = Interval(1, 3, lo_inclusive=False, hi_inclusive=False)
+        assert not atom.matches(1) and not atom.matches(3)
+        assert atom.matches(2)
+
+    def test_interval_empty_rejected(self):
+        with pytest.raises(PatternError):
+            Interval(5, 1)
+        with pytest.raises(PatternError):
+            Interval(5, 5, lo_inclusive=False)
+
+    def test_strings_compare_lexicographically(self):
+        assert AtMost("2008-12-08 09:00").matches("2008-12-08 08:59")
+        assert not AtMost("2008-12-08 09:00").matches("2008-12-08 09:01")
+
+
+class TestSubsumption:
+    def test_wildcard_subsumes_all(self):
+        assert WILDCARD.subsumes(Equals(1))
+        assert WILDCARD.subsumes(AtLeast(5))
+        assert not Equals(1).subsumes(WILDCARD)
+
+    def test_range_subsumes_narrower_range(self):
+        assert AtMost(10).subsumes(AtMost(5))
+        assert AtMost(10).subsumes(LessThan(10))
+        assert not LessThan(10).subsumes(AtMost(10))
+        assert AtLeast(0).subsumes(GreaterThan(0))
+
+    def test_range_subsumes_contained_point(self):
+        assert AtMost(10).subsumes(Equals(10))
+        assert not AtMost(10).subsumes(Equals(11))
+
+    def test_set_subsumes_subset(self):
+        assert InSet({1, 2, 3}).subsumes(InSet({1, 2}))
+        assert not InSet({1, 2}).subsumes(InSet({1, 4}))
+
+    def test_set_subsumes_point_interval_only(self):
+        assert InSet({1, 2}).subsumes(Interval(1, 1))
+        # Conservative: finite sets never subsume a dense-looking interval.
+        assert not InSet({1, 2}).subsumes(Interval(1, 2))
+
+    def test_interval_subsumes_interval(self):
+        assert Interval(0, 10).subsumes(Interval(2, 8))
+        assert not Interval(2, 8).subsumes(Interval(0, 10))
+
+    def test_equal_atoms_subsume_each_other(self):
+        assert AtMost(5).subsumes(AtMost(5))
+        assert Equals(3).subsumes(Equals(3))
+
+
+class TestIntersection:
+    def test_wildcard_identity(self):
+        assert WILDCARD.intersect(AtLeast(5)) == AtLeast(5)
+        assert AtLeast(5).intersect(WILDCARD) == AtLeast(5)
+
+    def test_disjoint_ranges_empty(self):
+        assert AtMost(3).intersect(AtLeast(5)) is None
+        assert AtMost(3).is_disjoint(AtLeast(5))
+
+    def test_touching_ranges(self):
+        atom = AtMost(5).intersect(AtLeast(5))
+        assert atom is not None and atom.is_point and atom.point_value() == 5
+
+    def test_touching_open_ranges_empty(self):
+        assert LessThan(5).intersect(AtLeast(5)) is None
+        assert AtMost(5).intersect(GreaterThan(5)) is None
+
+    def test_overlapping_ranges(self):
+        atom = AtLeast(2).intersect(AtMost(8))
+        assert atom.matches(2) and atom.matches(8)
+        assert not atom.matches(1) and not atom.matches(9)
+
+    def test_set_with_range(self):
+        atom = InSet({1, 5, 9}).intersect(AtMost(5))
+        assert atom == InSet({1, 5})
+
+    def test_set_with_set(self):
+        assert InSet({1, 2}).intersect(InSet({2, 3})) == InSet({2})
+        assert InSet({1}).intersect(InSet({2})) is None
+
+    def test_point_with_range(self):
+        assert Equals(5).intersect(AtLeast(3)) == InSet({5})
+        assert Equals(2).intersect(AtLeast(3)) is None
+
+
+class TestLiterals:
+    def test_star_is_wildcard(self):
+        assert isinstance(atom_from_literal("*"), Wildcard)
+        assert isinstance(atom_from_literal(None), Wildcard)
+
+    def test_set_literal(self):
+        assert atom_from_literal({1, 2}) == InSet({1, 2})
+
+    def test_scalar_literal(self):
+        assert atom_from_literal(5) == Equals(5)
+
+    def test_atom_passthrough(self):
+        atom = AtLeast(5)
+        assert atom_from_literal(atom) is atom
+
+    def test_reprs(self):
+        assert repr(WILDCARD) == "*"
+        assert repr(AtLeast(50)) == ">=50"
+        assert repr(LessThan(5)) == "<5"

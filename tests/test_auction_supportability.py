@@ -1,0 +1,127 @@
+"""Section 4.4 end to end: supportable vs unsupportable feedback.
+
+Runs the bid-auction stream through a guarded operator and verifies the
+paper's three cases: time-bounded and auction-bounded feedback expire with
+the punctuation that delimits them; amount-bounded feedback never expires
+(and the punctuation scheme predicts all three outcomes up front).
+"""
+
+import pytest
+
+from repro.core import FeedbackPunctuation
+from repro.engine import QueryPlan, Simulator
+from repro.engine.audit import audit_quiescence
+from repro.operators import CollectSink, ListSource, Select
+from repro.punctuation import AtLeast, AtMost, LessThan, Pattern
+from repro.workloads.auction import AuctionWorkload, BID_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return AuctionWorkload(auctions=5, bids_per_auction=30)
+
+
+class TestWorkloadShape:
+    def test_counts_and_order(self, workload):
+        timeline = workload.timeline()
+        arrivals = [t for t, _ in timeline]
+        assert arrivals == sorted(arrivals)
+        bids = [e for _, e in timeline if not e.is_punctuation]
+        assert len(bids) == 5 * 30
+
+    def test_close_punctuation_present_per_auction(self, workload):
+        puncts = [e for _, e in workload.timeline() if e.is_punctuation]
+        closes = [
+            p for p in puncts
+            if p.source == "auctioneer"
+        ]
+        assert len(closes) == 5
+
+    def test_scheme_predictions(self, workload):
+        scheme = workload.scheme()
+        # "Do not show bids prior to 1:00 pm" -- supportable.
+        assert scheme.supports(
+            Pattern.from_mapping(BID_SCHEMA, {"timestamp": LessThan(30.0)})
+        )
+        # "No results for bidder #2 in auction #4" -- supportable (auction
+        # ids are delimited by close punctuation).
+        assert scheme.supports(
+            Pattern.from_mapping(
+                BID_SCHEMA, {"auction_id": 4, "bidder_id": 2}
+            )
+        )
+        # "Don't show bids more than $1.00" -- unsupportable.
+        assert not scheme.supports(
+            Pattern.from_mapping(BID_SCHEMA, {"amount": AtLeast(1.0)})
+        )
+
+    def test_invalid_parameters(self):
+        from repro.errors import WorkloadError
+        with pytest.raises(WorkloadError):
+            AuctionWorkload(auctions=0)
+        with pytest.raises(WorkloadError):
+            AuctionWorkload(duration=0)
+
+
+def run_with_feedback(workload, pattern, *, drop_final_punctuation=False):
+    timeline = workload.timeline()
+    if drop_final_punctuation:
+        # The end-of-stream punctuation covers everything and legitimately
+        # releases every guard; drop it to observe mid-stream state.
+        timeline = timeline[:-1]
+    plan = QueryPlan("auction")
+    source = ListSource("bids", BID_SCHEMA, timeline)
+    show = Select("show", BID_SCHEMA, lambda t: True)
+    sink = CollectSink("sink", BID_SCHEMA)
+    plan.add(source)
+    plan.chain(source, show, sink, page_size=8)
+    simulator = Simulator(plan)
+    fb = FeedbackPunctuation.assumed(pattern)
+    simulator.at(0.0, lambda: show.receive_feedback(fb))
+    simulator.run()
+    return plan, show, sink
+
+
+class TestExpiration:
+    def test_time_bounded_feedback_expires(self, workload):
+        pattern = Pattern.from_mapping(
+            BID_SCHEMA, {"timestamp": AtMost(30.0)}
+        )
+        plan, show, sink = run_with_feedback(workload, pattern)
+        port = show.input_port(0)
+        assert port.guards.active == 0
+        assert port.guards.guards_expired == 1
+        # The relay pushed the guard all the way to the source, which is
+        # where the suppression happened (show's own guard stayed idle).
+        assert plan.operator("bids").metrics.output_guard_drops > 0
+        # Strict audit: clean -- the source's guard expired too.
+        assert audit_quiescence(plan, strict_guards=True).ok
+
+    def test_auction_bounded_feedback_expires_at_close(self, workload):
+        pattern = Pattern.from_mapping(
+            BID_SCHEMA, {"auction_id": 1, "bidder_id": 2}
+        )
+        plan, show, sink = run_with_feedback(workload, pattern)
+        port = show.input_port(0)
+        # The auction-1 close punctuation covers the guard: released.
+        assert port.guards.active == 0
+        assert port.guards.guards_expired == 1
+
+    def test_amount_bounded_feedback_never_expires(self, workload):
+        pattern = Pattern.from_mapping(
+            BID_SCHEMA, {"amount": AtLeast(1.0)}
+        )
+        plan, show, sink = run_with_feedback(
+            workload, pattern, drop_final_punctuation=True
+        )
+        port = show.input_port(0)
+        # The guard did its (incorrectly-scoped) job at the source...
+        assert plan.operator("bids").metrics.output_guard_drops > 0
+        # ...but no punctuation ever covers amounts: predicate-state leak
+        # at every operator that enacted it, exactly the section 4.4
+        # warning about unsupportable feedback.
+        assert port.guards.active == 1
+        strict = audit_quiescence(plan, strict_guards=True)
+        assert not strict.ok
+        assert "show:input[0]" in strict.lingering_guards
+        assert "bids:output" in strict.lingering_guards

@@ -1,0 +1,101 @@
+"""Tests for the quiescence audit and the reproduction report driver."""
+
+import pytest
+
+from repro.engine import QueryPlan, Simulator
+from repro.engine.audit import audit_quiescence
+from repro.experiments import Exp1Config, Exp2Config
+from repro.experiments.exp1 import build_plan as build_exp1
+from repro.experiments.report import generate_report
+from repro.operators import (
+    AggregateKind,
+    CollectSink,
+    ListSource,
+    WindowAggregate,
+)
+from repro.stream import Schema, StreamTuple
+
+SCHEMA = Schema([("ts", "timestamp", True), ("v", "float")])
+
+
+def rows(n):
+    return [(i * 0.1, StreamTuple(SCHEMA, (i * 0.1, float(i))))
+            for i in range(n)]
+
+
+class TestQuiescenceAudit:
+    def test_clean_plan_is_quiescent(self):
+        plan = QueryPlan("q")
+        source = ListSource("src", SCHEMA, rows(50))
+        agg = WindowAggregate(
+            "sum", SCHEMA, kind=AggregateKind.SUM,
+            window_attribute="ts", width=1.0, value_attribute="v",
+        )
+        sink = CollectSink("sink", agg.output_schema)
+        plan.add(source)
+        plan.chain(source, agg, sink)
+        Simulator(plan).run()
+        report = audit_quiescence(plan)
+        assert report.ok, report.summary()
+        assert "quiescent" in report.summary()
+
+    def test_experiment_plans_are_quiescent(self):
+        plan, _ = build_exp1(Exp1Config(tuples=600), feedback=True)
+        Simulator(plan).run()
+        report = audit_quiescence(plan)
+        assert report.ok, report.summary()
+
+    def test_lingering_state_detected(self):
+        plan = QueryPlan("leak")
+        source = ListSource("src", SCHEMA, rows(5))
+        sink = CollectSink("sink", SCHEMA)
+        plan.add(source)
+        plan.chain(source, sink)
+        Simulator(plan).run()
+        sink.metrics.grow_state(3)  # simulate a leak
+        report = audit_quiescence(plan)
+        assert not report.ok
+        assert report.lingering_state == {"sink": 3}
+        assert "state leaks" in report.summary()
+
+    def test_strict_guard_mode(self):
+        from repro.core import FeedbackPunctuation
+        from repro.punctuation import Pattern
+
+        plan = QueryPlan("guards")
+        source = ListSource("src", SCHEMA, rows(5))
+        sink = CollectSink("sink", SCHEMA)
+        plan.add(source)
+        plan.chain(source, sink)
+        simulator = Simulator(plan)
+        fb = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(SCHEMA, {"v": 2.0})
+        )
+        simulator.at(0.0, lambda: sink.inject_feedback(fb))
+        simulator.run()
+        assert audit_quiescence(plan).ok                  # tolerated
+        strict = audit_quiescence(plan, strict_guards=True)
+        assert not strict.ok                              # flagged
+        assert strict.lingering_guards
+
+
+class TestReproductionReport:
+    def test_generates_all_sections_at_tiny_scale(self):
+        report = generate_report(
+            exp1_config=Exp1Config(tuples=400),
+            exp2_config=Exp2Config(horizon_hours=0.1),
+            include_figures=False,
+        )
+        for marker in (
+            "Experiment 1", "Experiment 2", "Table 1", "Table 2",
+            "Ablations", "F3", "paper: 97% vs 29%",
+        ):
+            assert marker in report
+
+    def test_figures_included_when_asked(self):
+        report = generate_report(
+            exp1_config=Exp1Config(tuples=400),
+            exp2_config=Exp2Config(horizon_hours=0.1),
+            include_figures=True,
+        )
+        assert "tuple id" in report  # the scatter's y-axis label

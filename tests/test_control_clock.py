@@ -1,0 +1,90 @@
+"""Unit tests for the control channel and the clocks."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.stream import (
+    ControlChannel,
+    ControlMessage,
+    ControlMessageKind,
+    Direction,
+    VirtualClock,
+    WallClock,
+)
+
+
+def up(kind=ControlMessageKind.FEEDBACK, payload=None):
+    return ControlMessage(kind, Direction.UPSTREAM, payload=payload, sender="op")
+
+
+def down(kind=ControlMessageKind.END_OF_STREAM):
+    return ControlMessage(kind, Direction.DOWNSTREAM, sender="op")
+
+
+class TestControlChannel:
+    def test_upstream_and_downstream_are_separate(self):
+        ch = ControlChannel("edge")
+        ch.send(up())
+        ch.send(down())
+        assert ch.pending_upstream == 1
+        assert ch.pending_downstream == 1
+        assert ch.receive_upstream().direction is Direction.UPSTREAM
+        assert ch.receive_downstream().direction is Direction.DOWNSTREAM
+
+    def test_fifo_order(self):
+        ch = ControlChannel()
+        first = up(payload="first")
+        second = up(payload="second")
+        ch.send(first)
+        ch.send(second)
+        assert ch.receive_upstream() is first
+        assert ch.receive_upstream() is second
+
+    def test_empty_receive_returns_none(self):
+        ch = ControlChannel()
+        assert ch.receive_upstream() is None
+        assert ch.receive_downstream() is None
+
+    def test_counters(self):
+        ch = ControlChannel()
+        ch.send(up())
+        ch.send(up())
+        ch.send(down())
+        assert ch.upstream_sent == 2
+        assert ch.downstream_sent == 1
+
+    def test_messages_have_increasing_seq(self):
+        a, b = up(), up()
+        assert a.seq < b.seq
+
+
+class TestVirtualClock:
+    def test_starts_at_origin(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(3.5)
+        assert clock.now() == 3.5
+
+    def test_advance_by(self):
+        clock = VirtualClock(1.0)
+        clock.advance_by(2.0)
+        assert clock.now() == 3.0
+
+    def test_backwards_rejected(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(EngineError):
+            clock.advance_to(5.0)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(EngineError):
+            VirtualClock().advance_by(-1.0)
+
+
+class TestWallClock:
+    def test_monotone_nonnegative(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert 0 <= a <= b

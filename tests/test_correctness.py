@@ -1,0 +1,94 @@
+"""Unit tests for Definition 1 checking (correct exploitation)."""
+
+import pytest
+
+from repro.core import check_correct_exploitation, max_exploitation, subset
+from repro.punctuation import AtLeast, Pattern
+from repro.stream import Schema, StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.of("ts", "v")
+
+
+@pytest.fixture
+def reference(schema):
+    return [StreamTuple(schema, (i, i * 10)) for i in range(6)]
+
+
+@pytest.fixture
+def pattern(schema):
+    # Feedback covering v >= 30, i.e. tuples 3, 4, 5.
+    return Pattern.from_mapping(schema, {"v": AtLeast(30)})
+
+
+class TestSubset:
+    def test_subset(self, reference, pattern):
+        covered = subset(reference, pattern)
+        assert [t["ts"] for t in covered] == [3, 4, 5]
+
+    def test_max_exploitation(self, reference, pattern):
+        kept = max_exploitation(reference, pattern)
+        assert [t["ts"] for t in kept] == [0, 1, 2]
+
+
+class TestCheck:
+    def test_null_response_is_correct(self, reference, pattern):
+        report = check_correct_exploitation(reference, reference, pattern)
+        assert report.ok
+        assert report.exploitation == 0.0
+
+    def test_max_exploitation_is_correct(self, reference, pattern):
+        exploited = max_exploitation(reference, pattern)
+        report = check_correct_exploitation(reference, exploited, pattern)
+        assert report.ok
+        assert report.exploitation == 1.0
+
+    def test_partial_exploitation_is_correct(self, reference, pattern, schema):
+        exploited = [t for t in reference if t["ts"] != 4]  # drop one covered
+        report = check_correct_exploitation(reference, exploited, pattern)
+        assert report.ok
+        assert report.exploitation == pytest.approx(1 / 3)
+
+    def test_inventing_tuples_is_incorrect(self, reference, pattern, schema):
+        exploited = reference + [StreamTuple(schema, (99, 990))]
+        report = check_correct_exploitation(reference, exploited, pattern)
+        assert not report.ok
+        assert len(report.invented) == 1
+
+    def test_suppressing_uncovered_tuple_is_incorrect(
+        self, reference, pattern
+    ):
+        exploited = [t for t in reference if t["ts"] != 1]  # v=10, not covered
+        report = check_correct_exploitation(reference, exploited, pattern)
+        assert not report.ok
+        assert [t["ts"] for t in report.wrongly_suppressed] == [1]
+
+    def test_multiset_semantics_duplicate_must_be_kept_twice(
+        self, schema, pattern
+    ):
+        dup = StreamTuple(schema, (1, 10))
+        reference = [dup, dup]
+        report = check_correct_exploitation(reference, [dup], pattern)
+        assert not report.ok  # one mandatory copy is missing
+
+    def test_multiset_semantics_extra_copy_is_invented(self, schema, pattern):
+        t = StreamTuple(schema, (1, 10))
+        report = check_correct_exploitation([t], [t, t], pattern)
+        assert not report.ok
+        assert report.invented == [t]
+
+    def test_exploitation_none_when_nothing_coverable(self, schema):
+        reference = [StreamTuple(schema, (1, 0))]
+        pattern = Pattern.from_mapping(schema, {"v": AtLeast(1000)})
+        report = check_correct_exploitation(reference, reference, pattern)
+        assert report.ok
+        assert report.exploitation is None
+
+    def test_summary_strings(self, reference, pattern):
+        good = check_correct_exploitation(reference, reference, pattern)
+        assert "correct exploitation" in good.summary()
+        bad = check_correct_exploitation(reference, [], pattern)
+        assert "INCORRECT" in bad.summary()
+        assert bool(bad) is False

@@ -1,0 +1,97 @@
+"""Deep propagation chains: hop counts, distance, and attenuation."""
+
+import pytest
+
+from repro.core import FeedbackPunctuation
+from repro.engine import QueryPlan, Simulator
+from repro.operators import CollectSink, ListSource, PassThrough, Select
+from repro.punctuation import Pattern
+from repro.stream import Schema, StreamTuple
+
+SCHEMA = Schema([("ts", "timestamp", True), ("seg", "int")])
+
+
+def rows(n):
+    return [
+        (i * 0.1, StreamTuple(SCHEMA, (i * 0.1, i % 4))) for i in range(n)
+    ]
+
+
+def build_chain(depth, *, unaware_at=None):
+    """source -> select_0 .. select_{depth-1} -> sink."""
+    plan = QueryPlan("deep")
+    source = ListSource("source", SCHEMA, rows(80))
+    plan.add(source)
+    upstream = source
+    stages = []
+    for index in range(depth):
+        if unaware_at is not None and index == unaware_at:
+            stage = PassThrough(f"stage_{index}", SCHEMA)
+        else:
+            stage = Select(f"stage_{index}", SCHEMA, lambda t: True)
+        plan.add(stage)
+        plan.connect(upstream, stage, page_size=8)
+        upstream = stage
+        stages.append(stage)
+    sink = CollectSink("sink", SCHEMA)
+    plan.add(sink)
+    plan.connect(upstream, sink, page_size=8)
+    return plan, source, stages, sink
+
+
+class TestDeepChains:
+    def test_feedback_traverses_six_hops(self):
+        plan, source, stages, sink = build_chain(6)
+        simulator = Simulator(plan)
+        fb = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(SCHEMA, {"seg": 2})
+        )
+        simulator.at(0.0, lambda: sink.inject_feedback(fb))
+        result = simulator.run()
+        assert source.metrics.feedback_received == 1
+        # Hop count grows along the chain.
+        hops = {
+            e.operator: e.feedback.hops for e in result.feedback_log
+            if e.operator.startswith("stage_") or e.operator == "source"
+        }
+        assert hops["stage_5"] == 0          # first receiver
+        assert hops["stage_0"] == 5
+        assert hops["source"] == 6
+        # And suppression happened at the earliest point only.
+        assert source.metrics.output_guard_drops == 20
+        for stage in stages:
+            assert stage.metrics.input_guard_drops == 0
+
+    def test_unaware_stage_blocks_and_still_exploits_downstream(self):
+        plan, source, stages, sink = build_chain(6, unaware_at=2)
+        simulator = Simulator(plan)
+        fb = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(SCHEMA, {"seg": 2})
+        )
+        simulator.at(0.0, lambda: sink.inject_feedback(fb))
+        simulator.run()
+        # The chain stops at the unaware stage_2.
+        assert source.metrics.feedback_received == 0
+        assert stages[1].metrics.feedback_received == 0
+        assert stages[2].metrics.feedback_ignored == 1
+        # But the stage right above the unaware one still guards.
+        assert stages[3].metrics.input_guard_drops == 20
+        # Result correctness is unaffected.
+        assert not [r for r in sink.results if r["seg"] == 2]
+        assert len(sink.results) == 60
+
+    def test_control_latency_accumulates_per_hop(self):
+        plan, source, stages, sink = build_chain(4)
+        simulator = Simulator(plan, control_latency=1.0)
+        fb = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(SCHEMA, {"seg": 2})
+        )
+        simulator.at(0.0, lambda: sink.inject_feedback(fb))
+        result = simulator.run()
+        times = {
+            e.operator: e.time for e in result.feedback_log
+            if e.operator == "source" or e.operator.startswith("stage_")
+        }
+        # Each hop adds at least the control latency.
+        assert times["source"] >= times["stage_0"] + 1.0 - 1e-9
+        assert times["stage_0"] >= times["stage_3"] + 3.0 - 1e-9

@@ -1,0 +1,230 @@
+"""Unit tests for Duplicate (multi-consumer agreement), Union and PACE."""
+
+import pytest
+
+from repro.core import ExploitAction, FeedbackPunctuation
+from repro.engine.harness import OperatorHarness
+from repro.operators import Duplicate, Pace, Union
+from repro.punctuation import AtMost, Pattern, Punctuation
+from repro.stream import Schema, StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema([("ts", "timestamp", True), ("seg", "int")])
+
+
+def tup(schema, ts, seg=0):
+    return StreamTuple(schema, (ts, seg))
+
+
+class TestDuplicate:
+    def test_broadcasts_to_all_outputs(self, schema):
+        dup = Duplicate("dup", schema)
+        harness = OperatorHarness(dup, outputs=2)
+        harness.push(tup(schema, 1.0))
+        assert len(harness.emitted_tuples(output=0)) == 1
+        assert len(harness.emitted_tuples(output=1)) == 1
+
+    def test_single_consumer_feedback_enacted_directly(self, schema):
+        dup = Duplicate("dup", schema)
+        harness = OperatorHarness(dup, outputs=1)
+        actions = harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(schema, {"seg": 1})
+            )
+        )
+        assert ExploitAction.GUARD_INPUT in actions
+        harness.push(tup(schema, 0, seg=1))
+        assert harness.emitted_tuples() == []
+
+    def test_two_consumers_wait_for_agreement(self, schema):
+        """One consumer's feedback alone must not suppress anything."""
+        dup = Duplicate("dup", schema)
+        harness = OperatorHarness(dup, outputs=2)
+        fb = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(schema, {"seg": 1})
+        )
+        actions = harness.feedback(fb, from_output=0)
+        assert ExploitAction.GUARD_INPUT not in actions
+        harness.push(tup(schema, 0, seg=1))
+        # Both outputs still receive the tuple (identical outputs rule).
+        assert len(harness.emitted_tuples(output=0)) == 1
+        assert len(harness.emitted_tuples(output=1)) == 1
+
+    def test_two_consumers_agree_on_intersection(self, schema):
+        dup = Duplicate("dup", schema)
+        harness = OperatorHarness(dup, outputs=2)
+        fb0 = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(schema, {"seg": 1})
+        )
+        fb1 = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(schema, {"seg": 1, "ts": AtMost(10.0)})
+        )
+        harness.feedback(fb0, from_output=0)
+        actions = harness.feedback(fb1, from_output=1)
+        assert ExploitAction.GUARD_INPUT in actions
+        # The agreed region is the intersection: seg=1 AND ts<=10.
+        harness.push(tup(schema, 5.0, seg=1))    # in both -> dropped
+        harness.push(tup(schema, 20.0, seg=1))   # only consumer 0 -> kept
+        kept = harness.emitted_tuples(output=0)
+        assert [t["ts"] for t in kept] == [20.0]
+
+    def test_agreed_feedback_relays_upstream(self, schema):
+        dup = Duplicate("dup", schema)
+        harness = OperatorHarness(dup, outputs=2)
+        pattern = Pattern.from_mapping(schema, {"seg": 2})
+        harness.feedback(
+            FeedbackPunctuation.assumed(pattern), from_output=0
+        )
+        assert harness.upstream_feedback(0) == []  # no agreement yet
+        harness.feedback(
+            FeedbackPunctuation.assumed(pattern), from_output=1
+        )
+        relayed = harness.upstream_feedback(0)
+        assert len(relayed) == 1
+        assert relayed[0].pattern.matches((0.0, 2))
+
+
+class TestUnion:
+    def test_interleaves_inputs(self, schema):
+        union = Union("u", schema, arity=2)
+        harness = OperatorHarness(union)
+        harness.push(tup(schema, 1.0), port=0)
+        harness.push(tup(schema, 2.0), port=1)
+        assert len(harness.emitted_tuples()) == 2
+
+    def test_punctuation_held_until_covered_on_all_inputs(self, schema):
+        union = Union("u", schema, arity=2)
+        harness = OperatorHarness(union)
+        punct = Punctuation.up_to(schema, "ts", 10.0)
+        harness.push_punctuation(punct, port=0)
+        assert harness.emitted_punctuation() == []  # port 1 not covered yet
+        harness.push_punctuation(punct, port=1)
+        assert harness.emitted_punctuation() == [punct]
+
+    def test_wider_punctuation_on_other_input_releases(self, schema):
+        union = Union("u", schema, arity=2)
+        harness = OperatorHarness(union)
+        harness.push_punctuation(
+            Punctuation.up_to(schema, "ts", 100.0), port=1
+        )
+        harness.push_punctuation(
+            Punctuation.up_to(schema, "ts", 10.0), port=0
+        )
+        emitted = harness.emitted_punctuation()
+        assert len(emitted) == 1  # the narrower one, now safe
+
+    def test_done_input_counts_as_covered(self, schema):
+        union = Union("u", schema, arity=2)
+        harness = OperatorHarness(union)
+        union.input_port(1).done = True
+        union.on_input_done(1)
+        harness.push_punctuation(
+            Punctuation.up_to(schema, "ts", 10.0), port=0
+        )
+        assert len(harness.emitted_punctuation()) == 1
+
+    def test_feedback_relays_to_all_inputs(self, schema):
+        union = Union("u", schema, arity=3)
+        harness = OperatorHarness(union)
+        harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(schema, {"seg": 1})
+            )
+        )
+        for port in range(3):
+            assert len(harness.upstream_feedback(port)) == 1
+
+
+class TestPace:
+    def make(self, schema, **kwargs):
+        defaults = dict(
+            timestamp_attribute="ts", tolerance=5.0, feedback_interval=1.0
+        )
+        defaults.update(kwargs)
+        return Pace("pace", schema, **defaults)
+
+    def test_timely_tuples_pass(self, schema):
+        harness = OperatorHarness(self.make(schema))
+        harness.push(tup(schema, 10.0), port=0)
+        harness.push(tup(schema, 7.0), port=1)  # within tolerance
+        assert len(harness.emitted_tuples()) == 2
+
+    def test_late_tuples_dropped(self, schema):
+        pace = self.make(schema)
+        harness = OperatorHarness(pace)
+        harness.push(tup(schema, 10.0), port=0)
+        harness.push(tup(schema, 4.0), port=1)  # 6 behind, tolerance 5
+        assert len(harness.emitted_tuples()) == 1
+        assert pace.late_drops == 1
+        assert pace.late_drops_by_port[1] == 1
+
+    def test_feedback_produced_with_watermark_bound(self, schema):
+        pace = self.make(schema)
+        harness = OperatorHarness(pace)
+        harness.push(tup(schema, 10.0), port=0)
+        harness.push(tup(schema, 4.0), port=1)
+        sent = harness.upstream_feedback(1)
+        assert len(sent) == 1
+        assert sent[0].is_assumed
+        # The paper's bound: everything behind the current high watermark.
+        assert sent[0].pattern.matches((10.0, 0))
+        assert not sent[0].pattern.matches((10.1, 0))
+
+    def test_feedback_goes_to_lagging_input_only(self, schema):
+        pace = self.make(schema)
+        harness = OperatorHarness(pace)
+        harness.push(tup(schema, 10.0), port=0)
+        harness.push(tup(schema, 4.0), port=1)
+        assert harness.upstream_feedback(0) == []
+        assert len(harness.upstream_feedback(1)) == 1
+
+    def test_no_feedback_when_disabled(self, schema):
+        pace = self.make(schema, feedback_enabled=False)
+        harness = OperatorHarness(pace)
+        harness.push(tup(schema, 10.0), port=0)
+        harness.push(tup(schema, 4.0), port=1)
+        assert harness.upstream_feedback(1) == []
+        assert pace.late_drops == 1  # policy still enforced
+
+    def test_assumed_bound_drops_stragglers_without_new_feedback(self, schema):
+        pace = self.make(schema)
+        harness = OperatorHarness(pace)
+        harness.push(tup(schema, 10.0), port=0)
+        harness.push(tup(schema, 4.0), port=1)   # triggers ¬[ts<=10]
+        assert pace.metrics.feedback_produced == 1
+        harness.push(tup(schema, 9.0), port=1)   # behind assumed bound
+        assert pace.metrics.feedback_produced == 1  # no escalation
+        assert pace.late_drops == 2
+
+    def test_assumed_progress_punctuation_emitted(self, schema):
+        pace = self.make(schema)
+        harness = OperatorHarness(pace)
+        harness.push(tup(schema, 10.0), port=0)
+        harness.push(tup(schema, 4.0), port=1)
+        puncts = harness.emitted_punctuation()
+        assert len(puncts) == 1
+        assert puncts[0].covers(tup(schema, 9.9))
+
+    def test_feedback_interval_rate_limits(self, schema):
+        pace = self.make(schema, feedback_interval=100.0)
+        harness = OperatorHarness(pace)
+        harness.push(tup(schema, 10.0), port=0)
+        harness.push(tup(schema, 4.0), port=1)
+        harness.push(tup(schema, 20.0), port=0)
+        harness.push(tup(schema, 5.0), port=1)  # late again, bound +10 only
+        assert pace.metrics.feedback_produced == 1
+
+    def test_tolerance_policy_declares_smaller_region(self, schema):
+        pace = self.make(schema, feedback_bound="tolerance")
+        harness = OperatorHarness(pace)
+        harness.push(tup(schema, 10.0), port=0)
+        harness.push(tup(schema, 4.0), port=1)
+        sent = harness.upstream_feedback(1)
+        assert sent[0].pattern.matches((5.0, 0))
+        assert not sent[0].pattern.matches((6.0, 0))
+
+    def test_invalid_bound_policy_rejected(self, schema):
+        with pytest.raises(ValueError):
+            self.make(schema, feedback_bound="nonsense")

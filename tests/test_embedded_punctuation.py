@@ -1,0 +1,138 @@
+"""Unit tests for embedded punctuation and punctuation schemes."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.punctuation import (
+    Pattern,
+    ProgressPunctuator,
+    Punctuation,
+    PunctuationScheme,
+)
+from repro.stream import Attribute, Schema, StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema([
+        Attribute("timestamp", "timestamp", progressing=True),
+        Attribute("datavalue", "float"),
+    ])
+
+
+class TestPunctuation:
+    def test_up_to_covers_earlier_tuples(self, schema):
+        p = Punctuation.up_to(schema, "timestamp", 100.0)
+        assert p.covers(StreamTuple(schema, (99.0, 1.0)))
+        assert p.covers(StreamTuple(schema, (100.0, 1.0)))
+        assert not p.covers(StreamTuple(schema, (101.0, 1.0)))
+
+    def test_up_to_exclusive(self, schema):
+        p = Punctuation.up_to(schema, "timestamp", 100.0, inclusive=False)
+        assert not p.covers(StreamTuple(schema, (100.0, 1.0)))
+
+    def test_group_done(self, schema):
+        p = Punctuation.group_done(schema, {"datavalue": 4})
+        assert p.covers(StreamTuple(schema, (1.0, 4)))
+        assert not p.covers(StreamTuple(schema, (1.0, 5)))
+
+    def test_is_punctuation_flag(self, schema):
+        assert Punctuation.up_to(schema, "timestamp", 1.0).is_punctuation
+
+    def test_subsumes(self, schema):
+        late = Punctuation.up_to(schema, "timestamp", 100.0)
+        early = Punctuation.up_to(schema, "timestamp", 50.0)
+        assert late.subsumes(early)
+        assert not early.subsumes(late)
+
+    def test_rebound_checks_arity(self, schema):
+        p = Punctuation.up_to(schema, "timestamp", 1.0)
+        with pytest.raises(PatternError):
+            p.rebound(Schema.of("only_one"))
+
+    def test_equality_and_hash(self, schema):
+        a = Punctuation.up_to(schema, "timestamp", 1.0)
+        b = Punctuation.up_to(schema, "timestamp", 1.0)
+        assert a == b and len({a, b}) == 1
+
+    def test_immutable(self, schema):
+        p = Punctuation.up_to(schema, "timestamp", 1.0)
+        with pytest.raises(AttributeError):
+            p.pattern = None
+
+
+class TestPunctuationScheme:
+    def test_defaults_to_progressing_attributes(self, schema):
+        scheme = PunctuationScheme(schema)
+        assert scheme.is_delimited("timestamp")
+        assert not scheme.is_delimited("datavalue")
+
+    def test_explicit_delimited_list(self, schema):
+        scheme = PunctuationScheme(schema, delimited=["datavalue"])
+        assert scheme.is_delimited("datavalue")
+        assert not scheme.is_delimited("timestamp")
+
+    def test_unknown_attribute_rejected(self, schema):
+        with pytest.raises(PatternError):
+            PunctuationScheme(schema, delimited=["nope"])
+
+    def test_supports_feedback_on_delimited_attr(self, schema):
+        scheme = PunctuationScheme(schema)
+        # "Do not show bids prior to 1:00 pm" -- supportable.
+        assert scheme.supports(Pattern.from_mapping(schema, {"timestamp": 100.0}))
+
+    def test_rejects_feedback_on_undelimited_attr(self, schema):
+        scheme = PunctuationScheme(schema)
+        # "Don't show bids more than $1.00" -- leaves state forever.
+        assert not scheme.supports(
+            Pattern.from_mapping(schema, {"datavalue": 1.0})
+        )
+
+    def test_fully_supports_requires_all_delimited(self, schema):
+        scheme = PunctuationScheme(schema)
+        mixed = Pattern.from_mapping(
+            schema, {"timestamp": 1.0, "datavalue": 2.0}
+        )
+        assert scheme.supports(mixed)
+        assert not scheme.fully_supports(mixed)
+
+    def test_all_wildcard_supported(self, schema):
+        scheme = PunctuationScheme(schema)
+        assert scheme.supports(Pattern.all_wildcards(2, schema=schema))
+
+
+class TestProgressPunctuator:
+    def test_emits_on_interval_boundary(self, schema):
+        pp = ProgressPunctuator(schema, "timestamp", interval=10.0)
+        assert pp.observe(5.0) == []
+        due = pp.observe(10.0)
+        assert len(due) == 1
+        assert not due[0].covers(StreamTuple(schema, (10.0, 0)))
+        assert due[0].covers(StreamTuple(schema, (9.9, 0)))
+
+    def test_burst_crosses_multiple_boundaries(self, schema):
+        pp = ProgressPunctuator(schema, "timestamp", interval=10.0)
+        due = pp.observe(35.0)
+        assert len(due) == 3  # boundaries 10, 20, 30
+
+    def test_grace_delays_emission(self, schema):
+        pp = ProgressPunctuator(schema, "timestamp", interval=10.0, grace=5.0)
+        assert pp.observe(12.0) == []
+        assert len(pp.observe(15.0)) == 1
+
+    def test_watermark_tracks_max_not_last(self, schema):
+        pp = ProgressPunctuator(schema, "timestamp", interval=10.0)
+        pp.observe(9.0)
+        pp.observe(3.0)  # disorder: late tuple does not regress the watermark
+        assert pp.high_watermark == 9.0
+
+    def test_final_covers_everything(self, schema):
+        pp = ProgressPunctuator(schema, "timestamp", interval=10.0)
+        final = pp.final()
+        assert final.covers(StreamTuple(schema, (1e9, 42)))
+
+    def test_bad_parameters_rejected(self, schema):
+        with pytest.raises(PatternError):
+            ProgressPunctuator(schema, "timestamp", interval=0)
+        with pytest.raises(PatternError):
+            ProgressPunctuator(schema, "timestamp", interval=1, grace=-1)

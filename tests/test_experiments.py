@@ -1,0 +1,124 @@
+"""Smoke + shape tests for the experiment drivers (small scale).
+
+The benchmarks run the paper-scale versions; these tests keep the drivers
+healthy in the regular suite with scaled-down workloads.
+"""
+
+import pytest
+
+from repro.core.centralized import CentralizedMonitor
+from repro.engine.harness import OperatorHarness
+from repro.experiments import (
+    Exp1Config,
+    Exp2Config,
+    run_arm,
+    run_cell,
+    run_centralized_ablation,
+    run_experiment_2,
+    run_pace_bound_ablation,
+)
+from repro.stream import Schema, StreamTuple
+
+
+@pytest.fixture(scope="module")
+def exp1_config():
+    return Exp1Config(tuples=1500)
+
+
+@pytest.fixture(scope="module")
+def exp2_config():
+    return Exp2Config(horizon_hours=0.25)
+
+
+class TestExperiment1:
+    def test_no_feedback_arm_diverges(self, exp1_config):
+        arm = run_arm(exp1_config, feedback=False)
+        assert arm.drop_fraction > 0.85
+        assert arm.feedback_messages == 0
+        assert arm.clean_delivered == arm.total_clean
+
+    def test_feedback_arm_recovers(self, exp1_config):
+        arm = run_arm(exp1_config, feedback=True)
+        assert arm.drop_fraction < 0.45
+        assert arm.feedback_messages > 0
+        assert arm.imputed_dropped_at_impute > 0
+        assert arm.lookups_performed < arm.total_dirty
+
+    def test_series_shapes(self, exp1_config):
+        arm = run_arm(exp1_config, feedback=True)
+        assert len(arm.clean_series) == arm.clean_delivered
+        assert len(arm.imputed_series) == arm.imputed_delivered
+        times = [t for t, _ in arm.imputed_series]
+        assert times == sorted(times)
+
+    def test_accounting_consistency(self, exp1_config):
+        arm = run_arm(exp1_config, feedback=True)
+        assert (
+            arm.imputed_delivered + arm.imputed_dropped == arm.total_dirty
+        )
+
+
+class TestExperiment2:
+    def test_scheme_ordering(self, exp2_config):
+        cells = {
+            scheme: run_cell(exp2_config, scheme, 2.0)
+            for scheme in ("F0", "F1", "F2", "F3")
+        }
+        times = [cells[s].execution_time for s in ("F0", "F1", "F2", "F3")]
+        assert times == sorted(times, reverse=True)
+
+    def test_f0_reused_across_frequencies(self, exp2_config):
+        table = run_experiment_2(
+            exp2_config, schemes=("F0",), frequencies=(2.0, 4.0)
+        )
+        assert table["F0"][2.0] is table["F0"][4.0]
+
+    def test_rendered_results_visible_segment_only(self, exp2_config):
+        f3 = run_cell(exp2_config, "F3", 2.0)
+        f0 = run_cell(exp2_config, "F0", 2.0)
+        assert f3.results_rendered < f0.results_rendered
+        assert f3.feedback_messages > 0
+
+    def test_unknown_scheme_rejected(self, exp2_config):
+        with pytest.raises(ValueError):
+            run_cell(exp2_config, "F9", 2.0)
+
+
+class TestAblations:
+    def test_pace_bound_ablation_ordering(self, exp1_config):
+        fractions = run_pace_bound_ablation(exp1_config)
+        assert fractions["watermark"] < fractions["tolerance"]
+
+    def test_centralized_ablation(self, exp2_config):
+        comparison = run_centralized_ablation(exp2_config)
+        assert comparison.localized_work < comparison.centralized_work
+        assert comparison.centralized_data_shipped > 0
+        assert "localized" in comparison.summary()
+
+
+class TestCentralizedMonitor:
+    def test_decision_cycle(self):
+        schema = Schema([("ts", "timestamp", True), ("v", "int")])
+        decisions = []
+        monitor = CentralizedMonitor(
+            "mon", schema,
+            timestamp_attribute="ts",
+            transfer_cost=0.1,
+            decision_interval=10.0,
+            on_decision=lambda when, seen: decisions.append((when, seen)),
+        )
+        harness = OperatorHarness(monitor, outputs=0)
+        for i in range(25):
+            harness.push(StreamTuple(schema, (float(i), i)))
+        assert monitor.tuples_observed == 25
+        assert monitor.decisions_made == 2  # at ts 10 and 20
+        assert decisions[0][0] == pytest.approx(10.0)
+        assert monitor.data_shipped == 25
+
+    def test_transfer_cost_charged(self):
+        schema = Schema([("ts", "timestamp", True)])
+        monitor = CentralizedMonitor(
+            "mon", schema, timestamp_attribute="ts",
+            transfer_cost=0.5, decision_interval=100.0,
+        )
+        assert monitor.cost_of(StreamTuple(schema, (0.0,))) == 0.5

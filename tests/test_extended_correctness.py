@@ -1,0 +1,148 @@
+"""Tests for the desired/demanded correctness notions (paper future work)."""
+
+import pytest
+
+from repro.core import (
+    FeedbackPunctuation,
+    check_demanded_exploitation,
+    check_desired_content,
+    check_desired_prioritization,
+)
+from repro.engine.harness import OperatorHarness
+from repro.operators import AggregateKind, PriorityBuffer, WindowAggregate
+from repro.punctuation import Pattern
+from repro.stream import Schema, StreamTuple
+
+SCHEMA = Schema([("ts", "timestamp", True), ("seg", "int")])
+
+
+def tup(ts, seg=0):
+    return StreamTuple(SCHEMA, (ts, seg))
+
+
+class TestDesiredContent:
+    def test_identical_streams_ok(self):
+        stream = [tup(1), tup(2)]
+        assert check_desired_content(stream, list(stream)).ok
+
+    def test_reordering_is_fine(self):
+        report = check_desired_content([tup(1), tup(2)], [tup(2), tup(1)])
+        assert report.ok
+
+    def test_missing_tuple_flagged(self):
+        report = check_desired_content([tup(1), tup(2)], [tup(1)])
+        assert not report.ok and report.missing == [tup(2)]
+
+    def test_extra_tuple_flagged(self):
+        report = check_desired_content([tup(1)], [tup(1), tup(9)])
+        assert not report.ok and report.extra == [tup(9)]
+
+
+class TestDesiredPrioritization:
+    def test_moved_earlier_ok(self):
+        pattern = Pattern.from_mapping(SCHEMA, {"seg": 1})
+        reference = [tup(1, 0), tup(2, 0), tup(3, 1)]
+        exploited = [tup(3, 1), tup(1, 0), tup(2, 0)]
+        report = check_desired_prioritization(reference, exploited, pattern)
+        assert report.ok
+        assert report.rank_improvement == 2.0
+
+    def test_moved_later_fails(self):
+        pattern = Pattern.from_mapping(SCHEMA, {"seg": 1})
+        reference = [tup(3, 1), tup(1, 0), tup(2, 0)]
+        exploited = [tup(1, 0), tup(2, 0), tup(3, 1)]
+        report = check_desired_prioritization(reference, exploited, pattern)
+        assert not report.ok
+
+    def test_content_violation_fails_even_if_earlier(self):
+        pattern = Pattern.from_mapping(SCHEMA, {"seg": 1})
+        reference = [tup(1, 0), tup(3, 1)]
+        exploited = [tup(3, 1)]  # dropped a tuple: not allowed for desired
+        report = check_desired_prioritization(reference, exploited, pattern)
+        assert not report.ok
+
+    def test_live_priority_buffer_satisfies_the_notion(self):
+        """PriorityBuffer's desired handling passes the formal check."""
+        stream = [tup(float(i), seg=i % 4) for i in range(12)]
+
+        def run(feedback):
+            buffer = PriorityBuffer("buf", SCHEMA, capacity=6)
+            harness = OperatorHarness(buffer)
+            if feedback is not None:
+                harness.feedback(feedback)
+            harness.push_all(list(stream))
+            harness.finish()
+            return harness.emitted_tuples()
+
+        pattern = Pattern.from_mapping(SCHEMA, {"seg": 3})
+        reference = run(None)
+        exploited = run(FeedbackPunctuation.desired(pattern))
+        report = check_desired_prioritization(reference, exploited, pattern)
+        assert report.ok, (report.missing, report.extra)
+        assert (report.rank_improvement or 0) > 0
+
+
+AGG_SCHEMA = Schema([("ts", "timestamp", True), ("seg", "int"), ("v", "float")])
+
+
+class TestDemanded:
+    def out(self, window, seg, value):
+        schema = Schema.of("window", "seg", "avg_v")
+        return StreamTuple(schema, (window, seg, value))
+
+    def test_exact_results_preserved_with_partials_ok(self):
+        schema = Schema.of("window", "seg", "avg_v")
+        pattern = Pattern.from_mapping(schema, {"window": 2})
+        reference = [self.out(1, 0, 5.0), self.out(2, 0, 7.0)]
+        exploited = [self.out(2, 0, 6.5),  # partial for the demand
+                     self.out(1, 0, 5.0), self.out(2, 0, 7.0)]
+        report = check_demanded_exploitation(reference, exploited, pattern)
+        assert report.ok
+        assert report.partials == [self.out(2, 0, 6.5)]
+
+    def test_losing_uncovered_exact_result_fails(self):
+        schema = Schema.of("window", "seg", "avg_v")
+        pattern = Pattern.from_mapping(schema, {"window": 2})
+        reference = [self.out(1, 0, 5.0), self.out(2, 0, 7.0)]
+        exploited = [self.out(2, 0, 7.0)]  # window 1 exact result lost
+        report = check_demanded_exploitation(reference, exploited, pattern)
+        assert not report.ok
+        assert report.lost_exact_results == [self.out(1, 0, 5.0)]
+
+    def test_foreign_extras_fail(self):
+        schema = Schema.of("window", "seg", "avg_v")
+        pattern = Pattern.from_mapping(schema, {"window": 2})
+        reference = [self.out(1, 0, 5.0)]
+        exploited = [self.out(1, 0, 5.0), self.out(9, 0, 1.0)]
+        report = check_demanded_exploitation(reference, exploited, pattern)
+        assert not report.ok
+        assert report.foreign_extras == [self.out(9, 0, 1.0)]
+
+    def test_live_aggregate_demand_satisfies_the_notion(self):
+        stream = [
+            StreamTuple(AGG_SCHEMA, (float(i) * 0.5, i % 2, float(i)))
+            for i in range(20)
+        ]
+
+        def run(demand):
+            agg = WindowAggregate(
+                "avg", AGG_SCHEMA, kind=AggregateKind.AVG,
+                window_attribute="ts", width=5.0,
+                value_attribute="v", group_by=("seg",),
+            )
+            harness = OperatorHarness(agg)
+            for element in stream[:12]:
+                harness.push(element)
+            if demand is not None:
+                harness.feedback(demand)
+            for element in stream[12:]:
+                harness.push(element)
+            harness.finish()
+            return agg, harness.emitted_tuples()
+
+        agg, reference = run(None)
+        pattern = Pattern.from_mapping(agg.output_schema, {"window": 1})
+        _, exploited = run(FeedbackPunctuation.demanded(pattern))
+        report = check_demanded_exploitation(reference, exploited, pattern)
+        assert report.ok, (report.lost_exact_results, report.foreign_extras)
+        assert report.partials  # the mid-stream demand emitted a partial

@@ -1,0 +1,98 @@
+"""Unit tests for feedback punctuation (intents, provenance, identity)."""
+
+import pytest
+
+from repro.core import FeedbackIntent, FeedbackPunctuation
+from repro.errors import FeedbackError
+from repro.punctuation import AtLeast, AtMost, Pattern
+from repro.stream import Schema
+
+
+@pytest.fixture
+def pattern():
+    return Pattern.build("*", AtLeast(50))
+
+
+class TestIntents:
+    def test_glyphs(self):
+        assert FeedbackIntent.ASSUMED.glyph == "¬"
+        assert FeedbackIntent.DESIRED.glyph == "?"
+        assert FeedbackIntent.DEMANDED.glyph == "!"
+
+    def test_from_glyph(self):
+        assert FeedbackIntent.from_glyph("¬") is FeedbackIntent.ASSUMED
+        assert FeedbackIntent.from_glyph("~") is FeedbackIntent.ASSUMED
+        assert FeedbackIntent.from_glyph("?") is FeedbackIntent.DESIRED
+        assert FeedbackIntent.from_glyph("!") is FeedbackIntent.DEMANDED
+
+    def test_unknown_glyph(self):
+        with pytest.raises(FeedbackError):
+            FeedbackIntent.from_glyph("@")
+
+
+class TestConstruction:
+    def test_constructors(self, pattern):
+        assert FeedbackPunctuation.assumed(pattern).is_assumed
+        assert FeedbackPunctuation.desired(pattern).is_desired
+        assert FeedbackPunctuation.demanded(pattern).is_demanded
+
+    def test_assumed_all_wildcard_rejected(self):
+        with pytest.raises(FeedbackError, match="entire stream"):
+            FeedbackPunctuation.assumed(Pattern.all_wildcards(2))
+
+    def test_demanded_all_wildcard_allowed(self):
+        # "I need everything now" is meaningful for on-demand production.
+        fb = FeedbackPunctuation.demanded(Pattern.all_wildcards(2))
+        assert fb.is_demanded
+
+    def test_provenance_fields(self, pattern):
+        fb = FeedbackPunctuation.assumed(pattern, issuer="pace", issued_at=12.5)
+        assert fb.issuer == "pace"
+        assert fb.issued_at == 12.5
+        assert fb.hops == 0
+
+    def test_never_in_stream(self, pattern):
+        assert FeedbackPunctuation.assumed(pattern).is_punctuation is False
+
+    def test_immutable(self, pattern):
+        fb = FeedbackPunctuation.assumed(pattern)
+        with pytest.raises(AttributeError):
+            fb.intent = FeedbackIntent.DESIRED
+
+    def test_seq_strictly_increases(self, pattern):
+        a = FeedbackPunctuation.assumed(pattern)
+        b = FeedbackPunctuation.assumed(pattern)
+        assert a.seq < b.seq
+
+
+class TestDerivation:
+    def test_propagated_increments_hops(self, pattern):
+        fb = FeedbackPunctuation.assumed(pattern, issuer="join")
+        mapped = Pattern.build(AtLeast(50))
+        relayed = fb.propagated(mapped, relayer="select")
+        assert relayed.hops == 1
+        assert relayed.intent is fb.intent
+        assert relayed.issuer == "select"
+        assert relayed.pattern == mapped
+
+    def test_rebound(self, pattern):
+        schema = Schema.of("x", "y")
+        fb = FeedbackPunctuation.assumed(pattern).rebound(schema)
+        assert fb.pattern.schema == schema
+
+
+class TestSemantics:
+    def test_concerns(self, pattern):
+        fb = FeedbackPunctuation.assumed(pattern)
+        assert fb.concerns((0, 55))
+        assert not fb.concerns((0, 45))
+
+    def test_equality_on_intent_and_pattern(self, pattern):
+        a = FeedbackPunctuation.assumed(pattern, issuer="x")
+        b = FeedbackPunctuation.assumed(pattern, issuer="y")
+        assert a == b
+        assert FeedbackPunctuation.desired(pattern) != a
+
+    def test_repr_uses_paper_notation(self):
+        fb = FeedbackPunctuation.assumed(Pattern.build("*", AtMost(5)))
+        assert repr(fb) == "¬[*, <=5]"

@@ -1,0 +1,99 @@
+"""Unit tests for guard machinery and punctuation-driven expiration."""
+
+import pytest
+
+from repro.core import FeedbackPunctuation, GuardSet
+from repro.punctuation import AtMost, Pattern, Punctuation
+from repro.stream import Schema, StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.of("ts", "seg")
+
+
+def tup(schema, ts, seg=0):
+    return StreamTuple(schema, (ts, seg))
+
+
+class TestGuardSet:
+    def test_blocks_matching_tuple(self, schema):
+        guards = GuardSet("input")
+        guards.install(Pattern.from_mapping(schema, {"seg": 3}))
+        assert guards.blocks(tup(schema, 1.0, 3))
+        assert not guards.blocks(tup(schema, 1.0, 4))
+
+    def test_drop_counters(self, schema):
+        guards = GuardSet()
+        guard = guards.install(Pattern.from_mapping(schema, {"seg": 3}))
+        guards.blocks(tup(schema, 1.0, 3))
+        guards.blocks(tup(schema, 2.0, 3))
+        guards.blocks(tup(schema, 2.0, 4))
+        assert guard.drops == 2
+        assert guards.total_drops == 2
+
+    def test_would_block_does_not_count(self, schema):
+        guards = GuardSet()
+        guard = guards.install(Pattern.from_mapping(schema, {"seg": 3}))
+        assert guards.would_block(tup(schema, 1.0, 3))
+        assert guard.drops == 0
+
+    def test_redundant_guard_not_installed(self, schema):
+        guards = GuardSet()
+        guards.install(Pattern.from_mapping(schema, {"ts": AtMost(10)}))
+        dup = guards.install(Pattern.from_mapping(schema, {"ts": AtMost(5)}))
+        assert dup is None
+        assert guards.active == 1
+
+    def test_wider_guard_retires_narrower(self, schema):
+        guards = GuardSet()
+        guards.install(Pattern.from_mapping(schema, {"ts": AtMost(5)}))
+        guards.install(Pattern.from_mapping(schema, {"ts": AtMost(10)}))
+        assert guards.active == 1
+        assert guards.blocks(tup(schema, 8.0))
+
+    def test_origin_recorded(self, schema):
+        guards = GuardSet()
+        fb = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(schema, {"seg": 1})
+        )
+        guard = guards.install(fb.pattern, origin=fb, at=4.2)
+        assert guard.origin is fb
+        assert guard.enacted_at == 4.2
+
+
+class TestExpiration:
+    def test_punctuation_releases_covered_guard(self, schema):
+        guards = GuardSet()
+        guards.install(Pattern.from_mapping(schema, {"ts": AtMost(10)}))
+        punct = Punctuation.up_to(schema, "ts", 10.0)
+        released = guards.expire_with(punct)
+        assert len(released) == 1
+        assert guards.active == 0
+        assert guards.guards_expired == 1
+
+    def test_partial_progress_keeps_guard(self, schema):
+        guards = GuardSet()
+        guards.install(Pattern.from_mapping(schema, {"ts": AtMost(10)}))
+        punct = Punctuation.up_to(schema, "ts", 5.0)
+        assert guards.expire_with(punct) == []
+        assert guards.active == 1
+
+    def test_unrelated_attribute_keeps_guard(self, schema):
+        guards = GuardSet()
+        guards.install(Pattern.from_mapping(schema, {"seg": 3}))
+        punct = Punctuation.up_to(schema, "ts", 1e9)
+        assert guards.expire_with(punct) == []
+        assert guards.active == 1
+
+    def test_released_guard_stops_blocking(self, schema):
+        guards = GuardSet()
+        guard = guards.install(Pattern.from_mapping(schema, {"ts": AtMost(10)}))
+        guards.expire_with(Punctuation.up_to(schema, "ts", 10.0))
+        assert not guard.blocks(tup(schema, 5.0))
+
+    def test_clear(self, schema):
+        guards = GuardSet()
+        guards.install(Pattern.from_mapping(schema, {"seg": 1}))
+        guards.clear()
+        assert guards.active == 0

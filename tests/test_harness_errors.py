@@ -1,0 +1,79 @@
+"""Tests for the operator test harness itself and the error hierarchy."""
+
+import pytest
+
+import repro.errors as errors
+from repro.core import FeedbackPunctuation
+from repro.engine.harness import OperatorHarness
+from repro.operators import Select
+from repro.punctuation import Pattern, Punctuation
+from repro.stream import Schema, StreamTuple
+
+SCHEMA = Schema([("ts", "timestamp", True), ("seg", "int")])
+
+
+def tup(ts, seg=0):
+    return StreamTuple(SCHEMA, (ts, seg))
+
+
+class TestOperatorHarness:
+    def make(self):
+        return OperatorHarness(Select("s", SCHEMA, lambda t: True))
+
+    def test_emitted_is_cumulative(self):
+        harness = self.make()
+        harness.push(tup(1))
+        assert len(harness.emitted_tuples()) == 1
+        harness.push(tup(2))
+        assert len(harness.emitted_tuples()) == 2  # includes the first
+
+    def test_tuples_and_punctuation_do_not_shadow_each_other(self):
+        harness = self.make()
+        harness.push(tup(1))
+        harness.push_punctuation(Punctuation.up_to(SCHEMA, "ts", 1.0))
+        assert len(harness.emitted_tuples()) == 1
+        assert len(harness.emitted_punctuation()) == 1
+
+    def test_tick_advances_operator_clock(self):
+        harness = self.make()
+        harness.tick(2.5)
+        assert harness.operator.now() == 2.5
+
+    def test_feedback_returns_actions_and_counts(self):
+        harness = self.make()
+        actions = harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(SCHEMA, {"seg": 1})
+            )
+        )
+        assert actions
+        assert harness.operator.metrics.feedback_received == 1
+        assert harness.input_guard_count() == 1
+
+    def test_finish_runs_lifecycle(self):
+        harness = self.make()
+        harness.finish()
+        assert harness.operator.finished
+        assert all(p.done for p in harness.operator.inputs if p)
+
+    def test_multiple_outputs(self):
+        from repro.operators import Duplicate
+        harness = OperatorHarness(Duplicate("d", SCHEMA), outputs=3)
+        harness.push(tup(1))
+        for output in range(3):
+            assert len(harness.emitted_tuples(output=output)) == 1
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("specific", [
+        errors.SchemaError, errors.PatternError, errors.PlanError,
+        errors.EngineError, errors.FeedbackError, errors.WorkloadError,
+    ])
+    def test_all_derive_from_repro_error(self, specific):
+        assert issubclass(specific, errors.ReproError)
+
+    def test_catching_the_base_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            Schema.of("a", "a")
+        with pytest.raises(errors.ReproError):
+            Pattern(())

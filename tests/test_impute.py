@@ -1,0 +1,132 @@
+"""Unit tests for the simulated archive and the IMPUTE operator."""
+
+import pytest
+
+from repro.core import ExploitAction, FeedbackPunctuation
+from repro.engine.harness import OperatorHarness
+from repro.operators import ArchiveDB, Impute
+from repro.punctuation import AtMost, Pattern, Punctuation
+from repro.stream import Schema, StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema([
+        ("ts", "timestamp", True), ("sensor", "int"), ("speed", "float"),
+    ])
+
+
+def tup(schema, ts, sensor=0, speed=None):
+    return StreamTuple(schema, (ts, sensor, speed))
+
+
+@pytest.fixture
+def archive(schema):
+    db = ArchiveDB(lambda t: t["sensor"], "speed", default=50.0)
+    history = [tup(schema, -1.0, 1, 40.0), tup(schema, -1.0, 1, 60.0),
+               tup(schema, -1.0, 2, 30.0)]
+    db.load(history)
+    return db
+
+
+class TestArchiveDB:
+    def test_query_returns_historical_mean(self, archive, schema):
+        assert archive.query(tup(schema, 0, sensor=1)) == 50.0
+        assert archive.query(tup(schema, 0, sensor=2)) == 30.0
+
+    def test_unknown_key_returns_default(self, archive, schema):
+        assert archive.query(tup(schema, 0, sensor=99)) == 50.0
+
+    def test_none_values_skipped_in_history(self, schema):
+        db = ArchiveDB(lambda t: t["sensor"], "speed", default=7.0)
+        db.load([tup(schema, -1.0, 1, None)])
+        assert len(db) == 0
+        assert db.query(tup(schema, 0, sensor=1)) == 7.0
+
+    def test_query_counter(self, archive, schema):
+        archive.query(tup(schema, 0, sensor=1))
+        archive.query(tup(schema, 0, sensor=1))
+        assert archive.queries == 2
+
+
+class TestImpute:
+    def make(self, schema, archive, **kwargs):
+        defaults = dict(value_attribute="speed", lookup_cost=1.0,
+                        tuple_cost=0.01)
+        defaults.update(kwargs)
+        return Impute("impute", schema, archive, **defaults)
+
+    def test_dirty_tuples_get_estimates(self, schema, archive):
+        impute = self.make(schema, archive)
+        harness = OperatorHarness(impute)
+        harness.push(tup(schema, 0, sensor=1, speed=None))
+        out = harness.emitted_tuples()[0]
+        assert out["speed"] == 50.0
+        assert impute.imputed_count == 1
+
+    def test_clean_tuples_pass_unchanged(self, schema, archive):
+        impute = self.make(schema, archive)
+        harness = OperatorHarness(impute)
+        harness.push(tup(schema, 0, sensor=1, speed=33.0))
+        assert harness.emitted_tuples()[0]["speed"] == 33.0
+        assert archive.queries == 0
+
+    def test_cost_model_charges_lookups_for_dirty_only(self, schema, archive):
+        impute = self.make(schema, archive)
+        assert impute.cost_of(tup(schema, 0, speed=None)) == 1.0
+        assert impute.cost_of(tup(schema, 0, speed=5.0)) == 0.01
+
+    def test_assumed_feedback_guards_input(self, schema, archive):
+        impute = self.make(schema, archive)
+        harness = OperatorHarness(impute)
+        actions = harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(schema, {"ts": AtMost(10.0)})
+            )
+        )
+        assert ExploitAction.GUARD_INPUT in actions
+        harness.push(tup(schema, 5.0, sensor=1, speed=None))   # late: dropped
+        harness.push(tup(schema, 15.0, sensor=1, speed=None))  # fresh: kept
+        assert len(harness.emitted_tuples()) == 1
+        assert archive.queries == 1  # the late tuple never paid a lookup
+
+    def test_guarded_drop_is_cheap(self, schema, archive):
+        impute = self.make(schema, archive)
+        harness = OperatorHarness(impute)
+        harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(schema, {"ts": AtMost(10.0)})
+            )
+        )
+        assert impute.admission_cost(0, tup(schema, 5.0, speed=None)) == 0.0
+        assert impute.admission_cost(0, tup(schema, 15.0, speed=None)) == 1.0
+
+    def test_guard_expires_with_punctuation(self, schema, archive):
+        impute = self.make(schema, archive)
+        harness = OperatorHarness(impute)
+        harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(schema, {"ts": AtMost(10.0)})
+            )
+        )
+        assert harness.input_guard_count() == 1
+        harness.push_punctuation(Punctuation.up_to(schema, "ts", 10.0))
+        assert harness.input_guard_count() == 0  # no predicate-state leak
+
+    def test_feedback_relays_upstream(self, schema, archive):
+        impute = self.make(schema, archive)
+        harness = OperatorHarness(impute)
+        harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(schema, {"ts": AtMost(10.0)})
+            )
+        )
+        assert len(harness.upstream_feedback(0)) == 1
+
+    def test_custom_dirtiness_predicate(self, schema, archive):
+        impute = self.make(
+            schema, archive, is_dirty=lambda t: t["speed"] == -1.0
+        )
+        harness = OperatorHarness(impute)
+        harness.push(tup(schema, 0, sensor=2, speed=-1.0))
+        assert harness.emitted_tuples()[0]["speed"] == 30.0

@@ -1,0 +1,232 @@
+"""Unit tests for the symmetric hash join: data, punctuation, feedback."""
+
+import pytest
+
+from repro.core import ExploitAction, FeedbackPunctuation
+from repro.engine.harness import OperatorHarness
+from repro.errors import PlanError
+from repro.operators import SymmetricHashJoin
+from repro.punctuation import Pattern, Punctuation
+from repro.stream import Schema, StreamTuple
+
+LEFT = Schema.of("a", "t", "id")     # paper section 4.2
+RIGHT = Schema.of("t", "id", "b")
+
+
+def l(a, t, id_):
+    return StreamTuple(LEFT, (a, t, id_))
+
+
+def r(t, id_, b):
+    return StreamTuple(RIGHT, (t, id_, b))
+
+
+def make_join(**kwargs):
+    return SymmetricHashJoin(
+        "join", LEFT, RIGHT, on=[("t", "t"), ("id", "id")], **kwargs
+    )
+
+
+class TestInnerJoin:
+    def test_matching_tuples_join(self):
+        harness = OperatorHarness(make_join())
+        harness.push(l(1, 10, 100), port=0)
+        harness.push(r(10, 100, 2), port=1)
+        out = harness.emitted_tuples()
+        assert len(out) == 1
+        assert out[0].values == (1, 10, 100, 2)
+
+    def test_output_layout_is_l_j_r(self):
+        join = make_join()
+        assert join.output_schema.names == ("a", "t", "id", "b")
+
+    def test_no_match_no_output(self):
+        harness = OperatorHarness(make_join())
+        harness.push(l(1, 10, 100), port=0)
+        harness.push(r(11, 100, 2), port=1)
+        assert harness.emitted_tuples() == []
+
+    def test_multiple_matches(self):
+        harness = OperatorHarness(make_join())
+        harness.push(l(1, 10, 100), port=0)
+        harness.push(l(2, 10, 100), port=0)
+        harness.push(r(10, 100, 3), port=1)
+        assert len(harness.emitted_tuples()) == 2
+
+    def test_residual_condition(self):
+        join = make_join(condition=lambda left, right: left["a"] > 5)
+        harness = OperatorHarness(join)
+        harness.push(l(1, 10, 100), port=0)
+        harness.push(l(6, 10, 100), port=0)
+        harness.push(r(10, 100, 3), port=1)
+        out = harness.emitted_tuples()
+        assert [o["a"] for o in out] == [6]
+
+    def test_bad_parameters(self):
+        with pytest.raises(PlanError):
+            SymmetricHashJoin("j", LEFT, RIGHT, on=[])
+        with pytest.raises(PlanError):
+            SymmetricHashJoin("j", LEFT, RIGHT, on=[("t", "t")], how="full")
+
+
+class TestJoinPunctuation:
+    def test_punctuation_purges_opposite_table(self):
+        join = make_join()
+        harness = OperatorHarness(join)
+        harness.push(r(10, 100, 1), port=1)   # parked right tuple
+        assert join.metrics.state_size == 1
+        # Left declares key (10, 100) complete: the right entry is dead.
+        harness.push_punctuation(
+            Punctuation(Pattern.from_mapping(LEFT, {"t": 10, "id": 100})),
+            port=0,
+        )
+        assert join.metrics.state_size == 0
+
+    def test_output_punctuation_needs_both_inputs(self):
+        harness = OperatorHarness(make_join())
+        punct_l = Punctuation(Pattern.from_mapping(LEFT, {"t": 10, "id": 100}))
+        punct_r = Punctuation(Pattern.from_mapping(RIGHT, {"t": 10, "id": 100}))
+        harness.push_punctuation(punct_l, port=0)
+        assert harness.emitted_punctuation() == []
+        harness.push_punctuation(punct_r, port=1)
+        out = harness.emitted_punctuation()
+        assert len(out) == 1
+        # The emitted punctuation covers the joined key region.
+        assert out[0].pattern.matches((99, 10, 100, 99))
+        assert not out[0].pattern.matches((99, 11, 100, 99))
+
+    def test_non_key_punctuation_absorbed(self):
+        harness = OperatorHarness(make_join())
+        harness.push_punctuation(
+            Punctuation(Pattern.from_mapping(LEFT, {"a": 5})), port=0
+        )
+        assert harness.emitted_punctuation() == []
+
+    def test_input_done_purges_other_side(self):
+        join = make_join()
+        harness = OperatorHarness(join)
+        harness.push(r(10, 100, 1), port=1)
+        join.input_port(0).done = True
+        join.on_input_done(0)  # no more left arrivals: right table useless
+        assert join.metrics.state_size == 0
+
+
+class TestLeftOuterJoin:
+    def test_padding_on_right_punctuation(self):
+        join = make_join(how="left_outer")
+        harness = OperatorHarness(join)
+        harness.push(l(1, 10, 100), port=0)
+        harness.push_punctuation(
+            Punctuation(Pattern.from_mapping(RIGHT, {"t": 10, "id": 100})),
+            port=1,
+        )
+        out = harness.emitted_tuples()
+        assert len(out) == 1
+        assert out[0].values == (1, 10, 100, None)
+
+    def test_matched_left_not_padded(self):
+        join = make_join(how="left_outer")
+        harness = OperatorHarness(join)
+        harness.push(l(1, 10, 100), port=0)
+        harness.push(r(10, 100, 2), port=1)
+        harness.push_punctuation(
+            Punctuation(Pattern.from_mapping(RIGHT, {"t": 10, "id": 100})),
+            port=1,
+        )
+        out = harness.emitted_tuples()
+        assert len(out) == 1 and out[0]["b"] == 2
+
+    def test_condition_failure_still_pads(self):
+        join = make_join(how="left_outer",
+                         condition=lambda left, right: False)
+        harness = OperatorHarness(join)
+        harness.push(l(1, 10, 100), port=0)
+        harness.push(r(10, 100, 2), port=1)
+        harness.finish()
+        out = harness.emitted_tuples()
+        assert len(out) == 1 and out[0]["b"] is None
+
+    def test_finish_pads_all_unmatched(self):
+        join = make_join(how="left_outer")
+        harness = OperatorHarness(join)
+        harness.push(l(1, 10, 100), port=0)
+        harness.push(l(2, 11, 100), port=0)
+        harness.finish()
+        assert len(harness.emitted_tuples()) == 2
+
+
+class TestJoinFeedback:
+    def test_join_key_feedback_purges_and_guards(self):
+        join = make_join()
+        harness = OperatorHarness(join)
+        harness.push(l(1, 10, 100), port=0)
+        harness.push(r(11, 100, 2), port=1)
+        actions = harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(join.output_schema, {"t": 10, "id": 100})
+            )
+        )
+        assert ExploitAction.PURGE_STATE in actions
+        assert ExploitAction.GUARD_INPUT in actions
+        # Left table entry (t=10) purged; right (t=11) untouched.
+        assert join.metrics.state_size == 1
+        # New arrivals for the dead key are dropped at both guards.
+        harness.push(l(9, 10, 100), port=0)
+        harness.push(r(10, 100, 9), port=1)
+        assert join.metrics.input_guard_drops == 2
+
+    def test_outer_join_restricts_right_side_feedback(self):
+        """Right-exclusive feedback on an outer join: output guard only."""
+        join = make_join(how="left_outer")
+        harness = OperatorHarness(join)
+        actions = harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(join.output_schema, {"b": 50})
+            )
+        )
+        assert actions[0] is ExploitAction.GUARD_OUTPUT
+        assert harness.upstream_feedback(1) == []
+        # A left tuple with no partner must still be padded: (l, None) is
+        # in SR and not covered by ¬[*,*,*,50].
+        harness.push(l(1, 10, 100), port=0)
+        harness.finish()
+        out = harness.emitted_tuples()
+        assert len(out) == 1 and out[0]["b"] is None
+
+    def test_outer_join_key_feedback_suppresses_padding(self):
+        """Join-key feedback on an outer join may purge and skip padding."""
+        join = make_join(how="left_outer")
+        harness = OperatorHarness(join)
+        harness.push(l(1, 10, 100), port=0)
+        harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(join.output_schema, {"t": 10, "id": 100})
+            )
+        )
+        harness.finish()
+        # The padded row (1, 10, 100, None) matches the feedback's key
+        # atoms, so suppressing it is correct exploitation.
+        assert harness.emitted_tuples() == []
+
+    def test_left_feedback_on_outer_join_allowed(self):
+        join = make_join(how="left_outer")
+        harness = OperatorHarness(join)
+        actions = harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(join.output_schema, {"a": 1})
+            )
+        )
+        assert ExploitAction.GUARD_INPUT in actions
+        assert len(harness.upstream_feedback(0)) == 1
+        assert harness.upstream_feedback(1) == []
+
+    def test_inner_join_relays_right_exclusive(self):
+        join = make_join()
+        harness = OperatorHarness(join)
+        harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(join.output_schema, {"b": 50})
+            )
+        )
+        assert len(harness.upstream_feedback(1)) == 1
+        assert harness.upstream_feedback(0) == []

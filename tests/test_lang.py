@@ -1,0 +1,132 @@
+"""Tests for the punctuation mini-language (parse / format round trips)."""
+
+import pytest
+
+from repro.core import FeedbackIntent
+from repro.errors import PatternError
+from repro.lang import (
+    format_feedback,
+    format_pattern,
+    parse_feedback,
+    parse_pattern,
+    parse_punctuation,
+)
+from repro.punctuation import (
+    AtLeast,
+    AtMost,
+    Equals,
+    GreaterThan,
+    InSet,
+    LessThan,
+    Pattern,
+    WILDCARD,
+)
+from repro.stream import Schema
+
+
+class TestParsePattern:
+    def test_wildcards(self):
+        p = parse_pattern("[*, *, *]")
+        assert p.is_all_wildcard and p.arity == 3
+
+    def test_paper_timestamp_example(self):
+        # [*, *, <='2008-12-08 9:00 AM'] from section 3.1.
+        p = parse_pattern("[*, *, <='2008-12-08 9:00 AM']")
+        assert p.atoms[2] == AtMost("2008-12-08 9:00 AM")
+
+    def test_comparisons(self):
+        p = parse_pattern("[<5, <=5, >5, >=5, =5]")
+        assert p.atoms == (
+            LessThan(5), AtMost(5), GreaterThan(5), AtLeast(5), Equals(5)
+        )
+
+    def test_unicode_comparisons(self):
+        p = parse_pattern("[≤10, ≥20]")
+        assert p.atoms == (AtMost(10), AtLeast(20))
+
+    def test_set_literal(self):
+        p = parse_pattern("[in{1, 2, 3}, *]")
+        assert p.atoms[0] == InSet({1, 2, 3})
+
+    def test_numbers_and_strings(self):
+        p = parse_pattern("[42, 3.5, 'hello', plain]")
+        assert p.atoms[0] == Equals(42)
+        assert p.atoms[1] == Equals(3.5)
+        assert p.atoms[2] == Equals("hello")
+        assert p.atoms[3] == Equals("plain")
+
+    def test_none_and_bool(self):
+        p = parse_pattern("[None, True, False]")
+        assert p.atoms[0] == Equals(None)
+        assert p.atoms[1] == Equals(True)
+        assert p.atoms[2] == Equals(False)
+
+    def test_schema_binding(self):
+        schema = Schema.of("period", "segment", "data")
+        p = parse_pattern("[7, 3, *]", schema=schema)
+        assert p.constrained_names() == ("period", "segment")
+
+    def test_errors(self):
+        with pytest.raises(PatternError):
+            parse_pattern("7, 3")          # no brackets
+        with pytest.raises(PatternError):
+            parse_pattern("[7, 3] extra")  # trailing junk
+        with pytest.raises(PatternError):
+            parse_pattern("[in{}]")        # empty set
+        with pytest.raises(PatternError):
+            parse_pattern("['unterminated]")
+
+
+class TestParseFeedback:
+    @pytest.mark.parametrize("glyph, intent", [
+        ("¬", FeedbackIntent.ASSUMED),
+        ("~", FeedbackIntent.ASSUMED),
+        ("?", FeedbackIntent.DESIRED),
+        ("!", FeedbackIntent.DEMANDED),
+    ])
+    def test_intents(self, glyph, intent):
+        fb = parse_feedback(f"{glyph}[*, >=50]")
+        assert fb.intent is intent
+        assert fb.pattern.atoms[1] == AtLeast(50)
+
+    def test_papers_impatient_example(self):
+        fb = parse_feedback("?[7, 3, *]")
+        assert fb.is_desired and fb.pattern.atoms[0] == Equals(7)
+
+    def test_issuer_recorded(self):
+        fb = parse_feedback("¬[*, 1]", issuer="pace")
+        assert fb.issuer == "pace"
+
+    def test_missing_glyph_rejected(self):
+        with pytest.raises(PatternError):
+            parse_feedback("[*, 1]")
+
+
+class TestParsePunctuation:
+    def test_embedded(self):
+        punct = parse_punctuation("[*, <=9.0]")
+        assert punct.is_punctuation
+        assert punct.covers((1, 5.0))
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("text", [
+        "[*, *]",
+        "[<=5, *]",
+        "[>=50, <3, >7]",
+        "[in{1, 2}, *]",
+        "['a b', 42]",
+        "[3.5, *]",
+    ])
+    def test_pattern_round_trip(self, text):
+        pattern = parse_pattern(text)
+        assert parse_pattern(format_pattern(pattern)) == pattern
+
+    @pytest.mark.parametrize("text", ["¬[*, >=50]", "?[7, 3, *]", "![<=5, *]"])
+    def test_feedback_round_trip(self, text):
+        fb = parse_feedback(text)
+        again = parse_feedback(format_feedback(fb))
+        assert again == fb
+
+    def test_format_feedback_uses_glyph(self):
+        assert format_feedback(parse_feedback("~[*, 1]")).startswith("¬")

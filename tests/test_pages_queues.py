@@ -1,0 +1,116 @@
+"""Unit tests for pages and data queues, incl. flush-on-punctuation."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.punctuation import Pattern, Punctuation
+from repro.stream import DataQueue, Page, Schema, StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.of("ts", "v")
+
+
+def tup(schema, ts, v=0):
+    return StreamTuple(schema, (ts, v))
+
+
+def punct(schema, ts):
+    return Punctuation.up_to(schema, "ts", ts)
+
+
+class TestPage:
+    def test_fills_to_capacity(self, schema):
+        page = Page(capacity=2)
+        assert page.append(tup(schema, 1)) is False
+        assert page.append(tup(schema, 2)) is True
+        assert page.complete
+
+    def test_punctuation_completes_page_immediately(self, schema):
+        page = Page(capacity=100)
+        page.append(tup(schema, 1))
+        assert page.append(punct(schema, 1)) is True
+
+    def test_append_after_complete_raises(self, schema):
+        page = Page(capacity=1)
+        page.append(tup(schema, 1))
+        with pytest.raises(EngineError):
+            page.append(tup(schema, 2))
+
+    def test_seal_marks_complete(self, schema):
+        page = Page(capacity=10)
+        page.append(tup(schema, 1))
+        page.seal()
+        assert page.complete
+
+    def test_counts(self, schema):
+        page = Page(capacity=10)
+        page.append(tup(schema, 1))
+        page.append(tup(schema, 2))
+        page.append(punct(schema, 2))
+        assert page.tuple_count() == 2
+        assert page.punctuation_count() == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(EngineError):
+            Page(capacity=0)
+
+
+class TestDataQueue:
+    def test_put_until_page_ready(self, schema):
+        q = DataQueue(page_size=3)
+        assert q.put(tup(schema, 1)) is False
+        assert q.put(tup(schema, 2)) is False
+        assert q.put(tup(schema, 3)) is True
+        assert q.ready_pages == 1
+
+    def test_punctuation_flushes_partial_page(self, schema):
+        q = DataQueue(page_size=100)
+        q.put(tup(schema, 1))
+        assert q.put(punct(schema, 1)) is True
+        page = q.get_page()
+        assert page is not None and len(page) == 2
+
+    def test_get_page_empty_returns_none(self):
+        assert DataQueue().get_page() is None
+
+    def test_flush_seals_open_page(self, schema):
+        q = DataQueue(page_size=10)
+        q.put(tup(schema, 1))
+        assert q.flush() is True
+        assert q.ready_pages == 1
+
+    def test_flush_empty_is_noop(self):
+        assert DataQueue().flush() is False
+
+    def test_close_flushes_and_marks(self, schema):
+        q = DataQueue(page_size=10)
+        q.put(tup(schema, 1))
+        q.close()
+        assert q.closed
+        assert q.ready_pages == 1
+        assert not q.exhausted
+        q.get_page()
+        assert q.exhausted
+
+    def test_drain_elements_preserves_order(self, schema):
+        q = DataQueue(page_size=2)
+        elements = [tup(schema, i) for i in range(5)]
+        for e in elements:
+            q.put(e)
+        q.flush()
+        assert list(q.drain_elements()) == elements
+
+    def test_pending_elements_counts_open_page(self, schema):
+        q = DataQueue(page_size=10)
+        q.put(tup(schema, 1))
+        q.put(tup(schema, 2))
+        assert q.pending_elements() == 2
+
+    def test_counters(self, schema):
+        q = DataQueue(page_size=2)
+        for i in range(4):
+            q.put(tup(schema, i))
+        assert q.elements_enqueued == 4
+        assert q.pages_flushed == 2

@@ -1,0 +1,138 @@
+"""Unit tests for patterns: the paper's bracketed punctuation predicates."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.punctuation import AtLeast, AtMost, Equals, Pattern, WILDCARD
+from repro.stream import Schema, StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.of("period", "segment", "data")
+
+
+class TestConstruction:
+    def test_build_with_literals(self, schema):
+        # The paper's ?[7, 3, *] under (period, segment, data).
+        p = Pattern.build(7, 3, "*", schema=schema)
+        assert p.arity == 3
+        assert p.atoms[2].is_wildcard
+
+    def test_arity_must_match_schema(self, schema):
+        with pytest.raises(PatternError):
+            Pattern.build(1, 2, schema=schema)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(())
+
+    def test_all_wildcards(self):
+        p = Pattern.all_wildcards(3)
+        assert p.is_all_wildcard
+
+    def test_single(self, schema):
+        p = Pattern.single(schema, "segment", 3)
+        assert p.constrained_indices() == (1,)
+
+    def test_from_mapping(self, schema):
+        p = Pattern.from_mapping(schema, {"segment": 3, "data": AtLeast(50)})
+        assert p.constrained_indices() == (1, 2)
+        assert p.atom_at("data") == AtLeast(50)
+
+
+class TestMatching:
+    def test_matches_tuple(self, schema):
+        p = Pattern.build("*", 3, AtLeast(50), schema=schema)
+        assert p.matches(StreamTuple(schema, (7, 3, 55)))
+        assert not p.matches(StreamTuple(schema, (7, 4, 55)))
+        assert not p.matches(StreamTuple(schema, (7, 3, 45)))
+
+    def test_matches_plain_sequence(self):
+        assert Pattern.build("*", 3).matches((99, 3))
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(PatternError):
+            Pattern.build("*", 3).matches((1, 2, 3))
+
+    def test_filter_is_papers_subset(self, schema):
+        p = Pattern.build("*", 3, "*", schema=schema)
+        tuples = [StreamTuple(schema, (i, i % 2 + 3, i)) for i in range(6)]
+        kept = p.filter(tuples)
+        assert all(t["segment"] == 3 for t in kept)
+        assert len(kept) == 3
+
+
+class TestAlgebra:
+    def test_subsumes_pointwise(self):
+        wider = Pattern.build("*", AtMost(10))
+        narrower = Pattern.build(5, AtMost(3))
+        assert wider.subsumes(narrower)
+        assert not narrower.subsumes(wider)
+
+    def test_subsumes_self(self):
+        p = Pattern.build(1, AtLeast(2))
+        assert p.subsumes(p)
+
+    def test_intersect(self):
+        a = Pattern.build("*", AtLeast(2))
+        b = Pattern.build(1, AtMost(8))
+        joint = a.intersect(b)
+        assert joint.matches((1, 5))
+        assert not joint.matches((2, 5))
+        assert not joint.matches((1, 9))
+
+    def test_intersect_empty_when_any_attr_disjoint(self):
+        a = Pattern.build("*", AtLeast(5))
+        b = Pattern.build("*", AtMost(3))
+        assert a.intersect(b) is None
+        assert a.is_disjoint(b)
+
+    def test_arity_mismatch_in_algebra(self):
+        with pytest.raises(PatternError):
+            Pattern.build("*").subsumes(Pattern.build("*", "*"))
+
+
+class TestDerivation:
+    def test_project(self, schema):
+        p = Pattern.build(7, 3, AtLeast(50), schema=schema)
+        projected = p.project([1, 2])
+        assert projected.arity == 2
+        assert projected.atoms[0] == Equals(3)
+
+    def test_widen_except(self, schema):
+        p = Pattern.build(7, 3, AtLeast(50), schema=schema)
+        widened = p.widen_except([1])
+        assert widened.atoms[0].is_wildcard
+        assert widened.atoms[1] == Equals(3)
+        assert widened.atoms[2].is_wildcard
+
+    def test_with_atom_by_name(self, schema):
+        p = Pattern.all_wildcards(3, schema=schema)
+        p2 = p.with_atom("segment", 4)
+        assert p2.atom_at("segment") == Equals(4)
+        assert p.atom_at("segment").is_wildcard
+
+    def test_with_schema(self, schema):
+        p = Pattern.build("*", 3, "*")
+        assert p.with_schema(schema).constrained_names() == ("segment",)
+
+    def test_constrained_names_requires_schema(self):
+        with pytest.raises(PatternError):
+            Pattern.build("*", 3).constrained_names()
+
+
+class TestIdentity:
+    def test_equality_ignores_schema_binding(self, schema):
+        assert Pattern.build("*", 3, "*") == Pattern.build("*", 3, "*", schema=schema)
+
+    def test_hashable(self):
+        assert len({Pattern.build(1, "*"), Pattern.build(1, "*")}) == 1
+
+    def test_repr_is_papers_notation(self):
+        assert repr(Pattern.build("*", 3, AtLeast(50))) == "[*, 3, >=50]"
+
+    def test_immutable(self):
+        p = Pattern.build("*", 1)
+        with pytest.raises(AttributeError):
+            p.atoms = ()

@@ -1,0 +1,187 @@
+"""Tests for plan construction/validation and simulator semantics."""
+
+import pytest
+
+from repro.engine import QueryPlan, Simulator
+from repro.errors import EngineError, PlanError
+from repro.operators import CollectSink, ListSource, PassThrough, Select
+from repro.punctuation import Punctuation
+from repro.stream import Schema, StreamTuple
+
+SCHEMA = Schema([("ts", "timestamp", True), ("v", "int")])
+
+
+def tup(ts, v=0):
+    return StreamTuple(SCHEMA, (ts, v))
+
+
+def timeline(n, spacing=1.0):
+    return [(i * spacing, tup(i * spacing, i)) for i in range(n)]
+
+
+class TestQueryPlan:
+    def test_duplicate_names_rejected(self):
+        plan = QueryPlan("p")
+        plan.add(PassThrough("x", SCHEMA))
+        with pytest.raises(PlanError, match="already has"):
+            plan.add(PassThrough("x", SCHEMA))
+
+    def test_unconnected_input_rejected(self):
+        plan = QueryPlan("p")
+        plan.add(Select("lonely", SCHEMA, lambda t: True))
+        with pytest.raises(PlanError, match="not connected"):
+            plan.validate()
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(PlanError, match="empty"):
+            QueryPlan("p").validate()
+
+    def test_plan_without_source_rejected(self):
+        plan = QueryPlan("p")
+        a = PassThrough("a", SCHEMA)
+        b = PassThrough("b", SCHEMA)
+        plan.connect(a, b)
+        with pytest.raises(PlanError):
+            plan.validate()
+
+    def test_cycle_detected(self):
+        plan = QueryPlan("p")
+        a = PassThrough("a", SCHEMA)
+        b = PassThrough("b", SCHEMA)
+        plan.connect(a, b)
+        plan.connect(b, a)  # wiring succeeds; validation must catch it
+        with pytest.raises(PlanError, match="cycle"):
+            plan._check_acyclic()
+
+    def test_chain_and_describe(self):
+        plan = QueryPlan("p")
+        src = ListSource("src", SCHEMA, timeline(1))
+        mid = PassThrough("mid", SCHEMA)
+        sink = CollectSink("sink", SCHEMA)
+        plan.add(src)
+        last = plan.chain(src, mid, sink)
+        assert last is sink
+        description = plan.describe()
+        assert "src" in description and "(sink)" in description
+        assert plan.sources() == [src]
+        assert plan.sinks() == [sink]
+
+    def test_operator_lookup(self):
+        plan = QueryPlan("p")
+        src = ListSource("src", SCHEMA, [])
+        plan.add(src)
+        assert plan.operator("src") is src
+        with pytest.raises(PlanError):
+            plan.operator("nope")
+
+
+class TestSimulatorSemantics:
+    def build(self, n=10, tuple_cost=0.0, page_size=4):
+        plan = QueryPlan("sim")
+        src = ListSource("src", SCHEMA, timeline(n))
+        work = PassThrough("work", SCHEMA, tuple_cost=tuple_cost)
+        sink = CollectSink("sink", SCHEMA)
+        plan.add(src)
+        plan.connect(src, work, page_size=page_size)
+        plan.connect(work, sink, page_size=page_size)
+        return plan, src, work, sink
+
+    def test_all_tuples_delivered(self):
+        plan, _, _, sink = self.build(n=10)
+        Simulator(plan).run()
+        assert len(sink.results) == 10
+
+    def test_busy_time_accounted(self):
+        plan, _, work, _ = self.build(n=10, tuple_cost=0.5)
+        result = Simulator(plan).run()
+        assert work.metrics.busy_time == pytest.approx(5.0)
+        assert result.total_work == pytest.approx(5.0)
+
+    def test_emission_times_reflect_processing_cost(self):
+        """A slow operator's output carries its virtual completion time."""
+        plan, _, _, sink = self.build(n=4, tuple_cost=10.0, page_size=1)
+        Simulator(plan).run()
+        times = [t for t, _ in sink.arrivals]
+        # Tuple i finishes work at >= 10 * (i + 1).
+        for i, when in enumerate(times):
+            assert when >= 10.0 * (i + 1) - 1e-9
+
+    def test_makespan_at_least_source_horizon(self):
+        plan, *_ = self.build(n=10)
+        result = Simulator(plan).run()
+        assert result.makespan >= 9.0
+
+    def test_determinism(self):
+        runs = []
+        for _ in range(2):
+            plan, _, _, sink = self.build(n=20, tuple_cost=0.1)
+            result = Simulator(plan).run()
+            runs.append(
+                (result.total_work, result.makespan,
+                 [t for t, _ in sink.arrivals])
+            )
+        assert runs[0] == runs[1]
+
+    def test_single_use(self):
+        plan, *_ = self.build()
+        simulator = Simulator(plan)
+        simulator.run()
+        with pytest.raises(EngineError):
+            simulator.run()
+
+    def test_actions_fire_at_scheduled_time(self):
+        plan, _, _, sink = self.build(n=10)
+        simulator = Simulator(plan)
+        seen = []
+        simulator.at(5.0, lambda: seen.append(simulator.clock.now()))
+        simulator.run()
+        assert seen == [5.0]
+
+    def test_actions_after_start_rejected(self):
+        plan, *_ = self.build()
+        simulator = Simulator(plan)
+        simulator.run()
+        with pytest.raises(EngineError):
+            simulator.at(1.0, lambda: None)
+
+    def test_max_events_guard(self):
+        plan, *_ = self.build(n=50)
+        simulator = Simulator(plan, max_events=3)
+        with pytest.raises(EngineError, match="max_events"):
+            simulator.run()
+
+    def test_control_latency_delays_feedback(self):
+        from repro.core import FeedbackPunctuation
+        from repro.punctuation import Pattern
+
+        plan = QueryPlan("latency")
+        src = ListSource("src", SCHEMA, timeline(30, spacing=1.0))
+        keep = Select("keep", SCHEMA, lambda t: True)
+        sink = CollectSink("sink", SCHEMA)
+        plan.add(src)
+        plan.chain(src, keep, sink)
+        simulator = Simulator(plan, control_latency=5.0)
+        fb = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(SCHEMA, {"v": 20})
+        )
+        simulator.at(10.0, lambda: sink.inject_feedback(fb))
+        result = simulator.run()
+        events = [e for e in result.feedback_log if e.operator == "keep"]
+        assert events and events[0].time >= 15.0
+
+    def test_punctuation_flushes_move_results_promptly(self):
+        """With large pages, punctuation is what bounds delivery latency."""
+        plan = QueryPlan("flush")
+        elements = []
+        for i in range(3):
+            elements.append((float(i), tup(float(i), i)))
+            elements.append(
+                (float(i), Punctuation.up_to(SCHEMA, "ts", float(i)))
+            )
+        src = ListSource("src", SCHEMA, elements)
+        sink = CollectSink("sink", SCHEMA)
+        plan.add(src)
+        plan.connect(src, sink, page_size=1000)
+        Simulator(plan).run()
+        times = [t for t, _ in sink.arrivals]
+        assert times == [0.0, 1.0, 2.0]  # not all at end-of-stream

@@ -1,0 +1,71 @@
+"""Property-based round-trip tests for the punctuation mini-language."""
+
+from hypothesis import given, strategies as st
+
+from repro.core import FeedbackIntent, FeedbackPunctuation
+from repro.lang import (
+    format_feedback,
+    format_pattern,
+    parse_feedback,
+    parse_pattern,
+)
+from repro.punctuation import (
+    AtLeast,
+    AtMost,
+    Equals,
+    GreaterThan,
+    InSet,
+    LessThan,
+    Pattern,
+    WILDCARD,
+)
+
+scalar_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+        min_size=1, max_size=8,
+    ),
+)
+
+
+@st.composite
+def printable_atoms(draw):
+    kind = draw(st.sampled_from(["wild", "eq", "lt", "le", "gt", "ge", "in"]))
+    if kind == "wild":
+        return WILDCARD
+    if kind == "in":
+        return InSet(draw(st.sets(scalar_values, min_size=1, max_size=3)))
+    value = draw(scalar_values)
+    return {"eq": Equals, "lt": LessThan, "le": AtMost,
+            "gt": GreaterThan, "ge": AtLeast}[kind](value)
+
+
+@st.composite
+def printable_patterns(draw):
+    arity = draw(st.integers(min_value=1, max_value=5))
+    return Pattern([draw(printable_atoms()) for _ in range(arity)])
+
+
+class TestLangRoundTrips:
+    @given(printable_patterns())
+    def test_pattern_round_trip(self, pattern):
+        assert parse_pattern(format_pattern(pattern)) == pattern
+
+    @given(printable_patterns(),
+           st.sampled_from(list(FeedbackIntent)))
+    def test_feedback_round_trip(self, pattern, intent):
+        if intent is FeedbackIntent.ASSUMED and pattern.is_all_wildcard:
+            return  # all-wildcard assumed feedback is rejected by design
+        feedback = FeedbackPunctuation(intent, pattern)
+        again = parse_feedback(format_feedback(feedback))
+        assert again == feedback
+
+    @given(printable_patterns())
+    def test_formatted_pattern_matches_same_points(self, pattern):
+        """Semantic round trip: the reparsed pattern matches identically."""
+        reparsed = parse_pattern(format_pattern(pattern))
+        probe_values = [-1000, -1, 0, 1, 7, 999, "a", "zz"]
+        for value in probe_values:
+            point = tuple([value] * pattern.arity)
+            assert pattern.matches(point) == reparsed.matches(point)

@@ -1,0 +1,179 @@
+"""Property-based tests of the pattern algebra (hypothesis).
+
+The feedback framework's correctness rests on three algebraic relations:
+
+* ``matches`` is the ground truth;
+* ``subsumes`` is sound w.r.t. matches (if A subsumes B, everything B
+  matches, A matches) -- guard expiration and UNION's punctuation
+  alignment rely on it;
+* ``intersect`` computes exactly the conjunction of match sets --
+  DUPLICATE's agreement logic and the propagation planner rely on it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.punctuation import (
+    AtLeast,
+    AtMost,
+    Equals,
+    GreaterThan,
+    InSet,
+    Interval,
+    LessThan,
+    Pattern,
+    WILDCARD,
+)
+
+values = st.integers(min_value=-20, max_value=20)
+
+
+@st.composite
+def atoms(draw):
+    kind = draw(st.sampled_from(
+        ["wild", "eq", "lt", "le", "gt", "ge", "in", "interval"]
+    ))
+    if kind == "wild":
+        return WILDCARD
+    if kind == "eq":
+        return Equals(draw(values))
+    if kind == "lt":
+        return LessThan(draw(values))
+    if kind == "le":
+        return AtMost(draw(values))
+    if kind == "gt":
+        return GreaterThan(draw(values))
+    if kind == "ge":
+        return AtLeast(draw(values))
+    if kind == "in":
+        members = draw(st.sets(values, min_size=1, max_size=4))
+        return InSet(members)
+    lo = draw(values)
+    hi = draw(st.integers(min_value=lo, max_value=21))
+    return Interval(lo, hi)
+
+
+@st.composite
+def patterns(draw, arity=3):
+    return Pattern([draw(atoms()) for _ in range(arity)])
+
+
+def sample_points(arity=3):
+    return st.tuples(*([values] * arity))
+
+
+class TestAtomLaws:
+    @given(atoms(), values)
+    def test_wildcard_matches_everything_atom_matches_decides(self, atom, v):
+        assert WILDCARD.matches(v)
+        # matches never raises on comparable ints
+        atom.matches(v)
+
+    @given(atoms(), atoms(), values)
+    def test_subsumption_soundness(self, a, b, v):
+        """a ⊇ b and b matches v ⇒ a matches v."""
+        if a.subsumes(b) and b.matches(v):
+            assert a.matches(v)
+
+    @given(atoms(), atoms(), values)
+    def test_intersection_exactness(self, a, b, v):
+        """v ∈ a∩b  ⇔  v ∈ a and v ∈ b."""
+        joint = a.intersect(b)
+        both = a.matches(v) and b.matches(v)
+        if joint is None:
+            assert not both
+        else:
+            assert joint.matches(v) == both
+
+    @given(atoms(), atoms())
+    def test_intersection_commutes_on_match_sets(self, a, b):
+        ab = a.intersect(b)
+        ba = b.intersect(a)
+        for v in range(-21, 22):
+            ab_matches = ab.matches(v) if ab is not None else False
+            ba_matches = ba.matches(v) if ba is not None else False
+            assert ab_matches == ba_matches
+
+    @given(atoms())
+    def test_subsumes_is_reflexive(self, a):
+        assert a.subsumes(a)
+
+    @given(atoms(), atoms(), atoms())
+    def test_subsumes_is_transitive(self, a, b, c):
+        if a.subsumes(b) and b.subsumes(c):
+            assert a.subsumes(c)
+
+    @given(atoms(), atoms())
+    def test_disjoint_means_no_common_value(self, a, b):
+        if a.is_disjoint(b):
+            for v in range(-21, 22):
+                assert not (a.matches(v) and b.matches(v))
+
+
+class TestPatternLaws:
+    @given(patterns(), patterns(), sample_points())
+    def test_pattern_subsumption_soundness(self, p, q, point):
+        if p.subsumes(q) and q.matches(point):
+            assert p.matches(point)
+
+    @given(patterns(), patterns(), sample_points())
+    def test_pattern_intersection_exactness(self, p, q, point):
+        joint = p.intersect(q)
+        both = p.matches(point) and q.matches(point)
+        if joint is None:
+            assert not both
+        else:
+            assert joint.matches(point) == both
+
+    @given(patterns())
+    def test_pattern_subsumes_reflexive(self, p):
+        assert p.subsumes(p)
+
+    @given(patterns(), sample_points())
+    def test_widen_except_only_loosens(self, p, point):
+        widened = p.widen_except([0])
+        if p.matches(point):
+            assert widened.matches(point)
+
+    @given(patterns())
+    def test_projection_preserves_atom_identity(self, p):
+        projected = p.project([2, 0])
+        assert projected.atoms == (p.atoms[2], p.atoms[0])
+
+    @given(patterns(), sample_points())
+    def test_constrained_indices_explain_matching(self, p, point):
+        """Changing an unconstrained position never changes the verdict."""
+        constrained = set(p.constrained_indices())
+        base = p.matches(point)
+        for i in range(len(point)):
+            if i in constrained:
+                continue
+            mutated = list(point)
+            mutated[i] = 999
+            assert p.matches(mutated) == base
+
+
+class TestGuardExpirationProperty:
+    @given(patterns(), patterns())
+    def test_expired_guard_could_never_fire_again(self, guard_pattern, punct_pattern):
+        """If punctuation subsumes a guard, no punct-future tuple matches it.
+
+        Punctuation semantics: no future tuple matches punct_pattern.  The
+        guard is released only when punct ⊇ guard, so any tuple matching
+        the guard would match the punctuation -- and thus cannot appear.
+        """
+        from repro.core import GuardSet
+        from repro.punctuation import Punctuation
+
+        guards = GuardSet()
+        guards.install(guard_pattern)
+        released = guards.expire_with(Punctuation(punct_pattern))
+        if released:
+            for v0 in range(-21, 22, 7):
+                for v1 in range(-21, 22, 7):
+                    for v2 in range(-21, 22, 7):
+                        point = (v0, v1, v2)
+                        if guard_pattern.matches(point):
+                            assert punct_pattern.matches(point)

@@ -1,0 +1,173 @@
+"""Tests for the mini query language (the paper's SQL sketch, §3.3)."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.errors import PlanError
+from repro.lang import Catalog, compile_query
+from repro.stream import Schema, StreamTuple
+
+SCHEMA = Schema([("ts", "timestamp", True), ("seg", "int"), ("v", "float")])
+
+
+def rows(n, offset=0.0, spacing=0.1):
+    return [
+        (i * spacing + offset,
+         StreamTuple(SCHEMA, (i * spacing + offset, i % 3, float(i))))
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def catalog():
+    return Catalog({
+        "s1": (SCHEMA, rows(30)),
+        "s2": (SCHEMA, rows(30, offset=0.05)),
+    })
+
+
+def run(query, catalog, **kwargs):
+    plan = compile_query(query, catalog, **kwargs)
+    Simulator(plan).run()
+    return plan, plan.operator("result")
+
+
+class TestBasicQueries:
+    def test_select_star(self, catalog):
+        _, sink = run("SELECT * FROM s1", catalog)
+        assert len(sink.results) == 30
+
+    def test_projection(self, catalog):
+        _, sink = run("SELECT v, seg FROM s1", catalog)
+        assert sink.results[0].schema.names == ("v", "seg")
+
+    def test_where(self, catalog):
+        _, sink = run("SELECT * FROM s1 WHERE v >= 20", catalog)
+        assert len(sink.results) == 10
+        assert all(t["v"] >= 20 for t in sink.results)
+
+    def test_where_conjunction(self, catalog):
+        _, sink = run("SELECT * FROM s1 WHERE v >= 10 AND seg = 1", catalog)
+        assert all(t["v"] >= 10 and t["seg"] == 1 for t in sink.results)
+
+    def test_where_string_literal(self, catalog):
+        schema = Schema.of("name", "x")
+        cat = Catalog({
+            "s": (schema, [(0.0, StreamTuple(schema, ("a", 1))),
+                           (0.1, StreamTuple(schema, ("b", 2)))]),
+        })
+        _, sink = run("SELECT * FROM s WHERE name = 'a'", cat)
+        assert len(sink.results) == 1
+
+    def test_union(self, catalog):
+        _, sink = run("SELECT * FROM s1 UNION s2", catalog)
+        assert len(sink.results) == 60
+
+
+class TestAggregation:
+    def test_aggregate_clause(self, catalog):
+        _, sink = run(
+            "SELECT * FROM s1 "
+            "AGGREGATE avg(v) GROUP BY seg WINDOW 1.0 ON ts",
+            catalog,
+        )
+        assert sink.results
+        assert sink.results[0].schema.names == ("window", "seg", "avg_v")
+
+    def test_count_star(self, catalog):
+        _, sink = run(
+            "SELECT * FROM s1 "
+            "AGGREGATE count(*) GROUP BY seg WINDOW 1.0 ON ts",
+            catalog,
+        )
+        total = sum(t["count"] for t in sink.results)
+        assert total == 30
+
+    def test_sliding_window(self, catalog):
+        _, sink = run(
+            "SELECT * FROM s1 "
+            "AGGREGATE count(*) GROUP BY seg WINDOW 1.0 SLIDE 0.5 ON ts",
+            catalog,
+        )
+        agg_plan = sink  # results exist and windows overlap
+        assert len(sink.results) > 0
+
+    def test_projection_after_aggregate(self, catalog):
+        _, sink = run(
+            "SELECT avg_v FROM s1 "
+            "AGGREGATE avg(v) GROUP BY seg WINDOW 1.0 ON ts",
+            catalog,
+        )
+        assert sink.results[0].schema.names == ("avg_v",)
+
+
+class TestPaceClause:
+    def test_pace_union(self, catalog):
+        plan, sink = run(
+            "SELECT * FROM s1 UNION s2 WITH PACE ON ts 2 SECONDS", catalog
+        )
+        pace = plan.operator("pace")
+        assert pace.tolerance == 2.0
+        assert len(sink.results) == 60  # nothing late in this workload
+
+    def test_pace_minutes_unit(self, catalog):
+        plan, _ = run(
+            "SELECT * FROM s1 UNION s2 WITH PACE ON ts 1 MINUTE", catalog
+        )
+        assert plan.operator("pace").tolerance == 60.0
+
+    def test_pace_drops_late_tuples(self):
+        """A straggler branch loses its deep-late tuples under PACE."""
+        late = [(3.0, StreamTuple(SCHEMA, (0.5, 0, 99.0)))]  # ts far behind
+        punctual = rows(40)
+        catalog = Catalog({"fast": (SCHEMA, punctual), "slow": (SCHEMA, late)})
+        plan, sink = run(
+            "SELECT * FROM fast UNION slow WITH PACE ON ts 1 SECOND",
+            catalog,
+        )
+        assert len(sink.results) == 40
+        assert plan.operator("pace").late_drops == 1
+
+    def test_single_stream_pace(self, catalog):
+        plan, sink = run(
+            "SELECT * FROM s1 WITH PACE ON ts 5 SECONDS", catalog
+        )
+        assert len(sink.results) == 30
+
+
+class TestErrors:
+    def test_unknown_stream(self, catalog):
+        with pytest.raises(PlanError, match="unknown stream"):
+            compile_query("SELECT * FROM nope", catalog)
+
+    def test_schema_mismatch_union(self, catalog):
+        other = Schema.of("x")
+        cat = Catalog({
+            "s1": (SCHEMA, rows(5)),
+            "bad": (other, [(0.0, StreamTuple(other, (1,)))]),
+        })
+        with pytest.raises(PlanError, match="share a schema"):
+            compile_query("SELECT * FROM s1 UNION bad", cat)
+
+    def test_garbage_rejected(self, catalog):
+        with pytest.raises(PlanError, match="cannot parse"):
+            compile_query("FROBNICATE the stream", catalog)
+
+    def test_bad_where(self, catalog):
+        with pytest.raises(PlanError):
+            compile_query("SELECT * FROM s1 WHERE v !!! 3", catalog)
+
+    def test_unknown_aggregate(self, catalog):
+        with pytest.raises(PlanError, match="unknown aggregate"):
+            compile_query(
+                "SELECT * FROM s1 "
+                "AGGREGATE median(v) GROUP BY seg WINDOW 1 ON ts",
+                catalog,
+            )
+
+    def test_unknown_time_unit(self, catalog):
+        with pytest.raises(PlanError, match="time unit"):
+            compile_query(
+                "SELECT * FROM s1 UNION s2 WITH PACE ON ts 3 FORTNIGHTS",
+                catalog,
+            )

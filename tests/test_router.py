@@ -1,0 +1,137 @@
+"""Tests for the content-based Router and its per-output feedback."""
+
+import pytest
+
+from repro.core import ExploitAction, FeedbackPunctuation
+from repro.engine.harness import OperatorHarness
+from repro.errors import PlanError
+from repro.operators.router import Router
+from repro.punctuation import AtLeast, AtMost, LessThan, Pattern, Punctuation
+from repro.stream import Schema, StreamTuple
+
+SCHEMA = Schema([("ts", "timestamp", True), ("seg", "int"), ("v", "float")])
+
+
+def tup(ts, seg=0, v=0.0):
+    return StreamTuple(SCHEMA, (ts, seg, v))
+
+
+def make_router(**kwargs):
+    routes = [
+        Pattern.from_mapping(SCHEMA, {"v": LessThan(10.0)}),
+        Pattern.from_mapping(SCHEMA, {"v": AtLeast(10.0)}),
+    ]
+    return Router("router", SCHEMA, routes, **kwargs)
+
+
+class TestRouting:
+    def test_routes_by_first_match(self):
+        harness = OperatorHarness(make_router(), outputs=2)
+        harness.push(tup(0, v=5.0))
+        harness.push(tup(1, v=50.0))
+        assert [t["v"] for t in harness.emitted_tuples(output=0)] == [5.0]
+        assert [t["v"] for t in harness.emitted_tuples(output=1)] == [50.0]
+
+    def test_default_output(self):
+        router = Router(
+            "r", SCHEMA,
+            [Pattern.from_mapping(SCHEMA, {"seg": 1})],
+            default_output=1,
+        )
+        harness = OperatorHarness(router, outputs=2)
+        harness.push(tup(0, seg=9))
+        assert len(harness.emitted_tuples(output=1)) == 1
+
+    def test_unrouted_dropped_without_default(self):
+        router = Router(
+            "r", SCHEMA, [Pattern.from_mapping(SCHEMA, {"seg": 1})]
+        )
+        harness = OperatorHarness(router, outputs=1)
+        harness.push(tup(0, seg=9))
+        assert harness.emitted_tuples(output=0) == []
+        assert router.unrouted_drops == 1
+
+    def test_punctuation_broadcast(self):
+        harness = OperatorHarness(make_router(), outputs=2)
+        harness.push_punctuation(Punctuation.up_to(SCHEMA, "ts", 5.0))
+        assert len(harness.emitted_punctuation(output=0)) == 1
+        assert len(harness.emitted_punctuation(output=1)) == 1
+
+    def test_validation(self):
+        with pytest.raises(PlanError, match="at least one route"):
+            Router("r", SCHEMA, [])
+        with pytest.raises(PlanError, match="does not fit"):
+            Router("r", SCHEMA, [Pattern.build(1)])
+
+
+class TestPerOutputFeedback:
+    def test_feedback_scoped_to_issuing_route(self):
+        """Consumer 0 (v<10) rejecting seg=1 must not starve consumer 1."""
+        router = make_router()
+        harness = OperatorHarness(router, outputs=2)
+        actions = harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(SCHEMA, {"seg": 1})
+            ),
+            from_output=0,
+        )
+        assert actions == [ExploitAction.GUARD_INPUT,
+                           ExploitAction.PROPAGATE]
+        harness.push(tup(0, seg=1, v=5.0))    # route 0 + seg 1: dropped
+        harness.push(tup(1, seg=1, v=50.0))   # route 1 + seg 1: delivered!
+        harness.push(tup(2, seg=2, v=5.0))    # route 0, other seg: delivered
+        assert harness.emitted_tuples(output=0) != []
+        assert [t["v"] for t in harness.emitted_tuples(output=1)] == [50.0]
+        assert router.metrics.input_guard_drops == 1
+
+    def test_relay_carries_scoped_pattern(self):
+        harness = OperatorHarness(make_router(), outputs=2)
+        harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(SCHEMA, {"seg": 1})
+            ),
+            from_output=0,
+        )
+        relayed = harness.upstream_feedback(0)
+        assert len(relayed) == 1
+        # The relayed pattern is seg=1 AND v<10, not bare seg=1.
+        assert relayed[0].pattern.matches((0.0, 1, 5.0))
+        assert not relayed[0].pattern.matches((0.0, 1, 50.0))
+
+    def test_disjoint_feedback_is_noop(self):
+        """Feedback about tuples the consumer can never see: nothing."""
+        harness = OperatorHarness(make_router(), outputs=2)
+        actions = harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(SCHEMA, {"v": AtLeast(50.0)})
+            ),
+            from_output=0,  # consumer 0 only sees v < 10
+        )
+        assert actions == []
+        harness.push(tup(0, v=60.0))
+        assert len(harness.emitted_tuples(output=1)) == 1
+
+    def test_unknown_provenance_falls_back_to_output_guard(self):
+        router = make_router()
+        harness = OperatorHarness(router, outputs=2)
+        actions = router.receive_feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(SCHEMA, {"seg": 1})
+            ),
+            from_edge=None,
+        )
+        assert ExploitAction.GUARD_OUTPUT in actions
+
+    def test_no_cross_consumer_agreement_needed(self):
+        """Contrast with DUPLICATE: one consumer's feedback acts alone."""
+        router = make_router()
+        harness = OperatorHarness(router, outputs=2)
+        harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(SCHEMA, {"seg": 3})
+            ),
+            from_output=1,
+        )
+        harness.push(tup(0, seg=3, v=50.0))
+        assert harness.emitted_tuples(output=1) == []
+        assert router.metrics.input_guard_drops == 1

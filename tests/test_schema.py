@@ -1,0 +1,162 @@
+"""Unit tests for repro.stream.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.stream import Attribute, AttributeOrigin, Schema, SchemaMapping
+
+
+class TestAttribute:
+    def test_base_name_strips_qualifier(self):
+        assert Attribute("probe.speed").base_name == "speed"
+        assert Attribute("speed").base_name == "speed"
+
+    def test_qualified(self):
+        attr = Attribute("speed", "float", progressing=False)
+        q = attr.qualified("probe")
+        assert q.name == "probe.speed"
+        assert q.kind == "float"
+
+    def test_requalify_replaces_prefix(self):
+        assert Attribute("probe.speed").qualified("detector").name == "detector.speed"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+
+class TestSchema:
+    def test_of_builds_untyped(self):
+        s = Schema.of("a", "b", "c")
+        assert s.names == ("a", "b", "c")
+        assert len(s) == 3
+
+    def test_tuple_specs(self):
+        s = Schema([("ts", "timestamp", True), ("v", "float")])
+        assert s.attribute("ts").progressing is True
+        assert s.attribute("v").kind == "float"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.of("a", "b", "a")
+
+    def test_index_of_known(self):
+        s = Schema.of("a", "b", "c")
+        assert s.index_of("b") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(SchemaError, match="no attribute"):
+            Schema.of("a").index_of("zzz")
+
+    def test_base_name_lookup_when_unambiguous(self):
+        s = Schema.of("probe.speed", "detector.id")
+        assert s.index_of("speed") == 0
+        assert s.index_of("id") == 1
+
+    def test_base_name_lookup_ambiguous_not_indexed(self):
+        s = Schema.of("probe.speed", "detector.speed")
+        with pytest.raises(SchemaError):
+            s.index_of("speed")
+
+    def test_contains(self):
+        s = Schema.of("a", "b")
+        assert "a" in s
+        assert "z" not in s
+
+    def test_equality_and_hash(self):
+        s1 = Schema.of("a", "b")
+        s2 = Schema.of("a", "b")
+        s3 = Schema.of("a", "c")
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert s1 != s3
+
+    def test_project(self):
+        s = Schema.of("a", "b", "c")
+        assert s.project(["c", "a"]).names == ("c", "a")
+
+    def test_concat(self):
+        s = Schema.of("a").concat(Schema.of("b"))
+        assert s.names == ("a", "b")
+
+    def test_concat_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").concat(Schema.of("a"))
+
+    def test_qualify(self):
+        s = Schema.of("x", "y").qualify("left")
+        assert s.names == ("left.x", "left.y")
+
+    def test_rename(self):
+        s = Schema.of("x", "y").rename({"x": "z"})
+        assert s.names == ("z", "y")
+
+    def test_check_arity(self):
+        s = Schema.of("a", "b")
+        s.check_arity((1, 2))
+        with pytest.raises(SchemaError, match="arity"):
+            s.check_arity((1,))
+
+    def test_progressing_indices(self):
+        s = Schema([("ts", "timestamp", True), ("v", "float")])
+        assert s.progressing_indices() == (0,)
+
+
+class TestSchemaMapping:
+    def test_identity(self):
+        s = Schema.of("a", "b")
+        m = SchemaMapping.identity(s)
+        assert m.exact_origin_in("a", 0).input_attribute == "a"
+        assert m.origins_of("b")[0].input_index == 0
+
+    def test_for_join_layout_is_l_j_r(self, stream_a_schema, stream_b_schema):
+        m = SchemaMapping.for_join(
+            stream_a_schema, stream_b_schema, [("t", "t"), ("id", "id")]
+        )
+        assert m.output_schema.names == ("a", "t", "id", "b")
+
+    def test_join_attr_has_origins_in_both_inputs(
+        self, stream_a_schema, stream_b_schema
+    ):
+        m = SchemaMapping.for_join(
+            stream_a_schema, stream_b_schema, [("t", "t"), ("id", "id")]
+        )
+        origins = m.origins_of("t")
+        assert {o.input_index for o in origins} == {0, 1}
+
+    def test_exclusive_attrs_have_single_origin(
+        self, stream_a_schema, stream_b_schema
+    ):
+        m = SchemaMapping.for_join(
+            stream_a_schema, stream_b_schema, [("t", "t"), ("id", "id")]
+        )
+        assert [o.input_index for o in m.origins_of("a")] == [0]
+        assert [o.input_index for o in m.origins_of("b")] == [1]
+
+    def test_computed_attribute_has_no_origin(self):
+        out = Schema.of("minute", "avg_speed")
+        inp = Schema.of("timestamp", "speed")
+        m = SchemaMapping(out, (inp,), {"minute": ()})
+        assert m.origins_of("avg_speed") == ()
+        assert m.exact_origin_in("avg_speed", 0) is None
+
+    def test_unknown_output_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaMapping(
+                Schema.of("a"), (Schema.of("x"),),
+                {"zzz": (AttributeOrigin(0, "x"),)},
+            )
+
+    def test_bad_input_index_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaMapping(
+                Schema.of("a"), (Schema.of("x"),),
+                {"a": (AttributeOrigin(5, "x"),)},
+            )
+
+    def test_unknown_input_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaMapping(
+                Schema.of("a"), (Schema.of("x"),),
+                {"a": (AttributeOrigin(0, "nope"),)},
+            )

@@ -1,0 +1,205 @@
+"""Unit tests for stateless unary operators: Select, Project, Map, PassThrough."""
+
+import pytest
+
+from repro.core import ExploitAction, FeedbackPunctuation
+from repro.engine.harness import OperatorHarness
+from repro.operators import Map, PassThrough, Project, QualityFilter, Select
+from repro.punctuation import AtLeast, Pattern, Punctuation
+from repro.stream import Schema, StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema([("ts", "timestamp", True), ("seg", "int"), ("v", "float")])
+
+
+def tup(schema, ts, seg=0, v=1.0):
+    return StreamTuple(schema, (ts, seg, v))
+
+
+class TestSelect:
+    def test_predicate_filtering(self, schema):
+        select = Select("keep", schema, lambda t: t["v"] > 2.0)
+        harness = OperatorHarness(select)
+        harness.push(tup(schema, 0, v=1.0))
+        harness.push(tup(schema, 1, v=3.0))
+        kept = harness.emitted_tuples()
+        assert [t["ts"] for t in kept] == [1]
+
+    def test_pattern_predicate(self, schema):
+        select = Select(
+            "keep", schema, Pattern.from_mapping(schema, {"seg": 2})
+        )
+        harness = OperatorHarness(select)
+        harness.push(tup(schema, 0, seg=2))
+        harness.push(tup(schema, 1, seg=3))
+        assert len(harness.emitted_tuples()) == 1
+
+    def test_punctuation_passes_through(self, schema):
+        select = Select("keep", schema, lambda t: True)
+        harness = OperatorHarness(select)
+        punct = Punctuation.up_to(schema, "ts", 5.0)
+        harness.push_punctuation(punct)
+        assert harness.emitted_punctuation() == [punct]
+
+    def test_assumed_feedback_becomes_input_guard(self, schema):
+        select = Select("keep", schema, lambda t: True)
+        harness = OperatorHarness(select)
+        actions = harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(schema, {"seg": 1})
+            )
+        )
+        assert ExploitAction.GUARD_INPUT in actions
+        harness.push(tup(schema, 0, seg=1))
+        harness.push(tup(schema, 1, seg=2))
+        assert [t["seg"] for t in harness.emitted_tuples()] == [2]
+        assert select.metrics.input_guard_drops == 1
+
+    def test_select_relays_feedback_upstream(self, schema):
+        select = Select("keep", schema, lambda t: True)
+        harness = OperatorHarness(select)
+        fb = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(schema, {"seg": 1})
+        )
+        actions = harness.feedback(fb)
+        assert ExploitAction.PROPAGATE in actions
+        relayed = harness.upstream_feedback(0)
+        assert len(relayed) == 1
+        assert relayed[0].pattern == fb.pattern
+        assert relayed[0].hops == 1
+
+    def test_quality_filter_carries_cost(self, schema):
+        quality = QualityFilter(
+            "q", schema, lambda t: True, tuple_cost=0.5
+        )
+        assert quality.cost_of(tup(schema, 0)) == 0.5
+
+    def test_guarded_drop_costs_guard_check_not_tuple_cost(self, schema):
+        select = Select("keep", schema, lambda t: True, tuple_cost=1.0)
+        harness = OperatorHarness(select)
+        harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(schema, {"seg": 1})
+            )
+        )
+        assert select.admission_cost(0, tup(schema, 0, seg=1)) == 0.0
+        assert select.admission_cost(0, tup(schema, 0, seg=2)) == 1.0
+
+
+class TestProject:
+    def test_projection(self, schema):
+        project = Project("p", schema, ["v", "seg"])
+        harness = OperatorHarness(project)
+        harness.push(tup(schema, 5, seg=2, v=9.0))
+        out = harness.emitted_tuples()[0]
+        assert out.values == (9.0, 2)
+        assert out.schema.names == ("v", "seg")
+
+    def test_punctuation_projected_when_lossless(self, schema):
+        project = Project("p", schema, ["ts", "seg"])
+        harness = OperatorHarness(project)
+        harness.push_punctuation(Punctuation.up_to(schema, "ts", 5.0))
+        puncts = harness.emitted_punctuation()
+        assert len(puncts) == 1
+        assert puncts[0].pattern.arity == 2
+
+    def test_punctuation_on_dropped_attribute_absorbed(self, schema):
+        project = Project("p", schema, ["ts", "seg"])
+        harness = OperatorHarness(project)
+        harness.push_punctuation(
+            Punctuation(Pattern.from_mapping(schema, {"v": AtLeast(5)}))
+        )
+        assert harness.emitted_punctuation() == []
+
+    def test_feedback_back_mapped_to_input_guard(self, schema):
+        project = Project("p", schema, ["v", "seg"])
+        harness = OperatorHarness(project)
+        out_pattern = Pattern.from_mapping(
+            project.output_schema, {"seg": 1}
+        )
+        actions = harness.feedback(FeedbackPunctuation.assumed(out_pattern))
+        assert ExploitAction.GUARD_INPUT in actions
+        harness.push(tup(schema, 0, seg=1))
+        assert harness.emitted_tuples() == []
+        assert project.metrics.input_guard_drops == 1
+
+
+class TestMap:
+    def test_extending_adds_computed_attribute(self, schema):
+        window_map = Map.extending(
+            "win", schema, [("window", "int", True)],
+            lambda t: (int(t["ts"] // 10),),
+        )
+        harness = OperatorHarness(window_map)
+        harness.push(tup(schema, 25.0))
+        out = harness.emitted_tuples()[0]
+        assert out["window"] == 2
+        assert out["ts"] == 25.0
+
+    def test_feedback_on_carried_attribute_relays(self, schema):
+        window_map = Map.extending(
+            "win", schema, [("window", "int", True)],
+            lambda t: (int(t["ts"] // 10),),
+        )
+        harness = OperatorHarness(window_map)
+        fb = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(window_map.output_schema, {"seg": 3})
+        )
+        actions = harness.feedback(fb)
+        assert ExploitAction.GUARD_INPUT in actions
+        assert harness.upstream_feedback(0) != []
+
+    def test_feedback_on_computed_attribute_guards_output_only(self, schema):
+        window_map = Map.extending(
+            "win", schema, [("window", "int", True)],
+            lambda t: (int(t["ts"] // 10),),
+        )
+        harness = OperatorHarness(window_map)
+        fb = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(window_map.output_schema, {"window": 2})
+        )
+        actions = harness.feedback(fb)
+        assert ExploitAction.GUARD_OUTPUT in actions
+        assert harness.upstream_feedback(0) == []
+        # The output guard suppresses matching results.
+        harness.push(tup(schema, 25.0))
+        harness.push(tup(schema, 35.0))
+        assert [t["window"] for t in harness.emitted_tuples()] == [3]
+
+    def test_punctuation_forwarding_on_carried_attrs(self, schema):
+        window_map = Map.extending(
+            "win", schema, [("window", "int", True)],
+            lambda t: (int(t["ts"] // 10),),
+        )
+        harness = OperatorHarness(window_map)
+        harness.push_punctuation(Punctuation.up_to(schema, "ts", 9.0))
+        puncts = harness.emitted_punctuation()
+        assert len(puncts) == 1
+        assert puncts[0].pattern.arity == len(window_map.output_schema)
+
+
+class TestPassThrough:
+    def test_forwards_everything(self, schema):
+        passthrough = PassThrough("parse", schema, tuple_cost=0.25)
+        harness = OperatorHarness(passthrough)
+        harness.push(tup(schema, 0))
+        harness.push_punctuation(Punctuation.up_to(schema, "ts", 1.0))
+        emitted = harness.emitted()
+        assert len(emitted) == 2
+
+    def test_ignores_feedback(self, schema):
+        passthrough = PassThrough("parse", schema)
+        harness = OperatorHarness(passthrough)
+        actions = harness.feedback(
+            FeedbackPunctuation.assumed(
+                Pattern.from_mapping(schema, {"seg": 1})
+            )
+        )
+        assert actions == [ExploitAction.IGNORE]
+        assert harness.upstream_feedback(0) == []
+        assert passthrough.metrics.feedback_ignored == 1
+        # Matching tuples still pass: null response.
+        harness.push(tup(schema, 0, seg=1))
+        assert len(harness.emitted_tuples()) == 1

@@ -1,0 +1,112 @@
+"""Deeper simulator semantics: availability stamps, control priority,
+back-pressure-free timing, and multi-port fairness."""
+
+import pytest
+
+from repro.core import FeedbackPunctuation
+from repro.engine import QueryPlan, Simulator
+from repro.operators import (
+    CollectSink,
+    ListSource,
+    PassThrough,
+    Select,
+    Union,
+)
+from repro.punctuation import Pattern
+from repro.stream import Schema, StreamTuple
+
+SCHEMA = Schema([("ts", "timestamp", True), ("v", "int")])
+
+
+def tup(ts, v=0):
+    return StreamTuple(SCHEMA, (ts, v))
+
+
+class TestAvailabilityStamps:
+    def test_slow_producer_delays_consumer_observation(self):
+        """A consumer never observes output before the producer finished it."""
+        plan = QueryPlan("slow-producer")
+        source = ListSource("src", SCHEMA, [(0.0, tup(0.0, i)) for i in range(8)])
+        slow = PassThrough("slow", SCHEMA, tuple_cost=5.0)
+        sink = CollectSink("sink", SCHEMA)
+        plan.add(source)
+        plan.connect(source, slow, page_size=2)
+        plan.connect(slow, sink, page_size=2)
+        Simulator(plan).run()
+        arrivals = [t for t, _ in sink.arrivals]
+        # Tuple i finished at slow at 5*(i+1); pages of 2 ship in pairs.
+        assert arrivals[0] >= 10.0 - 1e-9   # first page: tuples 0,1
+        assert arrivals[-1] >= 40.0 - 1e-9  # last page: tuples 6,7
+
+    def test_fast_consumer_of_two_speed_producers_orders_by_availability(self):
+        """UNION pulls whichever input's page became available first."""
+        plan = QueryPlan("two-speeds")
+        fast = ListSource("fast", SCHEMA, [(float(i), tup(float(i), 1)) for i in range(6)])
+        slow_src = ListSource("slow_src", SCHEMA, [(0.0, tup(100.0, 2)) for _ in range(3)])
+        slow = PassThrough("slow", SCHEMA, tuple_cost=4.0)
+        union = Union("union", SCHEMA, arity=2)
+        sink = CollectSink("sink", SCHEMA)
+        for op in (fast, slow_src, slow, union, sink):
+            plan.add(op)
+        plan.connect(fast, union, port=0, page_size=1)
+        plan.connect(slow_src, slow, page_size=1)
+        plan.connect(slow, union, port=1, page_size=1)
+        plan.connect(union, sink, page_size=1)
+        Simulator(plan).run()
+        # Fast tuples (v=1) at times 0..5 interleave with slow ones (v=2)
+        # finishing at 4, 8, 12 -- sink order must respect availability.
+        seq = [(t, tup_["v"]) for t, tup_ in sink.arrivals]
+        times = [t for t, _ in seq]
+        assert times == sorted(times)
+        first_slow = next(t for t, v in seq if v == 2)
+        assert first_slow >= 4.0 - 1e-9
+
+
+class TestControlPriority:
+    def test_feedback_beats_buffered_data(self):
+        """Feedback arriving while pages are queued applies before them.
+
+        NiagaraST: "control messages ... are given high priority and
+        processed before pending tuples."  A guarded tuple sitting in the
+        queue when feedback arrives must be dropped, not processed.
+        """
+        plan = QueryPlan("priority")
+        # All data arrives at t=0; the consumer is made slow so pages queue.
+        source = ListSource(
+            "src", SCHEMA, [(0.0, tup(0.0, i)) for i in range(20)]
+        )
+        work = Select("work", SCHEMA, lambda t: True, tuple_cost=1.0)
+        sink = CollectSink("sink", SCHEMA)
+        plan.add(source)
+        plan.connect(source, work, page_size=1)
+        plan.connect(work, sink, page_size=1)
+        simulator = Simulator(plan)
+        fb = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(SCHEMA, {"v": 15})
+        )
+        # Injected at t=2: tuple 15 is still ~13 pages deep in the queue.
+        simulator.at(2.0, lambda: sink.inject_feedback(fb))
+        simulator.run()
+        assert not [r for r in sink.results if r["v"] == 15]
+        assert work.metrics.input_guard_drops == 1
+        # The guard saved the full tuple cost.
+        assert work.metrics.busy_time == pytest.approx(19.0)
+
+
+class TestRoundRobinFairness:
+    def test_equal_availability_alternates_ports(self):
+        plan = QueryPlan("fair")
+        a = ListSource("a", SCHEMA, [(0.0, tup(0.0, 1)) for _ in range(4)])
+        b = ListSource("b", SCHEMA, [(0.0, tup(0.0, 2)) for _ in range(4)])
+        union = Union("union", SCHEMA, arity=2)
+        sink = CollectSink("sink", SCHEMA)
+        for op in (a, b, union, sink):
+            plan.add(op)
+        plan.connect(a, union, port=0, page_size=1)
+        plan.connect(b, union, port=1, page_size=1)
+        plan.connect(union, sink, page_size=1)
+        Simulator(plan).run()
+        values = [r["v"] for r in sink.results]
+        # Neither input is fully drained before the other starts.
+        assert values[:2] != [1, 1] or values[2:4] != [1, 1]
+        assert sorted(values) == [1, 1, 1, 1, 2, 2, 2, 2]

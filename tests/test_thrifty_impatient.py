@@ -1,0 +1,121 @@
+"""Unit tests for the adaptive joins: THRIFTY JOIN and IMPATIENT JOIN."""
+
+import pytest
+
+from repro.engine.harness import OperatorHarness
+from repro.errors import PlanError
+from repro.operators import ImpatientJoin, ThriftyJoin
+from repro.punctuation import Pattern, Punctuation
+from repro.stream import Schema, StreamTuple
+
+# The paper's adaptive example: vehicle (probe) and sensor streams joined
+# on (window, location).
+PROBE = Schema.of("window", "location", "speed")
+SENSOR = Schema.of("window", "location", "reading")
+
+
+def probe(window, location, speed=30.0):
+    return StreamTuple(PROBE, (window, location, speed))
+
+
+def sensor(window, location, reading=1.0):
+    return StreamTuple(SENSOR, (window, location, reading))
+
+
+def window_done(schema, window):
+    return Punctuation(Pattern.from_mapping(schema, {"window": window}))
+
+
+class TestThriftyJoin:
+    def make(self):
+        return ThriftyJoin(
+            "thrifty", PROBE, SENSOR,
+            on=[("window", "window"), ("location", "location")],
+            probe_inputs=(0,),
+        )
+
+    def test_empty_probe_window_triggers_feedback(self):
+        join = self.make()
+        harness = OperatorHarness(join)
+        harness.push(probe(3, 1), port=0)       # window 3 has data
+        harness.push_punctuation(window_done(PROBE, 3), port=0)
+        assert harness.upstream_feedback(1) == []  # window 3 was not empty
+        harness.push_punctuation(window_done(PROBE, 4), port=0)
+        sent = harness.upstream_feedback(1)
+        assert len(sent) == 1
+        assert sent[0].is_assumed
+        assert sent[0].pattern.matches((4, 9, 0.0))
+        assert not sent[0].pattern.matches((5, 9, 0.0))
+        assert join.empty_windows_detected == 1
+
+    def test_local_guard_drops_sensor_tuples_of_empty_window(self):
+        join = self.make()
+        harness = OperatorHarness(join)
+        harness.push_punctuation(window_done(PROBE, 4), port=0)
+        harness.push(sensor(4, 1), port=1)
+        assert join.metrics.input_guard_drops == 1
+        assert harness.emitted_tuples() == []
+
+    def test_results_unaffected_for_nonempty_windows(self):
+        join = self.make()
+        harness = OperatorHarness(join)
+        harness.push(probe(3, 1), port=0)
+        harness.push_punctuation(window_done(PROBE, 4), port=0)
+        harness.push(sensor(3, 1), port=1)
+        out = harness.emitted_tuples()
+        assert len(out) == 1 and out[0]["window"] == 3
+
+    def test_sensor_side_punctuation_does_not_trigger(self):
+        join = self.make()
+        harness = OperatorHarness(join)
+        harness.push_punctuation(window_done(SENSOR, 7), port=1)
+        assert harness.upstream_feedback(0) == []
+
+    def test_outer_join_rejected(self):
+        with pytest.raises(PlanError, match="inner join"):
+            ThriftyJoin(
+                "bad", PROBE, SENSOR,
+                on=[("window", "window"), ("location", "location")],
+                how="left_outer",
+            )
+
+
+class TestImpatientJoin:
+    def make(self):
+        return ImpatientJoin(
+            "impatient", PROBE, SENSOR,
+            on=[("window", "window"), ("location", "location")],
+            eager_input=0,
+        )
+
+    def test_first_probe_arrival_requests_priority(self):
+        join = self.make()
+        harness = OperatorHarness(join)
+        harness.push(probe(7, 3), port=0)
+        sent = harness.upstream_feedback(1)
+        assert len(sent) == 1
+        assert sent[0].is_desired
+        # The paper's ?[7, 3, *] under (period, segment, data).
+        assert repr(sent[0].pattern) == "[7, 3, *]"
+
+    def test_one_request_per_key(self):
+        join = self.make()
+        harness = OperatorHarness(join)
+        harness.push(probe(7, 3), port=0)
+        harness.push(probe(7, 3, speed=99.0), port=0)
+        assert len(harness.upstream_feedback(1)) == 1
+        assert join.desired_sent == 1
+
+    def test_desired_feedback_does_not_change_results(self):
+        join = self.make()
+        harness = OperatorHarness(join)
+        harness.push(probe(7, 3), port=0)
+        harness.push(sensor(7, 3), port=1)
+        out = harness.emitted_tuples()
+        assert len(out) == 1
+
+    def test_sensor_arrivals_do_not_request(self):
+        join = self.make()
+        harness = OperatorHarness(join)
+        harness.push(sensor(7, 3), port=1)
+        assert harness.upstream_feedback(0) == []

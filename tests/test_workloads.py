@@ -1,0 +1,173 @@
+"""Tests for workload generators: determinism, shapes, parameters."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    FinanceWorkload,
+    ImputationWorkload,
+    TrafficModel,
+    TrafficWorkload,
+    inject_bursts,
+    inject_disorder,
+    merge_timelines,
+)
+
+
+class TestTrafficModel:
+    def test_uncongested_segment_stays_free_flow(self):
+        model = TrafficModel(congested_segments=(0,))
+        assert model.mean_speed(1, 0.5) == model.free_flow_speed
+
+    def test_congested_segment_dips_during_rush(self):
+        model = TrafficModel(congested_segments=(0,))
+        mid_rush = (model.rush_start + model.rush_end) / 2
+        assert model.mean_speed(0, mid_rush) < model.congestion_threshold
+
+    def test_congested_segment_free_outside_rush(self):
+        model = TrafficModel(congested_segments=(0,))
+        assert model.mean_speed(0, 0.0) == model.free_flow_speed
+
+
+class TestTrafficWorkload:
+    def make(self, **kwargs):
+        defaults = dict(
+            segments=3, detectors_per_segment=4,
+            report_interval=20.0, horizon=200.0, seed=1,
+        )
+        defaults.update(kwargs)
+        return TrafficWorkload(**defaults)
+
+    def test_tuple_count(self):
+        workload = self.make()
+        timeline = workload.detector_timeline()
+        assert len(timeline) == workload.detector_tuple_count
+        assert workload.detector_tuple_count == 3 * 4 * 10
+
+    def test_deterministic(self):
+        a = self.make().detector_timeline()
+        b = self.make().detector_timeline()
+        assert [t.values for _, t in a] == [t.values for _, t in b]
+
+    def test_arrival_times_match_timestamps(self):
+        for arrival, tup in self.make().detector_timeline():
+            assert arrival == tup["timestamp"]
+
+    def test_dropout_produces_nones(self):
+        workload = self.make(dropout_rate=0.5)
+        speeds = [t["speed"] for _, t in workload.detector_timeline()]
+        assert any(s is None for s in speeds)
+        assert any(s is not None for s in speeds)
+
+    def test_probe_stream_present_when_enabled(self):
+        workload = self.make(probes_per_segment=2.0)
+        probes = workload.probe_timeline()
+        assert probes
+        times = [arrival for arrival, _ in probes]
+        assert times == sorted(times)
+
+    def test_probe_stream_empty_by_default(self):
+        assert self.make().probe_timeline() == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            self.make(segments=0)
+        with pytest.raises(WorkloadError):
+            self.make(report_interval=0)
+        with pytest.raises(WorkloadError):
+            self.make(dropout_rate=1.5)
+
+
+class TestImputationWorkload:
+    def test_alternating_clean_dirty(self):
+        workload = ImputationWorkload(tuples=10)
+        speeds = [t["speed"] for _, t in workload.events()]
+        assert [s is None for s in speeds] == [bool(i % 2) for i in range(10)]
+
+    def test_counts(self):
+        workload = ImputationWorkload(tuples=11)
+        assert workload.dirty_count == 5
+        assert workload.clean_count == 6
+
+    def test_archive_covers_all_sensors(self):
+        workload = ImputationWorkload(tuples=100, sensors=10)
+        archive = workload.build_archive()
+        assert len(archive) == 10
+
+    def test_horizon(self):
+        workload = ImputationWorkload(tuples=100, arrival_interval=0.5)
+        assert workload.horizon == 50.0
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            ImputationWorkload(tuples=1)
+        with pytest.raises(WorkloadError):
+            ImputationWorkload(arrival_interval=0)
+
+
+class TestFinanceWorkload:
+    def test_tick_count_and_rates_positive(self):
+        workload = FinanceWorkload(pairs=2, ticks_per_second=10, horizon=5.0)
+        ticks = workload.timeline()
+        assert len(ticks) == 50
+        assert all(t["rate"] > 0 for _, t in ticks)
+
+    def test_round_robin_pairs(self):
+        workload = FinanceWorkload(pairs=3, ticks_per_second=3, horizon=2.0)
+        pairs = [t["pair_id"] for _, t in workload.timeline()]
+        assert pairs[:6] == [0, 1, 2, 0, 1, 2]
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            FinanceWorkload(pairs=0)
+
+
+class TestDisorderInjection:
+    def timeline(self, n=50):
+        from repro.stream import Schema, StreamTuple
+        schema = Schema.of("ts")
+        return [(float(i), StreamTuple(schema, (float(i),))) for i in range(n)]
+
+    def test_disorder_keeps_sorted_arrivals(self):
+        perturbed = inject_disorder(
+            self.timeline(), fraction=0.5, max_delay=10.0, seed=3
+        )
+        arrivals = [a for a, _ in perturbed]
+        assert arrivals == sorted(arrivals)
+
+    def test_disorder_actually_reorders_timestamps(self):
+        perturbed = inject_disorder(
+            self.timeline(), fraction=0.5, max_delay=10.0, seed=3
+        )
+        timestamps = [t["ts"] for _, t in perturbed]
+        assert timestamps != sorted(timestamps)
+
+    def test_zero_fraction_is_identity(self):
+        timeline = self.timeline()
+        assert inject_disorder(timeline, fraction=0.0, max_delay=5.0) == timeline
+
+    def test_bursts_compress_into_period_start(self):
+        bursty = inject_bursts(
+            self.timeline(), period=10.0, burst_fraction=0.1
+        )
+        for arrival, tup in bursty:
+            offset = arrival % 10.0
+            assert offset <= 1.0 + 1e-9
+
+    def test_merge_timelines(self):
+        a = self.timeline(5)
+        b = [(x + 0.5, t) for x, t in self.timeline(5)]
+        merged = merge_timelines(a, b)
+        arrivals = [x for x, _ in merged]
+        assert arrivals == sorted(arrivals)
+        assert len(merged) == 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            inject_disorder(self.timeline(), fraction=2.0, max_delay=1.0)
+        with pytest.raises(WorkloadError):
+            inject_disorder(self.timeline(), fraction=0.5, max_delay=-1.0)
+        with pytest.raises(WorkloadError):
+            inject_bursts(self.timeline(), period=0.0)
+        with pytest.raises(WorkloadError):
+            inject_bursts(self.timeline(), period=1.0, burst_fraction=0.0)
