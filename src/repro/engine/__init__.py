@@ -1,6 +1,8 @@
 """Execution engines (systems S5, S6, S9 in DESIGN.md).
 
 * :class:`QueryPlan` -- the operator DAG shared by both engines;
+* :class:`RuntimeCore` -- the shared mechanism layer (control draining,
+  completion bookkeeping, operator finish) every engine builds on;
 * :class:`Simulator` -- deterministic discrete-event engine on virtual
   time (used by all experiments);
 * :class:`ThreadedRuntime` -- thread-per-operator runtime mirroring
@@ -17,7 +19,8 @@ from repro.engine.metrics import (
     PlanMetrics,
 )
 from repro.engine.plan import QueryPlan
-from repro.engine.simulator import RunResult, Simulator
+from repro.engine.runtime import RunResult, RuntimeCore
+from repro.engine.simulator import Simulator
 from repro.engine.threaded import ThreadedRuntime
 
 __all__ = [
@@ -30,6 +33,7 @@ __all__ = [
     "PlanMetrics",
     "QueryPlan",
     "RunResult",
+    "RuntimeCore",
     "Simulator",
     "ThreadedRuntime",
 ]

@@ -32,6 +32,8 @@ class OperatorMetrics:
     tuples_out: int = 0
     punctuations_in: int = 0
     punctuations_out: int = 0
+    pages_in: int = 0
+    pages_batched: int = 0
     input_guard_drops: int = 0
     output_guard_drops: int = 0
     state_purged: int = 0
@@ -61,6 +63,8 @@ class OperatorMetrics:
             "tuples_out": self.tuples_out,
             "punctuations_in": self.punctuations_in,
             "punctuations_out": self.punctuations_out,
+            "pages_in": self.pages_in,
+            "pages_batched": self.pages_batched,
             "input_guard_drops": self.input_guard_drops,
             "output_guard_drops": self.output_guard_drops,
             "state_purged": self.state_purged,

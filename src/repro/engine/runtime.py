@@ -1,0 +1,268 @@
+"""Shared runtime core: the mechanism layer under every execution engine.
+
+NiagaraST (paper section 5) has one runtime architecture -- operators
+connected by page queues, with out-of-band high-priority control -- and
+several scheduling policies could sit on top of it.  This module is that
+split made explicit:
+
+* :class:`RuntimeCore` owns the **mechanism**: control-message draining
+  (including ``control_latency`` arrival semantics), input-completion and
+  ``on_input_done`` bookkeeping, operator finish plus queue closure, and
+  the runtime surface operators see (``now`` / ``notify_control`` /
+  ``notify_data`` / the feedback and output logs);
+* engines subclass it with a **policy**: the deterministic
+  :class:`~repro.engine.simulator.Simulator` (event heap + virtual clock)
+  and the :class:`~repro.engine.threaded.ThreadedRuntime` (thread per
+  operator + condition waits).  Future backends (asyncio, sharded,
+  multi-process workers) add a policy subclass without re-implementing the
+  control/completion/finish protocol.
+
+Policy hooks a subclass may override:
+
+``notify_control`` / ``notify_data``
+    How a wake-up reaches the operator (heap event vs. condition notify).
+``_activity_time``
+    The timestamp stamped on lifecycle callbacks (virtual busy horizon vs.
+    wall clock).
+``_charge_control``
+    Per-message accounting before dispatch (the simulator charges
+    ``control_cost`` against the operator's busy horizon).
+``_defer_control``
+    What to do with a control message that has not *arrived* yet
+    (``sent_at + control_latency`` is in the future): the simulator
+    schedules a control event at the arrival time, the threaded runtime
+    records a wake-up deadline for the sleeping operator thread.
+``_on_finished``
+    Post-finish plumbing (stamp + wake consumers vs. notify all threads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.roles import FeedbackLog
+from repro.engine.metrics import OutputLog, PlanMetrics
+from repro.engine.plan import QueryPlan
+from repro.errors import EngineError
+from repro.operators.base import Operator, OutputEdge, SourceOperator
+from repro.stream.clock import Clock
+from repro.stream.control import ControlMessage, ControlMessageKind
+
+__all__ = ["RuntimeCore", "RunResult"]
+
+#: Tolerance when comparing a message's arrival time against the clock;
+#: keeps float accumulation from deferring an already-due message.
+ARRIVAL_EPS = 1e-12
+
+
+@dataclass
+class RunResult:
+    """Everything a finished run exposes to callers (both engines)."""
+
+    plan: QueryPlan
+    metrics: PlanMetrics
+    output_log: OutputLog
+    feedback_log: FeedbackLog
+
+    @property
+    def makespan(self) -> float:
+        return self.metrics.makespan
+
+    @property
+    def total_work(self) -> float:
+        return self.metrics.total_work
+
+    def sink(self, name: str) -> Operator:
+        return self.plan.operator(name)
+
+
+class RuntimeCore:
+    """Mechanism shared by every execution engine.
+
+    Subclasses provide the scheduling policy; this class provides the
+    control/completion/finish protocol and is also the runtime surface
+    operators see (``operator.runtime`` points at the engine itself).
+    """
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        clock: Clock,
+        *,
+        control_latency: float = 0.0,
+    ) -> None:
+        plan.validate()
+        self.plan = plan
+        self.clock = clock
+        self.control_latency = float(control_latency)
+        self.feedback_log = FeedbackLog()
+        self.output_log = OutputLog()
+        self._started = False
+
+    # -- runtime surface seen by operators -----------------------------------------
+
+    def now(self) -> float:
+        return self.clock.now()
+
+    def notify_control(self, operator: Operator, at: float | None = None) -> None:
+        """A control message was queued for ``operator``; wake it."""
+        raise NotImplementedError
+
+    def notify_data(self, operator: Operator) -> None:
+        """New data is ready for ``operator``; wake it."""
+        raise NotImplementedError
+
+    # -- policy hooks ----------------------------------------------------------------
+
+    def _activity_time(self, operator: Operator) -> float:
+        """Timestamp for lifecycle callbacks (``on_input_done``/``on_finish``)."""
+        return self.clock.now()
+
+    def _charge_control(self, operator: Operator) -> None:
+        """Account for one control message before it is dispatched."""
+        operator.set_now(self._activity_time(operator))
+
+    def _defer_control(self, operator: Operator, arrival: float) -> None:
+        """A pending message arrives only at ``arrival``; revisit then."""
+
+    def _on_finished(self, operator: Operator, at: float) -> None:
+        """Post-finish plumbing (stamp outputs / wake consumers)."""
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def _begin(self) -> None:
+        if self._started:
+            raise EngineError(
+                f"{type(self).__name__} instances are single-use"
+            )
+        self._started = True
+
+    def _start_operators(self) -> None:
+        for op in self.plan:
+            op.runtime = self
+            op.set_now(0.0)
+            op.on_start()
+
+    # -- control draining ------------------------------------------------------------
+
+    def _next_arrived_control(
+        self, operator: Operator
+    ) -> tuple[ControlMessage | None, OutputEdge | None]:
+        """The next *arrived* control message for ``operator``.
+
+        A message arrives at ``sent_at + control_latency``; heads that
+        have not arrived yet stay queued and are handed to
+        :meth:`_defer_control`, preserving causality when a busy producer
+        generated feedback "in the future" relative to the engine clock.
+        Feedback from consumers is scanned before notices from producers.
+        """
+        now = self.clock.now()
+        latency = self.control_latency
+        for edge in operator.outputs:  # feedback from consumers
+            head = edge.control.peek_upstream()
+            if head is None:
+                continue
+            arrival = head.sent_at + latency
+            if arrival > now + ARRIVAL_EPS:
+                self._defer_control(operator, arrival)
+                continue
+            return edge.control.receive_upstream(), edge
+        for port in operator.inputs:  # notices from producers
+            if port is None:
+                continue
+            head = port.control.peek_downstream()
+            if head is None:
+                continue
+            arrival = head.sent_at + latency
+            if arrival > now + ARRIVAL_EPS:
+                self._defer_control(operator, arrival)
+                continue
+            return port.control.receive_downstream(), None
+        return None, None
+
+    def drain_control(self, operator: Operator) -> bool:
+        """Deliver pending, arrived control for ``operator``; True if any.
+
+        This is the single implementation of NiagaraST's "control messages
+        are given high priority and processed before pending tuples": both
+        engines call it before handing an operator a data page.
+        """
+        delivered = False
+        while True:
+            message, from_edge = self._next_arrived_control(operator)
+            if message is None:
+                return delivered
+            delivered = True
+            operator.metrics.control_messages += 1
+            self._charge_control(operator)
+            if message.kind is ControlMessageKind.FEEDBACK:
+                operator.receive_feedback(message.payload, from_edge=from_edge)
+            elif message.kind is ControlMessageKind.RESULT_REQUEST:
+                operator.on_result_request(message.payload)
+            # END_OF_STREAM / SHUTDOWN are carried via queue closure.
+
+    # -- input completion and finish ---------------------------------------------
+
+    def mark_done_ports(self, operator: Operator) -> bool:
+        """Mark exhausted input ports done (firing ``on_input_done``).
+
+        Returns True when every input is done.
+        """
+        all_done = True
+        for port in operator.inputs:
+            if port is None:
+                continue
+            if not port.done and port.queue.exhausted:
+                port.done = True
+                operator.set_now(self._activity_time(operator))
+                operator.on_input_done(port.index)
+            all_done = all_done and port.done
+        return all_done
+
+    def check_input_completion(self, operator: Operator) -> None:
+        """Finish ``operator`` once all of its inputs are closed and drained."""
+        if operator.finished or isinstance(operator, SourceOperator):
+            return
+        if self.mark_done_ports(operator) and operator.inputs:
+            self.finish_operator(operator)
+
+    def finish_operator(self, operator: Operator) -> None:
+        """Run ``on_finish`` and close the operator's output queues."""
+        if operator.finished:
+            return
+        operator.finished = True
+        at = self._activity_time(operator)
+        operator.set_now(at)
+        operator.on_finish()
+        for edge in operator.outputs:
+            edge.queue.close()
+        self._on_finished(operator, at)
+
+    # -- sources ---------------------------------------------------------------------
+
+    def dispatch_source_element(self, source: SourceOperator, element: Any) -> None:
+        """Emit one replayed source element at the current clock time."""
+        source.set_now(self.clock.now())
+        if element.is_punctuation:
+            source.emit_punctuation(element)
+        else:
+            source.emit(element)
+
+    # -- results ---------------------------------------------------------------------
+
+    def collect_metrics(self) -> PlanMetrics:
+        metrics = PlanMetrics()
+        for op in self.plan:
+            metrics.operator_metrics[op.name] = op.metrics
+            metrics.total_work += op.metrics.busy_time
+        metrics.makespan = self.clock.now()
+        return metrics
+
+    def build_result(self, metrics: PlanMetrics) -> RunResult:
+        return RunResult(
+            plan=self.plan,
+            metrics=metrics,
+            output_log=self.output_log,
+            feedback_log=self.feedback_log,
+        )

@@ -18,22 +18,29 @@ Determinism: events are ordered by ``(time, priority, seq)`` where ``seq``
 is a global counter, so runs are exactly reproducible.  This engine is the
 substitution for the paper's 2.8 GHz Pentium 4 testbed (see DESIGN.md):
 cost *ratios* are preserved while removing host-machine noise.
+
+Architecturally the simulator is a *policy* layer over
+:class:`~repro.engine.runtime.RuntimeCore` (see DESIGN.md section 3): the
+core owns control draining, completion bookkeeping and operator finish;
+this module owns the event heap, the virtual clock, and the cost model.
+Pages are handed to operators through
+:meth:`~repro.operators.base.Operator.process_page`; zero-cost operators
+take the batch fast path, costed operators get a per-element ``meter``
+that charges their cost model and stamps the virtual clock exactly as the
+historical per-element loop did.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
-from repro.core.roles import FeedbackLog
-from repro.engine.metrics import OutputLog, PlanMetrics
 from repro.engine.plan import QueryPlan
+from repro.engine.runtime import RunResult, RuntimeCore
 from repro.errors import EngineError
-from repro.operators.base import Operator, SourceOperator
+from repro.operators.base import InputPort, Operator, SourceOperator
 from repro.stream.clock import VirtualClock
-from repro.stream.control import ControlMessageKind
 
 __all__ = ["Simulator", "RunResult"]
 
@@ -44,46 +51,7 @@ _PRIO_SOURCE = 2
 _PRIO_WORK = 3
 
 
-@dataclass
-class RunResult:
-    """Everything a finished simulation exposes to callers."""
-
-    plan: QueryPlan
-    metrics: PlanMetrics
-    output_log: OutputLog
-    feedback_log: FeedbackLog
-
-    @property
-    def makespan(self) -> float:
-        return self.metrics.makespan
-
-    @property
-    def total_work(self) -> float:
-        return self.metrics.total_work
-
-    def sink(self, name: str) -> Operator:
-        return self.plan.operator(name)
-
-
-class _SimRuntime:
-    """The runtime surface operators see (clock, logs, wake-ups)."""
-
-    def __init__(self, simulator: "Simulator") -> None:
-        self._simulator = simulator
-        self.feedback_log = FeedbackLog()
-        self.output_log = OutputLog()
-
-    def now(self) -> float:
-        return self._simulator.clock.now()
-
-    def notify_control(self, operator: Operator, at: float | None = None) -> None:
-        self._simulator.schedule_control(operator, at=at)
-
-    def notify_data(self, operator: Operator) -> None:
-        self._simulator.schedule_work(operator)
-
-
-class Simulator:
+class Simulator(RuntimeCore):
     """Run a query plan to completion on virtual time.
 
     Parameters
@@ -102,12 +70,10 @@ class Simulator:
         control_latency: float = 0.0,
         max_events: int = 50_000_000,
     ) -> None:
-        plan.validate()
-        self.plan = plan
-        self.clock = VirtualClock()
-        self.control_latency = float(control_latency)
+        super().__init__(
+            plan, VirtualClock(), control_latency=control_latency
+        )
         self.max_events = max_events
-        self.runtime = _SimRuntime(self)
         self._events: list[tuple[float, int, int, str, Any]] = []
         self._seq = itertools.count()
         self._busy_until: dict[str, float] = {}
@@ -115,8 +81,12 @@ class Simulator:
         self._source_iters: dict[str, Iterator[tuple[float, Any]]] = {}
         self._rr_port: dict[str, int] = {}
         self._events_processed = 0
-        self._started = False
         self._actions: list[tuple[float, Callable[[], None]]] = []
+
+    @property
+    def runtime(self) -> "Simulator":
+        """The runtime surface operators see (the simulator itself)."""
+        return self
 
     # ------------------------------------------------------------ scheduling
 
@@ -157,19 +127,40 @@ class Simulator:
             raise EngineError("schedule actions before calling run()")
         self._actions.append((time, action))
 
+    # -- RuntimeCore policy hooks --------------------------------------------------
+
+    def notify_control(self, operator: Operator, at: float | None = None) -> None:
+        self.schedule_control(operator, at=at)
+
+    def notify_data(self, operator: Operator) -> None:
+        self.schedule_work(operator)
+
+    def _activity_time(self, operator: Operator) -> float:
+        return max(self._busy_until[operator.name], self.clock.now())
+
+    def _charge_control(self, operator: Operator) -> None:
+        cost = operator.control_cost
+        busy = max(self._busy_until[operator.name], self.clock.now())
+        busy += cost
+        self._busy_until[operator.name] = busy
+        operator.metrics.busy_time += cost
+        operator.set_now(busy)
+
+    def _defer_control(self, operator: Operator, arrival: float) -> None:
+        self._push(arrival, _PRIO_CONTROL, "control", operator)
+
+    def _on_finished(self, operator: Operator, at: float) -> None:
+        self._after_activity(operator, at=at)
+
     # ------------------------------------------------------------------ run
 
     def run(self) -> RunResult:
-        if self._started:
-            raise EngineError("simulator instances are single-use")
-        self._started = True
+        self._begin()
         for op in self.plan:
-            op.runtime = self.runtime
             self._busy_until[op.name] = 0.0
             self._work_scheduled[op.name] = False
             self._rr_port[op.name] = 0
-            op.set_now(0.0)
-            op.on_start()
+        self._start_operators()
         for source in self.plan.sources():
             iterator = iter(source.events())
             self._source_iters[source.name] = iterator
@@ -211,81 +202,20 @@ class Simulator:
     def _handle_source(self, payload: tuple[SourceOperator, Any]) -> None:
         source, element = payload
         if element is None:  # exhausted: close downstream
-            self._finish_operator(source)
+            self.finish_operator(source)
             return
-        source.set_now(self.clock.now())
-        if element.is_punctuation:
-            source.emit_punctuation(element)
-        else:
-            source.emit(element)
+        self.dispatch_source_element(source, element)
         self._after_activity(source, at=self.clock.now())
         self._schedule_next_source_event(source)
 
     # ------------------------------------------------------------- control
-
-    def _drain_control(self, operator: Operator) -> bool:
-        """Deliver pending, *arrived* control for ``operator``; True if any.
-
-        A message arrives at ``sent_at + control_latency``; heads that have
-        not arrived yet stay queued and get their own control event at the
-        arrival time, preserving causality when a busy producer generated
-        feedback "in the future" relative to the event-loop clock.
-        """
-        delivered = False
-        now = self.clock.now()
-        while True:
-            message = None
-            from_edge = None
-            for edge in operator.outputs:  # feedback from consumers
-                head = edge.control.peek_upstream()
-                if head is None:
-                    continue
-                if head.sent_at + self.control_latency > now + 1e-12:
-                    self._push(
-                        head.sent_at + self.control_latency,
-                        _PRIO_CONTROL, "control", operator,
-                    )
-                    continue
-                message = edge.control.receive_upstream()
-                from_edge = edge
-                break
-            if message is None:
-                for port in operator.inputs:  # notices from producers
-                    if port is None:
-                        continue
-                    head = port.control.peek_downstream()
-                    if head is None:
-                        continue
-                    if head.sent_at + self.control_latency > now + 1e-12:
-                        self._push(
-                            head.sent_at + self.control_latency,
-                            _PRIO_CONTROL, "control", operator,
-                        )
-                        continue
-                    message = port.control.receive_downstream()
-                    break
-            if message is None:
-                return delivered
-            delivered = True
-            operator.metrics.control_messages += 1
-            cost = operator.control_cost
-            busy = max(self._busy_until[operator.name], self.clock.now())
-            busy += cost
-            self._busy_until[operator.name] = busy
-            operator.metrics.busy_time += cost
-            operator.set_now(busy)
-            if message.kind is ControlMessageKind.FEEDBACK:
-                operator.receive_feedback(message.payload, from_edge=from_edge)
-            elif message.kind is ControlMessageKind.RESULT_REQUEST:
-                operator.on_result_request(message.payload)
-            # END_OF_STREAM / SHUTDOWN are carried via queue closure.
 
     def _handle_control(self, operator: Operator) -> None:
         if operator.finished:
             # Late feedback to a finished operator is dropped; the stream
             # is over and there is nothing left to exploit.
             return
-        self._drain_control(operator)
+        self.drain_control(operator)
         self._after_activity(operator)
         if self._has_data_work(operator):
             self.schedule_work(operator)
@@ -298,7 +228,7 @@ class Simulator:
             for port in operator.inputs
         )
 
-    def _next_port_with_work(self, operator: Operator):
+    def _next_port_with_work(self, operator: Operator) -> InputPort | None:
         """The port whose head page became available earliest.
 
         Ties break round-robin so neither input of a join can starve.
@@ -323,11 +253,39 @@ class Simulator:
             ) % max(1, len(ports))
         return best
 
+    def _make_meter(
+        self, operator: Operator, port_index: int
+    ) -> Callable[[Any], None]:
+        """Per-element accounting hook for costed operators.
+
+        Charges the admission cost and advances the operator's busy
+        horizon before each element is dispatched; flushes produced by the
+        *previous* element are stamped at that element's finish time, so
+        output availability matches the historical per-element loop
+        exactly.  The final element's flushes are stamped by the trailing
+        ``_after_activity`` in :meth:`_handle_work`.
+        """
+        name = operator.name
+        first = True
+
+        def meter(element: Any) -> None:
+            nonlocal first
+            if not first:
+                self._after_activity(operator, at=self._busy_until[name])
+            first = False
+            cost = operator.admission_cost(port_index, element)
+            busy = self._busy_until[name] + cost
+            operator.metrics.busy_time += cost
+            self._busy_until[name] = busy
+            operator.set_now(busy)
+
+        return meter
+
     def _handle_work(self, operator: Operator) -> None:
         self._work_scheduled[operator.name] = False
         if operator.finished:
             return
-        self._drain_control(operator)
+        self.drain_control(operator)
         port = self._next_port_with_work(operator)
         if port is not None:
             page = port.queue.get_page()
@@ -335,51 +293,21 @@ class Simulator:
                 self._busy_until[operator.name],
                 page.available_at or 0.0,
             )
-            for element in page:
-                cost = operator.admission_cost(port.index, element)
-                busy += cost
-                operator.metrics.busy_time += cost
-                self._busy_until[operator.name] = busy
-                operator.set_now(busy)
-                operator.process_element(port.index, element)
-                self._after_activity(operator, at=busy)
-        self._check_input_completion(operator)
+            self._busy_until[operator.name] = busy
+            operator.set_now(busy)
+            if operator.needs_metering:
+                operator.process_page(
+                    port.index, page,
+                    meter=self._make_meter(operator, port.index),
+                )
+            else:
+                # Zero-cost operator: the virtual clock cannot move during
+                # the page, so the batch fast path is timing-exact.
+                operator.process_page(port.index, page)
+        self.check_input_completion(operator)
         self._after_activity(operator, at=self._busy_until[operator.name])
         if not operator.finished and self._has_data_work(operator):
             self.schedule_work(operator, at=self._earliest_ready(operator))
-
-    # ------------------------------------------------------------ completion
-
-    def _check_input_completion(self, operator: Operator) -> None:
-        if operator.finished or isinstance(operator, SourceOperator):
-            return
-        all_done = True
-        for port in operator.inputs:
-            if port is None:
-                continue
-            if not port.done and port.queue.exhausted:
-                port.done = True
-                operator.set_now(
-                    max(self._busy_until[operator.name], self.clock.now())
-                )
-                operator.on_input_done(port.index)
-            all_done = all_done and port.done
-        if all_done and operator.inputs:
-            self._finish_operator(operator)
-
-    def _finish_operator(self, operator: Operator) -> None:
-        if operator.finished:
-            return
-        operator.finished = True
-        operator.set_now(
-            max(self._busy_until[operator.name], self.clock.now())
-        )
-        operator.on_finish()
-        for edge in operator.outputs:
-            edge.queue.close()
-        self._after_activity(
-            operator, at=max(self._busy_until[operator.name], self.clock.now())
-        )
 
     # -------------------------------------------------------------- plumbing
 
@@ -406,16 +334,9 @@ class Simulator:
         return self.clock.now() if earliest is None else earliest
 
     def _finalise(self) -> RunResult:
-        metrics = PlanMetrics(events_processed=self._events_processed)
-        for op in self.plan:
-            metrics.operator_metrics[op.name] = op.metrics
-            metrics.total_work += op.metrics.busy_time
+        metrics = self.collect_metrics()
+        metrics.events_processed = self._events_processed
         metrics.makespan = max(
             [self.clock.now()] + list(self._busy_until.values())
         )
-        return RunResult(
-            plan=self.plan,
-            metrics=metrics,
-            output_log=self.runtime.output_log,
-            feedback_log=self.runtime.feedback_log,
-        )
+        return self.build_result(metrics)

@@ -13,6 +13,19 @@ arrival, control before data.  Timing-sensitive experiments use the
 simulator; this runtime exists to show the feedback framework is not
 simulator-bound and to exercise real concurrency in tests.
 
+Like the simulator, this engine is a *policy* layer over
+:class:`~repro.engine.runtime.RuntimeCore` (see DESIGN.md section 3): the
+core owns control draining (including ``control_latency`` arrival
+semantics, which this runtime honours on the wall clock), completion
+bookkeeping and operator finish; this module owns the threads and the
+condition-variable wake-ups.  Waits are purely notification-driven --
+every state change (page flushed, queue closed, control sent) happens
+under the plan lock and is followed by a ``notify_all`` -- so idle
+operators consume no CPU; the run-level ``timeout`` is only a watchdog on
+thread joins.  Operators receive whole pages through
+:meth:`~repro.operators.base.Operator.process_page`, i.e. the batch fast
+path, since wall-clock time needs no per-element metering.
+
 Operators' ``now()`` reports wall-clock seconds since the run started, so
 sink arrival logs remain meaningful (if noisy).
 """
@@ -21,42 +34,54 @@ from __future__ import annotations
 
 import threading
 
-from repro.core.roles import FeedbackLog
-from repro.engine.metrics import OutputLog, PlanMetrics
 from repro.engine.plan import QueryPlan
-from repro.engine.simulator import RunResult
+from repro.engine.runtime import RunResult, RuntimeCore
 from repro.errors import EngineError
 from repro.operators.base import Operator, SourceOperator
 from repro.stream.clock import WallClock
-from repro.stream.control import ControlMessageKind
 
 __all__ = ["ThreadedRuntime"]
 
 
-class ThreadedRuntime:
-    """Run a plan with one thread per operator and wake-up signalling."""
+class ThreadedRuntime(RuntimeCore):
+    """Run a plan with one thread per operator and wake-up signalling.
 
-    def __init__(self, plan: QueryPlan, *, timeout: float = 60.0) -> None:
-        plan.validate()
-        self.plan = plan
+    Parameters
+    ----------
+    timeout:
+        Run-level watchdog: maximum wall-clock seconds to wait for each
+        operator thread to finish (worker waits themselves are untimed and
+        purely notification-driven).
+    control_latency:
+        Wall-clock seconds between sending a control message and its
+        arrival, mirroring the simulator's feedback propagation delay
+        (default 0: messages are visible immediately).
+    """
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        *,
+        timeout: float = 60.0,
+        control_latency: float = 0.0,
+    ) -> None:
+        super().__init__(
+            plan, WallClock(), control_latency=control_latency
+        )
         self.timeout = timeout
-        self.clock = WallClock()
-        self.feedback_log = FeedbackLog()
-        self.output_log = OutputLog()
         self._lock = threading.RLock()
         self._wakeup = threading.Condition(self._lock)
-        self._started = False
+        #: Earliest pending-but-unarrived control arrival per operator;
+        #: bounds that operator's next wait so delivery is not missed.
+        self._control_deadline: dict[str, float] = {}
 
     # -- runtime surface seen by operators ----------------------------------------
-
-    def now(self) -> float:
-        return self.clock.now()
 
     def notify_control(
         self, operator: Operator, at: float | None = None
     ) -> None:
-        # Wall-clock runtime: messages are visible immediately; ``at`` is a
-        # virtual-time hint that only the simulator needs.
+        # ``at`` is a virtual-time hint only the simulator needs; arrival
+        # gating happens in the core's drain via ``control_latency``.
         with self._lock:
             self._wakeup.notify_all()
 
@@ -64,56 +89,58 @@ class ThreadedRuntime:
         with self._lock:
             self._wakeup.notify_all()
 
+    # -- RuntimeCore policy hooks --------------------------------------------------
+
+    def drain_control(self, operator: Operator) -> bool:
+        # Deadlines are recomputed from scratch on every drain: the core
+        # re-defers whatever is still in flight.
+        self._control_deadline.pop(operator.name, None)
+        return super().drain_control(operator)
+
+    def _defer_control(self, operator: Operator, arrival: float) -> None:
+        deadline = self._control_deadline.get(operator.name)
+        if deadline is None or arrival < deadline:
+            self._control_deadline[operator.name] = arrival
+
+    def _on_finished(self, operator: Operator, at: float) -> None:
+        self._wakeup.notify_all()
+
     # -- thread bodies --------------------------------------------------------------
 
-    def _drain_control(self, operator: Operator) -> bool:
-        drained = False
-        while True:
-            message, from_edge = None, None
-            for edge in operator.outputs:
-                message = edge.control.receive_upstream()
-                if message is not None:
-                    from_edge = edge
-                    break
-            if message is None:
-                for port in operator.inputs:
-                    if port is None:
-                        continue
-                    message = port.control.receive_downstream()
-                    if message is not None:
-                        break
-            if message is None:
-                return drained
-            drained = True
-            operator.metrics.control_messages += 1
-            operator.set_now(self.clock.now())
-            if message.kind is ControlMessageKind.FEEDBACK:
-                operator.receive_feedback(message.payload, from_edge=from_edge)
-            elif message.kind is ControlMessageKind.RESULT_REQUEST:
-                operator.on_result_request(message.payload)
+    def _wait_for_work(self, operator: Operator) -> None:
+        """Sleep until a page or control message arrives.
+
+        Purely notification-driven; the only timed wait is the arrival
+        deadline of an in-flight (deferred) control message.
+        """
+        deadline = self._control_deadline.get(operator.name)
+        if deadline is None:
+            self._wakeup.wait()
+        else:
+            self._wakeup.wait(timeout=max(0.0, deadline - self.clock.now()))
 
     def _source_body(self, source: SourceOperator) -> None:
         for _arrival, element in source.events():
             with self._lock:
-                self._drain_control(source)
-                source.set_now(self.clock.now())
-                if element.is_punctuation:
-                    source.emit_punctuation(element)
-                else:
-                    source.emit(element)
+                self.drain_control(source)
+                self.dispatch_source_element(source, element)
                 self._wakeup.notify_all()
         with self._lock:
-            self._drain_control(source)
-            source.finished = True
-            source.on_finish()
-            for edge in source.outputs:
-                edge.queue.close()
+            # Same rule as the simulator: arrived control is delivered,
+            # but feedback still in flight toward an exhausted source is
+            # dropped -- the stream is over and there is nothing left to
+            # exploit.
+            self.drain_control(source)
+            self.finish_operator(source)
             self._wakeup.notify_all()
 
     def _operator_body(self, operator: Operator) -> None:
         while True:
             with self._wakeup:
-                self._drain_control(operator)
+                if self.drain_control(operator):
+                    # Feedback handling may have emitted (partial results,
+                    # flushes); consumers must hear about it.
+                    self._wakeup.notify_all()
                 page, port = None, None
                 for candidate in operator.inputs:
                     if candidate is None:
@@ -123,49 +150,21 @@ class ThreadedRuntime:
                         port = candidate
                         break
                 if page is None:
-                    if self._all_inputs_done(operator):
-                        self._finish(operator)
+                    self.check_input_completion(operator)
+                    if operator.finished:
                         return
-                    # Sleep until a page or control message arrives.
-                    self._wakeup.wait(timeout=0.1)
+                    self._wait_for_work(operator)
                     continue
                 operator.set_now(self.clock.now())
-                for element in page:
-                    operator.process_element(port.index, element)
-                self._mark_done_ports(operator)
+                operator.process_page(port.index, page)
+                self.mark_done_ports(operator)
                 self._wakeup.notify_all()
-
-    def _all_inputs_done(self, operator: Operator) -> bool:
-        self._mark_done_ports(operator)
-        return all(
-            port is None or port.done for port in operator.inputs
-        )
-
-    def _mark_done_ports(self, operator: Operator) -> None:
-        for port in operator.inputs:
-            if port is not None and not port.done and port.queue.exhausted:
-                port.done = True
-                operator.set_now(self.clock.now())
-                operator.on_input_done(port.index)
-
-    def _finish(self, operator: Operator) -> None:
-        operator.finished = True
-        operator.set_now(self.clock.now())
-        operator.on_finish()
-        for edge in operator.outputs:
-            edge.queue.close()
-        self._wakeup.notify_all()
 
     # -- run -------------------------------------------------------------------------
 
     def run(self) -> RunResult:
-        if self._started:
-            raise EngineError("ThreadedRuntime instances are single-use")
-        self._started = True
-        for op in self.plan:
-            op.runtime = self
-            op.set_now(0.0)
-            op.on_start()
+        self._begin()
+        self._start_operators()
         threads: list[threading.Thread] = []
         for op in self.plan:
             if isinstance(op, SourceOperator):
@@ -185,14 +184,4 @@ class ThreadedRuntime:
                     f"operator thread {thread.name} did not finish within "
                     f"{self.timeout}s"
                 )
-        metrics = PlanMetrics()
-        for op in self.plan:
-            metrics.operator_metrics[op.name] = op.metrics
-            metrics.total_work += op.metrics.busy_time
-        metrics.makespan = self.clock.now()
-        return RunResult(
-            plan=self.plan,
-            metrics=metrics,
-            output_log=self.output_log,
-            feedback_log=self.feedback_log,
-        )
+        return self.build_result(self.collect_metrics())

@@ -30,7 +30,7 @@ story (section 5, "Feedback Support").
 from __future__ import annotations
 
 import abc
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.feedback import FeedbackIntent, FeedbackPunctuation
 from repro.core.guards import GuardSet
@@ -244,6 +244,23 @@ class Operator(abc.ABC):
             return self.guard_check_cost
         return self.cost_of(element)
 
+    @property
+    def needs_metering(self) -> bool:
+        """Whether engines must charge this operator's cost per element.
+
+        False (the common case: every cost knob is zero and no cost hook
+        is overridden) lets a virtual-time engine hand whole pages to
+        :meth:`process_page` without a per-element meter -- the clock
+        cannot move during the page, so batch dispatch is timing-exact.
+        """
+        return (
+            self.tuple_cost != 0.0
+            or self.punctuation_cost != 0.0
+            or self.guard_check_cost != 0.0
+            or type(self).cost_of is not Operator.cost_of
+            or type(self).admission_cost is not Operator.admission_cost
+        )
+
     # ------------------------------------------------------------- lifecycle
 
     def on_start(self) -> None:
@@ -258,7 +275,11 @@ class Operator(abc.ABC):
     # --------------------------------------------------------- data handling
 
     def process_element(self, port_index: int, element: Any) -> None:
-        """Engine entry point for one stream element on one input."""
+        """Entry point for one stream element on one input.
+
+        Engines deliver whole pages through :meth:`process_page`; this
+        remains the per-element path for harnesses and direct tests.
+        """
         port = self.input_port(port_index)
         if element.is_punctuation:
             self.metrics.punctuations_in += 1
@@ -273,6 +294,79 @@ class Operator(abc.ABC):
             self.on_guarded_drop(port_index, element)
             return
         self.on_tuple(port_index, element)
+
+    def process_page(
+        self,
+        port_index: int,
+        page: Iterable[Any],
+        *,
+        meter: Callable[[Any], None] | None = None,
+    ) -> None:
+        """Engine entry point for one page of elements on one input.
+
+        One pass over the page: guard-dropped tuples are filtered up
+        front, runs of surviving tuples between punctuations are handed to
+        :meth:`on_page` in bulk, and punctuations get exactly the
+        :meth:`process_element` treatment (guard expiry, then
+        :meth:`on_punctuation`).
+
+        ``meter`` is an engine-supplied per-element accounting hook (cost
+        charging, clock stamping).  When present, elements are dispatched
+        one at a time so emission times interleave with the metered clock
+        exactly as the per-element path does; when absent, the batch fast
+        path applies.
+        """
+        port = self.input_port(port_index)
+        guards = port.guards
+        metrics = self.metrics
+        metrics.pages_in += 1
+
+        if meter is not None:
+            for element in page:
+                meter(element)
+                self.process_element(port_index, element)
+            return
+
+        metrics.pages_batched += 1
+        # Hoisted guard check: pages are overwhelmingly guard-free, and
+        # punctuation is the only thing that can change the guard set
+        # mid-page (installs arrive via control, drained before the page).
+        blocks = guards.blocks if len(guards) else None
+        batch: list = []
+        for element in page:
+            if element.is_punctuation:
+                if batch:
+                    metrics.tuples_in += len(batch)
+                    self.on_page(port_index, batch)
+                    batch = []
+                metrics.punctuations_in += 1
+                released = guards.expire_with(element)
+                if released:
+                    self.on_guards_expired(port_index, element, released)
+                self.on_punctuation(port_index, element)
+                blocks = guards.blocks if len(guards) else None
+                continue
+            if blocks is not None and blocks(element):
+                metrics.tuples_in += 1
+                metrics.input_guard_drops += 1
+                self.on_guarded_drop(port_index, element)
+                continue
+            batch.append(element)
+        if batch:
+            metrics.tuples_in += len(batch)
+            self.on_page(port_index, batch)
+
+    def on_page(self, port_index: int, batch: list) -> None:
+        """Batch hook: process a run of guard-surviving data tuples.
+
+        The default dispatches per element, which is correct for every
+        operator; stateless operators override it with a native batch
+        implementation (one pass, bulk emission) for throughput.
+        Overrides must be element-wise equivalent to :meth:`on_tuple` --
+        the page boundary carries no semantics.
+        """
+        for tup in batch:
+            self.on_tuple(port_index, tup)
 
     @abc.abstractmethod
     def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
@@ -317,6 +411,31 @@ class Operator(abc.ABC):
         self.metrics.tuples_out += 1
         self.outputs[output_index].queue.put(tup)
         return True
+
+    def emit_many(self, tuples: Sequence[StreamTuple]) -> int:
+        """Send a batch of result tuples downstream (all outputs).
+
+        Applies output guards; returns the number of tuples actually
+        emitted.  This is the bulk counterpart of :meth:`emit` used by
+        native :meth:`on_page` implementations: one guard pass, then one
+        :meth:`~repro.stream.queues.DataQueue.put_many` per output edge.
+        """
+        if len(self.output_guards):
+            kept = []
+            blocks = self.output_guards.blocks
+            for tup in tuples:
+                if blocks(tup):
+                    self.metrics.output_guard_drops += 1
+                else:
+                    kept.append(tup)
+        else:
+            kept = list(tuples)
+        if not kept:
+            return 0
+        self.metrics.tuples_out += len(kept)
+        for edge in self.outputs:
+            edge.queue.put_many(kept)
+        return len(kept)
 
     def emit_punctuation(self, punct: Punctuation) -> None:
         """Send an embedded punctuation downstream (flushes pages).

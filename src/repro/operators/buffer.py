@@ -66,6 +66,28 @@ class PriorityBuffer(Operator):
         while len(self._pending) >= self.capacity:
             self._release_one()
 
+    def on_page(self, port_index: int, batch: list) -> None:
+        """Batch path for the FIFO regime: drain releases in one emission.
+
+        With desires active, release order is data-dependent (a desired
+        tuple later in the run must not overtake scans that per-element
+        arrival would not have seen), so the per-element path is kept.
+        """
+        if self._desires:
+            for tup in batch:
+                self.on_tuple(port_index, tup)
+            return
+        pending = self._pending
+        released: list[StreamTuple] = []
+        for tup in batch:
+            pending.append(tup)
+            self.metrics.grow_state()
+            while len(pending) >= self.capacity:
+                released.append(pending.popleft())
+                self.metrics.shrink_state()
+        if released:
+            self.emit_many(released)
+
     def on_punctuation(self, port_index: int, punct: Punctuation) -> None:
         """Punctuation flushes covered pending tuples, then forwards.
 

@@ -78,6 +78,11 @@ class Map(Operator):
     def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
         self.emit(self._fn(tup))
 
+    def on_page(self, port_index: int, batch: list) -> None:
+        """Batch path: apply the function over the run, emit in bulk."""
+        fn = self._fn
+        self.emit_many([fn(t) for t in batch])
+
     def on_punctuation(self, port_index: int, punct: Punctuation) -> None:
         """Forward a punctuation widened onto carried attributes only.
 

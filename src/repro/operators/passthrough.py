@@ -31,3 +31,7 @@ class PassThrough(Operator):
 
     def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
         self.emit(tup)
+
+    def on_page(self, port_index: int, batch: list) -> None:
+        """Batch path: forward the whole run in one bulk emission."""
+        self.emit_many(batch)

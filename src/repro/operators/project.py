@@ -53,6 +53,15 @@ class Project(Operator):
         values = [tup.values[i] for i in self._indices]
         self.emit(StreamTuple(self.output_schema, values))
 
+    def on_page(self, port_index: int, batch: list) -> None:
+        """Batch path: project the whole run, then one bulk emission."""
+        schema = self.output_schema
+        indices = self._indices
+        self.emit_many([
+            StreamTuple(schema, [t.values[i] for i in indices])
+            for t in batch
+        ])
+
     def on_punctuation(self, port_index: int, punct: Punctuation) -> None:
         """Project the punctuation pattern; forward only when lossless.
 

@@ -52,6 +52,11 @@ class Select(Operator):
         if self._predicate(tup):
             self.emit(tup)
 
+    def on_page(self, port_index: int, batch: list) -> None:
+        """Batch path: one predicate pass, one bulk emission."""
+        predicate = self._predicate
+        self.emit_many([t for t in batch if predicate(t)])
+
     def on_assumed(self, feedback: FeedbackPunctuation) -> list[ExploitAction]:
         """Add the punctuation to the select condition (an input guard)."""
         self.input_port(0).guards.install(

@@ -57,6 +57,23 @@ class Page:
             self._complete = True
         return self._complete
 
+    def take_from(self, elements: List[Any], start: int) -> int:
+        """Bulk-append data tuples from ``elements[start:]`` until full.
+
+        Returns the index of the first element *not* taken.  Callers must
+        pass plain data tuples only -- punctuation completes a page and
+        must go through :meth:`append` so the flush-on-punctuation rule
+        holds.
+        """
+        if self._complete:
+            raise EngineError("cannot append to a complete page")
+        room = self.capacity - len(self.elements)
+        chunk = elements[start:start + room]
+        self.elements.extend(chunk)
+        if len(self.elements) >= self.capacity:
+            self._complete = True
+        return start + len(chunk)
+
     @property
     def complete(self) -> bool:
         return self._complete

@@ -56,6 +56,28 @@ class DataQueue:
             self.pages_flushed += 1
         return completed
 
+    def put_many(self, elements: list) -> int:
+        """Enqueue a batch of data tuples; return the pages completed.
+
+        The bulk counterpart of :meth:`put` for the page-batched operator
+        path: elements are copied into the open page in slices instead of
+        one append call each.  Punctuation must still go through
+        :meth:`put` (it completes the open page); callers hand this method
+        runs of plain tuples between punctuations.
+        """
+        total = len(elements)
+        self.elements_enqueued += total
+        completed = 0
+        index = 0
+        while index < total:
+            index = self._open_page.take_from(elements, index)
+            if self._open_page.complete:
+                self._ready.append(self._open_page)
+                self._open_page = Page(self.page_size)
+                self.pages_flushed += 1
+                completed += 1
+        return completed
+
     def flush(self) -> bool:
         """Seal and enqueue the open page if it holds anything."""
         if self._open_page.empty:
