@@ -5,69 +5,59 @@ Section 3.4's demanded example: a speculator's margin of action is a few
 seconds; a best-guess trend *now* beats the exact answer after the window
 closes.  The plan aggregates exchange-rate ticks into 10-second average
 windows in **poll mode** (results are buffered, not streamed -- paper
-Example 4), and the client:
+Example 4), and the client behaviour is *declared* on the run call:
 
-1. ``demand()``s  ``![window=2, pair=1, *]`` mid-window -- the aggregate
-   unblocks and emits its current partial average immediately;
-2. ``poll()``s at the end -- buffered exact results flow out.
+1. at t=25 s it ``demand()``s  ``![window=2, pair=1, *]`` mid-window --
+   the aggregate unblocks and emits its current partial average
+   immediately;
+2. at t=61 s it ``poll()``s -- buffered exact results flow out.
 
 Run:  python examples/on_demand_finance.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    AggregateKind,
-    OnDemandSink,
-    PunctuatedSource,
-    QueryPlan,
-    Simulator,
-    WindowAggregate,
-)
+from repro import Flow
+from repro.api import avg
 from repro.punctuation import Pattern
 from repro.workloads import FinanceWorkload, TICK_SCHEMA
 
 
 def main() -> None:
     workload = FinanceWorkload(pairs=4, ticks_per_second=20.0, horizon=60.0)
-    plan = QueryPlan("speculator")
-    source = PunctuatedSource(
-        "ticks", TICK_SCHEMA, workload.timeline(),
-        punctuate_on="timestamp", punctuation_interval=10.0,
+    flow = Flow("speculator")
+    trend = (
+        flow.source(TICK_SCHEMA, workload.timeline(), name="ticks")
+            .punctuate(on="timestamp", every=10.0)
+            .window(avg("rate"), on="timestamp", width=10.0, by="pair_id",
+                    name="trend", value_name="avg_rate",
+                    emit_on_close=False)      # poll mode: buffer exact results
     )
-    trend = WindowAggregate(
-        "trend", TICK_SCHEMA,
-        kind=AggregateKind.AVG,
-        window_attribute="timestamp",
-        width=10.0,
-        value_attribute="rate",
-        group_by=("pair_id",),
-        value_name="avg_rate",
-        emit_on_close=False,      # poll mode: buffer exact results
-    )
-    sink = OnDemandSink("client", trend.output_schema)
-    plan.add(source)
-    plan.chain(source, trend, sink)
+    trend.on_demand("client")
 
-    simulator = Simulator(plan)
     demand_pattern = Pattern.from_mapping(
-        trend.output_schema, {"window": 2, "pair_id": 1}
+        trend.schema, {"window": 2, "pair_id": 1}
     )
-    # t=25s: window 2 spans [20, 30) -- it is still open.  Demand it.
-    simulator.at(25.0, lambda: sink.demand(demand_pattern))
-    # t=61s: the trading day is over; collect everything that is buffered.
-    simulator.at(61.0, lambda: sink.poll())
-    result = simulator.run()
+    result = flow.run(
+        engine="simulated",
+        actions=[
+            # t=25s: window 2 spans [20, 30) -- still open.  Demand it.
+            (25.0, lambda plan: plan.operator("client").demand(demand_pattern)),
+            # t=61s: the trading day is over; collect what is buffered.
+            (61.0, lambda plan: plan.operator("client").poll()),
+        ],
+    )
+    sink = result.plan.operator("client")
 
     partials = [
         (t, r) for t, r in sink.arrivals
         if r["window"] == 2 and r["pair_id"] == 1
     ]
     print(f"total results delivered: {len(sink.results)}")
-    print(f"feedback log:")
+    print("feedback log:")
     for event in result.feedback_log:
         print("   ", event)
-    print(f"\nwindow 2 / pair 1 deliveries (demanded at t=25):")
+    print("\nwindow 2 / pair 1 deliveries (demanded at t=25):")
     for t, r in partials:
         kind = "partial (before window close!)" if t < 30.0 else "exact"
         print(f"    t={t:6.2f}s  avg_rate={r['avg_rate']:.6f}  [{kind}]")

@@ -11,75 +11,73 @@ joined results for the requested keys appear earlier -- the *content* of
 the result never changes, only its timing (the defining property of
 desired feedback).
 
+Built on the fluent surface: the two branches meet at the custom join via
+``flow.merge``, and the FIFO arm reuses the same flow shape with a
+``configure=`` knob switching the buffer's feedback awareness off.
+
 Run:  python examples/priorities.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    CollectSink,
-    ImpatientJoin,
-    ListSource,
-    PriorityBuffer,
-    QueryPlan,
-    Schema,
-    Simulator,
-    StreamTuple,
-)
+from repro import Flow, ImpatientJoin, Schema, StreamTuple
+
+SENSOR_SCHEMA = Schema([
+    ("period", "int", True), ("segment", "int"), ("reading", "float"),
+])
+VEHICLE_SCHEMA = Schema([
+    ("period", "int", True), ("segment", "int"), ("speed", "float"),
+])
 
 
-def build(prioritised: bool):
-    sensor_schema = Schema([
-        ("period", "int", True), ("segment", "int"), ("reading", "float"),
-    ])
-    vehicle_schema = Schema([
-        ("period", "int", True), ("segment", "int"), ("speed", "float"),
-    ])
-
+def build(prioritised: bool) -> Flow:
     # Dense sensor feed: every (period, segment) pair for 40 periods.
     sensor_timeline = []
     for period in range(40):
         for segment in range(6):
             tup = StreamTuple(
-                sensor_schema, (period, segment, 50.0 + segment)
+                SENSOR_SCHEMA, (period, segment, 50.0 + segment)
             )
             sensor_timeline.append((period * 0.1, tup))
     # Sparse vehicle feed: a handful of late, high-value observations.
     vehicle_timeline = [
-        (0.05, StreamTuple(vehicle_schema, (7, 3, 22.0))),
-        (0.06, StreamTuple(vehicle_schema, (9, 1, 31.0))),
-        (0.07, StreamTuple(vehicle_schema, (20, 5, 18.0))),
+        (0.05, StreamTuple(VEHICLE_SCHEMA, (7, 3, 22.0))),
+        (0.06, StreamTuple(VEHICLE_SCHEMA, (9, 1, 31.0))),
+        (0.07, StreamTuple(VEHICLE_SCHEMA, (20, 5, 18.0))),
     ]
 
-    plan = QueryPlan("impatient" + ("-prio" if prioritised else ""))
-    sensors = ListSource("sensors", sensor_schema, sensor_timeline)
-    vehicles = ListSource("vehicles", vehicle_schema, vehicle_timeline)
-    buffer = PriorityBuffer(
-        "sensor_buffer", sensor_schema, capacity=120, tuple_cost=0.01
+    flow = Flow(
+        "impatient" + ("-prio" if prioritised else ""), page_size=1
     )
-    join = ImpatientJoin(
-        "impatient_join",
-        vehicle_schema,
-        sensor_schema,
-        on=[("period", "period"), ("segment", "segment")],
-        eager_input=0,
+    vehicles = flow.source(VEHICLE_SCHEMA, vehicle_timeline, name="vehicles")
+    buffered = flow.source(
+        SENSOR_SCHEMA, sensor_timeline, name="sensors"
+    ).buffer(
+        capacity=120, name="sensor_buffer", tuple_cost=0.01,
+        # The FIFO arm ignores the join's desires.
+        configure=None if prioritised else (
+            lambda op: setattr(op, "feedback_aware", False)
+        ),
     )
-    if not prioritised:
-        buffer.feedback_aware = False  # ignore the join's desires
-    sink = CollectSink("out", join.output_schema)
-    for op in (sensors, vehicles, buffer, join, sink):
-        plan.add(op)
-    plan.connect(sensors, buffer, page_size=1)
-    plan.connect(buffer, join, port=1, page_size=1)
-    plan.connect(vehicles, join, port=0, page_size=1)
-    plan.connect(join, sink, page_size=1)
-    return plan, join, buffer, sink
+    flow.merge(
+        lambda: ImpatientJoin(
+            "impatient_join",
+            VEHICLE_SCHEMA,
+            SENSOR_SCHEMA,
+            on=[("period", "period"), ("segment", "segment")],
+            eager_input=0,
+        ),
+        vehicles, buffered,
+    ).collect("out")
+    return flow
 
 
 def main() -> None:
     for prioritised in (False, True):
-        plan, join, buffer, sink = build(prioritised)
-        Simulator(plan).run()
+        result = build(prioritised).run(engine="simulated")
+        join = result.plan.operator("impatient_join")
+        buffer = result.plan.operator("sensor_buffer")
+        sink = result.plan.operator("out")
         label = "with ?-feedback " if prioritised else "FIFO (no desire)"
         first_times = {
             (r["period"], r["segment"]): t for t, r in reversed(sink.arrivals)
@@ -90,7 +88,8 @@ def main() -> None:
         for key in [(7, 3), (9, 1), (20, 5)]:
             when = first_times.get(key)
             rendered = f"{when:.2f}s" if when is not None else "never"
-            print(f"    result for period={key[0]} segment={key[1]}: {rendered}")
+            print(f"    result for period={key[0]} segment={key[1]}: "
+                  f"{rendered}")
 
 
 if __name__ == "__main__":

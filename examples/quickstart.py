@@ -1,88 +1,77 @@
 #!/usr/bin/env python3
 """Quickstart: a first query plan with feedback punctuation.
 
-Builds the smallest interesting pipeline::
+Builds the smallest interesting pipeline on the fluent surface::
 
-    SOURCE -> SELECT -> AVERAGE -> SINK
+    flow.source(...).punctuate(...).where(...).window(avg(...)).collect(...)
 
-runs it once without feedback, then re-runs it while the client injects
-assumed feedback (``¬[window ∈ .., group=1, *]``) -- and shows how the
-guard propagates upstream, how much work it saves, and that the result on
-the *untouched* subset is identical (paper Definition 1).
+runs it on both registered engines ("simulated" and "threaded") and checks
+they produce identical window averages, then re-runs it while the client
+injects assumed feedback (``¬[window ∈ .., group=1, *]``) declared on the
+run call -- and shows how the guard propagates upstream, how much work it
+saves, and that the result on the *untouched* subset is identical (paper
+Definition 1).
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    AggregateKind,
-    CollectSink,
-    ListSource,
-    QueryPlan,
-    Schema,
-    Select,
-    Simulator,
-    StreamTuple,
-    WindowAggregate,
-)
+from repro import Flow, Schema, StreamTuple, available_engines
+from repro.api import avg
 from repro.lang import parse_feedback
-from repro.punctuation import ProgressPunctuator
+
+SCHEMA = Schema([
+    ("timestamp", "timestamp", True),
+    ("sensor", "int"),
+    ("value", "float"),
+])
+
+# 600 readings over 60 seconds from 3 sensors.
+READINGS = [
+    (i * 0.1, StreamTuple(SCHEMA, (i * 0.1, i % 3, float(i % 50))))
+    for i in range(600)
+]
 
 
-def build_plan(label: str):
-    schema = Schema([
-        ("timestamp", "timestamp", True),
-        ("sensor", "int"),
-        ("value", "float"),
-    ])
-    # 600 readings over 60 seconds from 3 sensors, punctuated every 10 s.
-    punctuator = ProgressPunctuator(schema, "timestamp", interval=10.0)
-    timeline = []
-    for i in range(600):
-        ts = i * 0.1
-        tup = StreamTuple(schema, (ts, i % 3, float(i % 50)))
-        timeline.append((ts, tup))
-        for punct in punctuator.observe(ts):
-            timeline.append((ts, punct))
-    timeline.append((60.0, punctuator.final()))
-
-    plan = QueryPlan(label)
-    source = ListSource("source", schema, timeline)
-    keep = Select(
-        "positive", schema, lambda t: t["value"] >= 0.0, tuple_cost=0.002
-    )
-    average = WindowAggregate(
-        "avg_value", schema,
-        kind=AggregateKind.AVG,
-        window_attribute="timestamp",
-        width=10.0,
-        value_attribute="value",
-        group_by=("sensor",),
-        tuple_cost=0.005,
-    )
-    sink = CollectSink("sink", average.output_schema, tuple_cost=0.0)
-    plan.add(source)
-    plan.chain(source, keep, average, sink)
-    return plan, source, keep, average, sink
+def build_flow(label: str) -> Flow:
+    flow = Flow(label)
+    (flow.source(SCHEMA, READINGS)
+         .punctuate(on="timestamp", every=10.0)
+         .where(lambda t: t["value"] >= 0.0, name="positive",
+                tuple_cost=0.002)
+         .window(avg("value"), by="sensor", width=10.0, on="timestamp",
+                 name="avg_value", tuple_cost=0.005)
+         .collect("sink"))
+    return flow
 
 
 def main() -> None:
-    # ---- baseline run ------------------------------------------------------
-    plan, *_ , sink = build_plan("quickstart-baseline")
-    baseline = Simulator(plan).run()
-    print("baseline results:", len(sink.results), "window averages")
+    flow = build_flow("quickstart")
+    print(flow.describe(), "\n")
+
+    # ---- baseline run, on every registered engine --------------------------
+    runs = {
+        engine: flow.run(engine=engine) for engine in available_engines()
+    }
+    baseline = runs["simulated"]
+    tuples = {
+        engine: [t.values for t in run.sink("sink").results]
+        for engine, run in runs.items()
+    }
+    assert all(t == tuples["simulated"] for t in tuples.values())
+    print("engines agree:", ", ".join(runs), "->",
+          len(tuples["simulated"]), "identical window averages")
     print(f"baseline work: {baseline.total_work:.2f}s (virtual)")
 
-    # ---- run with assumed feedback ------------------------------------------
-    plan, source, keep, average, sink = build_plan("quickstart-feedback")
-    simulator = Simulator(plan)
+    # ---- run with assumed feedback, declared on the run call ---------------
+    out_schema = baseline.sink("sink").output_schema
     # The client decides windows 2..5 of sensor 1 are not interesting.
     feedback = parse_feedback(
-        "~[in{2,3,4,5}, 1, *]", schema=average.output_schema, issuer="client"
+        "~[in{2,3,4,5}, 1, *]", schema=out_schema, issuer="client"
     )
-    simulator.at(5.0, lambda: sink.inject_feedback(feedback))
-    run = Simulator.run(simulator)
+    run = flow.run(engine="simulated", feedback=[(5.0, "sink", feedback)])
+    sink = run.sink("sink")
 
     print("\nwith feedback:", len(sink.results), "window averages")
     print(f"with-feedback work: {run.total_work:.2f}s (virtual)")
@@ -90,12 +79,15 @@ def main() -> None:
     for event in run.feedback_log:
         print("  ", event)
     print("\nguard drops:",
-          {op.name: op.metrics.input_guard_drops for op in plan})
+          {op.name: op.metrics.input_guard_drops for op in run.plan})
     suppressed = [
         r for r in sink.results
         if r["sensor"] == 1 and 2 <= r["window"] <= 5
     ]
     print("suppressed-region results present:", len(suppressed), "(expect 0)")
+
+    print("\nGraphviz export (flow.to_dot()):")
+    print(flow.to_dot())
 
 
 if __name__ == "__main__":

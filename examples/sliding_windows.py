@@ -17,75 +17,61 @@ belongs to two windows) and sends ``¬[window ∈ {3, 4}, *]``:
 * the aggregate skips accumulation into windows 3 and 4 only;
 * every other window's sum is bit-identical to the no-feedback run.
 
+One :class:`~repro.api.Flow` serves both arms: flows are re-runnable, and
+the feedback is declared on the second ``run()`` call rather than wired
+into the plan.
+
 Run:  python examples/sliding_windows.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    AggregateKind,
-    CollectSink,
-    FeedbackPunctuation,
-    ListSource,
-    QueryPlan,
-    Select,
-    Simulator,
-    StreamTuple,
-    WindowAggregate,
-)
+from repro import FeedbackPunctuation, Flow, StreamTuple
+from repro.api import aggregates as agg
 from repro.punctuation import InSet, Pattern
 from repro.stream import Schema
 
 SCHEMA = Schema([("ts", "timestamp", True), ("v", "float")])
 
 
-def build(feedback: bool):
+def build_flow() -> Flow:
     rows = [
         (i * 0.5, StreamTuple(SCHEMA, (i * 0.5, float(i)))) for i in range(100)
     ]
-    plan = QueryPlan("sliding" + ("-fb" if feedback else ""))
-    source = ListSource("source", SCHEMA, rows)
-    clean = Select("clean", SCHEMA, lambda t: True, tuple_cost=0.01)
-    total = WindowAggregate(
-        "sum", SCHEMA,
-        kind=AggregateKind.SUM,
-        window_attribute="ts",
-        width=10.0,
-        slide=5.0,            # slide-by-half: overlapping windows
-        value_attribute="v",
-    )
-    sink = CollectSink("sink", total.output_schema)
-    plan.add(source)
-    plan.chain(source, clean, total, sink)
-    simulator = Simulator(plan)
-    if feedback:
-        fb = FeedbackPunctuation.assumed(
-            Pattern.from_mapping(
-                total.output_schema, {"window": InSet({3, 4})}
-            )
-        )
-        simulator.at(0.0, lambda: sink.inject_feedback(fb))
-    return simulator, plan, clean, total, sink
+    flow = Flow("sliding")
+    (flow.source(SCHEMA, rows, name="source")
+         .where(lambda t: True, name="clean", tuple_cost=0.01)
+         .window(agg.sum("v"), on="ts", width=10.0, slide=5.0, name="sum")
+         .collect("sink"))
+    return flow
 
 
 def main() -> None:
-    _, _, _, _, ref_sink = (lambda s: (s[0].run(), *s[1:]))(build(False))
-    sim, plan, clean, total, sink = build(True)
-    sim.run()
+    flow = build_flow()
+    reference = flow.run(engine="simulated")
 
-    reference = {r["window"]: r["sum_v"] for r in ref_sink.results}
-    exploited = {r["window"]: r["sum_v"] for r in sink.results}
+    fb = FeedbackPunctuation.assumed(
+        Pattern.from_mapping(
+            reference.sink("sink").output_schema, {"window": InSet({3, 4})}
+        )
+    )
+    run = flow.run(engine="simulated", feedback=[(0.0, "sink", fb)])
+    clean = run.plan.operator("clean")
+    total = run.plan.operator("sum")
+
+    ref_sums = {r["window"]: r["sum_v"] for r in reference.sink("sink").results}
+    exploited = {r["window"]: r["sum_v"] for r in run.sink("sink").results}
 
     print("window sums (reference vs with ¬[window in {3,4}, *]):")
-    for window in sorted(reference):
+    for window in sorted(ref_sums):
         mark = ""
         if window in (3, 4):
             mark = "   <- suppressed" if window not in exploited else " !!"
-        print(f"  w{window:<2} {reference[window]:>8.1f} "
+        print(f"  w{window:<2} {ref_sums[window]:>8.1f} "
               f"{exploited.get(window, float('nan')):>8.1f}{mark}")
 
     untouched = {w: v for w, v in exploited.items() if w not in (3, 4)}
-    assert untouched == {w: v for w, v in reference.items() if w not in (3, 4)}
+    assert untouched == {w: v for w, v in ref_sums.items() if w not in (3, 4)}
     print("\nall other windows identical:", True)
     print("tuples cleaned (must be all 100):",
           clean.metrics.tuples_in - clean.metrics.input_guard_drops)

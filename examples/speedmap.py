@@ -20,25 +20,23 @@ purges and guards the window, relays the (window -> timestamp-range)
 translation to CLEAN, and CLEAN stops paying the cleaning cost for those
 probe readings.
 
+Both branches are authored on the fluent surface and meet at the custom
+join via ``flow.merge`` -- the escape hatch for operators the verb set
+does not cover.
+
 Run:  python examples/speedmap.py
 """
 
 from __future__ import annotations
 
 from repro import (
-    AggregateKind,
-    CollectSink,
     FeedbackPunctuation,
-    Map,
+    Flow,
     Pattern,
-    PunctuatedSource,
-    QualityFilter,
-    QueryPlan,
-    Simulator,
     SymmetricHashJoin,
-    WindowAggregate,
 )
-from repro.workloads import TrafficWorkload
+from repro.api import avg
+from repro.workloads import DETECTOR_SCHEMA, PROBE_SCHEMA, TrafficWorkload
 
 CONGESTION_THRESHOLD = 45.0
 WINDOW = 20.0
@@ -85,7 +83,7 @@ class CongestionAwareJoin(SymmetricHashJoin):
         )
 
 
-def build(feedback: bool):
+def build(feedback: bool) -> Flow:
     workload = TrafficWorkload(
         segments=9,
         detectors_per_segment=6,
@@ -94,71 +92,62 @@ def build(feedback: bool):
         probes_per_segment=8.0,
         seed=21,
     )
-    plan = QueryPlan("speedmap" + ("-fb" if feedback else ""))
+    flow = Flow("speedmap" + ("-fb" if feedback else ""))
 
     # Left branch: fixed sensors, with a derived window id for the join.
-    from repro.workloads import DETECTOR_SCHEMA, PROBE_SCHEMA
-    sensors = PunctuatedSource(
-        "sensors", DETECTOR_SCHEMA, workload.detector_timeline(),
-        punctuate_on="timestamp", punctuation_interval=WINDOW,
-    )
-    sensor_windows = Map.extending(
-        "sensor_windows", DETECTOR_SCHEMA,
-        [("window", "int", True)],
-        lambda t: (int(t["timestamp"] // WINDOW),),
-        tuple_cost=0.0001,
+    sensor_windows = (
+        flow.source(DETECTOR_SCHEMA, workload.detector_timeline(),
+                    name="sensors")
+            .punctuate(on="timestamp", every=WINDOW)
+            .extend(
+                [("window", "int", True)],
+                lambda t: (int(t["timestamp"] // WINDOW),),
+                name="sensor_windows", tuple_cost=0.0001,
+            )
     )
 
     # Right branch: probe vehicles -> CLEAN -> AGGREGATE(segment, 20 s).
-    vehicles = PunctuatedSource(
-        "vehicles", PROBE_SCHEMA, workload.probe_timeline(),
-        punctuate_on="timestamp", punctuation_interval=WINDOW,
-    )
-    clean = QualityFilter(
-        "clean", PROBE_SCHEMA,
-        lambda t: t["speed"] is not None and 0.0 < t["speed"] < 120.0,
-        tuple_cost=0.004,
-    )
-    aggregate = WindowAggregate(
-        "aggregate", PROBE_SCHEMA,
-        kind=AggregateKind.AVG,
-        window_attribute="timestamp",
-        width=WINDOW,
-        value_attribute="speed",
-        group_by=("segment",),
-        value_name="vehicle_speed",
-        tuple_cost=0.002,
+    aggregated = (
+        flow.source(PROBE_SCHEMA, workload.probe_timeline(),
+                    name="vehicles")
+            .punctuate(on="timestamp", every=WINDOW)
+            .where(
+                lambda t: t["speed"] is not None and 0.0 < t["speed"] < 120.0,
+                name="clean", tuple_cost=0.004,
+            )
+            .window(
+                avg("speed"),
+                on="timestamp", width=WINDOW, by="segment",
+                name="aggregate", value_name="vehicle_speed",
+                tuple_cost=0.002,
+            )
     )
 
     join_cls = CongestionAwareJoin if feedback else SymmetricHashJoin
-    join = join_cls(
-        "speed_join",
-        sensor_windows.output_schema,
-        aggregate.output_schema,
-        on=[("window", "window"), ("segment", "segment")],
-        condition=lambda sensor, agg: (
-            sensor["speed"] is not None
-            and sensor["speed"] < CONGESTION_THRESHOLD
+    flow.merge(
+        lambda: join_cls(
+            "speed_join",
+            sensor_windows.schema,
+            aggregated.schema,
+            on=[("window", "window"), ("segment", "segment")],
+            condition=lambda sensor, agg: (
+                sensor["speed"] is not None
+                and sensor["speed"] < CONGESTION_THRESHOLD
+            ),
+            how="left_outer",
         ),
-        how="left_outer",
-    )
-    sink = CollectSink("speed_map", join.output_schema)
-
-    for op in (sensors, sensor_windows, vehicles, clean, aggregate, join, sink):
-        plan.add(op)
-    plan.connect(sensors, sensor_windows)
-    plan.connect(sensor_windows, join, port=0)
-    plan.connect(vehicles, clean)
-    plan.connect(clean, aggregate)
-    plan.connect(aggregate, join, port=1)
-    plan.connect(join, sink)
-    return plan, clean, aggregate, join, sink
+        sensor_windows, aggregated,
+    ).collect("speed_map")
+    return flow
 
 
 def main() -> None:
     for feedback in (False, True):
-        plan, clean, aggregate, join, sink = build(feedback)
-        result = Simulator(plan).run()
+        result = build(feedback).run(engine="simulated")
+        clean = result.plan.operator("clean")
+        aggregate = result.plan.operator("aggregate")
+        join = result.plan.operator("speed_join")
+        sink = result.plan.operator("speed_map")
         label = "with feedback" if feedback else "no feedback  "
         joined = sum(1 for r in sink.results if r["vehicle_speed"] is not None)
         padded = len(sink.results) - joined

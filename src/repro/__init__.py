@@ -7,25 +7,23 @@ embedded punctuation plus the paper's contribution -- **feedback
 punctuation** flowing against the stream with assumed / desired / demanded
 intents.
 
-Quickstart::
+Quickstart -- the fluent surface (``repro.api``)::
 
-    from repro import (
-        Schema, StreamTuple, QueryPlan, Simulator,
-        ListSource, Select, CollectSink,
-    )
+    from repro import Flow, Schema, StreamTuple
 
     schema = Schema.of("ts", "value")
-    plan = QueryPlan("hello")
-    source = ListSource("src", schema,
-                        [(t, StreamTuple(schema, (t, t * 10))) for t in range(5)])
-    plan.chain(source, Select("keep_even", schema,
-                              lambda t: t["value"] % 20 == 0),
-               CollectSink("out", schema))
-    result = Simulator(plan).run()
+    flow = Flow("hello")
+    (flow.source(schema,
+                 [(t, StreamTuple(schema, (t, t * 10))) for t in range(5)])
+         .where(lambda t: t["value"] % 20 == 0, name="keep_even")
+         .collect("out"))
+    result = flow.run(engine="simulated")   # or engine="threaded"
     print([t.values for t in result.sink("out").results])
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured record.
+Flows compile to :class:`QueryPlan` (the stable IR -- hand-wiring via
+``QueryPlan``/``plan.chain`` remains fully supported) and run on any
+engine registered in ``repro.engine.registry``.  See DESIGN.md for the
+system inventory and EXPERIMENTS.md for the paper-versus-measured record.
 """
 
 from repro.core import (
@@ -49,6 +47,9 @@ from repro.engine import (
     RunResult,
     Simulator,
     ThreadedRuntime,
+    available_engines,
+    create_engine,
+    register_engine,
 )
 from repro.operators import (
     AggregateKind,
@@ -92,6 +93,11 @@ from repro.punctuation import (
 )
 from repro.stream import Attribute, Schema, SchemaMapping, StreamTuple
 
+# The fluent API layers on top of the engine and operator packages, so it
+# must import after them (the engine package must initialise before
+# repro.operators does).
+from repro.api import Flow, StreamHandle
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -108,6 +114,7 @@ __all__ = [
     "FeedbackIntent",
     "FeedbackLog",
     "FeedbackPunctuation",
+    "Flow",
     "GeneratorSource",
     "GreaterThan",
     "GuardSet",
@@ -140,6 +147,7 @@ __all__ = [
     "Select",
     "Simulator",
     "SourceOperator",
+    "StreamHandle",
     "StreamTuple",
     "SymmetricHashJoin",
     "ThreadedRuntime",
@@ -147,7 +155,10 @@ __all__ = [
     "Union",
     "WILDCARD",
     "WindowAggregate",
+    "available_engines",
     "check_correct_exploitation",
+    "create_engine",
+    "register_engine",
     "count_characterization",
     "join_characterization",
     "max_characterization",

@@ -1,0 +1,53 @@
+"""Aggregate specs for the fluent API: ``window(avg("value"), ...)``.
+
+A tiny declarative layer over :class:`~repro.operators.aggregate.
+AggregateKind`: each helper returns an :class:`AggSpec` naming the
+aggregate function and the value attribute it folds, which
+:meth:`~repro.api.flow.StreamHandle.window` expands into a
+:class:`~repro.operators.aggregate.WindowAggregate`.
+
+``sum`` / ``max`` / ``min`` deliberately shadow the builtins *inside this
+module only* (the PySpark ``functions``-module idiom); import them
+qualified or aliased if that bothers you.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.operators.aggregate import AggregateKind
+
+__all__ = ["AggSpec", "avg", "count", "max", "min", "sum"]
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate function applied to one value attribute."""
+
+    kind: str
+    attribute: str | None = None
+
+
+def avg(attribute: str) -> AggSpec:
+    """Arithmetic mean of ``attribute`` per (window, group)."""
+    return AggSpec(AggregateKind.AVG, attribute)
+
+
+def count(attribute: str | None = None) -> AggSpec:
+    """Tuple count per (window, group); the attribute is optional."""
+    return AggSpec(AggregateKind.COUNT, attribute)
+
+
+def sum(attribute: str) -> AggSpec:  # noqa: A001 - functions-module idiom
+    """Sum of ``attribute`` per (window, group)."""
+    return AggSpec(AggregateKind.SUM, attribute)
+
+
+def max(attribute: str) -> AggSpec:  # noqa: A001 - functions-module idiom
+    """Maximum of ``attribute`` per (window, group)."""
+    return AggSpec(AggregateKind.MAX, attribute)
+
+
+def min(attribute: str) -> AggSpec:  # noqa: A001 - functions-module idiom
+    """Minimum of ``attribute`` per (window, group)."""
+    return AggSpec(AggregateKind.MIN, attribute)

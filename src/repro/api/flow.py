@@ -1,0 +1,924 @@
+"""The fluent dataflow API: ``Flow`` builders compiling to ``QueryPlan``.
+
+The paper's pitch is that feedback slots under a *declarative* surface
+(section 3.3 sketches ``WITH PACE`` in SQL), but hand-wiring sources,
+punctuators, operators and sinks takes dozens of lines per plan.  This
+module is the construction/run surface on top of the operator library::
+
+    from repro.api import Flow, avg
+
+    flow = Flow("quickstart")
+    (flow.source(schema, timeline)
+         .punctuate(on="timestamp", every=10.0)
+         .where(lambda t: t["value"] >= 0.0, tuple_cost=0.002)
+         .window(avg("value"), by="sensor", width=10.0, on="timestamp")
+         .collect("sink"))
+    result = flow.run(engine="simulated")
+
+Design rules:
+
+* each verb (``where``, ``window``, ``pace``, ``split``, ``union``,
+  ``join``, ...) wraps exactly one operator class and stores a *spec* --
+  the operator is instantiated freshly on every :meth:`Flow.build`, so one
+  flow can run repeatedly and on several engines (operators and engines
+  are single-use; flows are not);
+* :class:`QueryPlan` stays the stable IR underneath: ``build()`` emits a
+  validated plan, and anything expressible by hand remains expressible
+  (``apply``/``merge`` are the escape hatches for custom operators);
+* engines are addressed **by name** through
+  :mod:`repro.engine.registry`, so the ROADMAP's future backends run
+  existing flows without touching this module;
+* client behaviour -- feedback at time *t* on a named sink, polls,
+  demands -- is declared on :meth:`Flow.run` rather than wired into
+  example code.
+
+Verbs accept per-operator cost kwargs (``tuple_cost=...``,
+``control_cost=...``) so simulator experiments keep their cost models, a
+``name=`` for stable operator naming, a per-edge ``page_size=``, and a
+``configure=`` callable applied to each freshly built instance (for knobs
+that are not constructor arguments, e.g. ``relay_enabled``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.api.aggregates import AggSpec
+from repro.engine.plan import QueryPlan, render_describe, render_dot
+from repro.engine.registry import create_engine
+from repro.engine.runtime import RunResult
+from repro.errors import EngineError, FlowError
+from repro.operators.base import Operator
+from repro.operators.buffer import PriorityBuffer
+from repro.operators.duplicate import Duplicate
+from repro.operators.join import SymmetricHashJoin
+from repro.operators.map import Map
+from repro.operators.pace import Pace
+from repro.operators.project import Project
+from repro.operators.select import Select
+from repro.operators.sink import CollectSink, OnDemandSink
+from repro.operators.source import (
+    GeneratorSource,
+    ListSource,
+    PunctuatedSource,
+)
+from repro.operators.aggregate import WindowAggregate
+from repro.operators.union import Union
+from repro.punctuation.patterns import Pattern
+from repro.stream.pages import DEFAULT_PAGE_SIZE
+from repro.stream.schema import Attribute, Schema
+from repro.stream.tuples import StreamTuple
+
+__all__ = ["Flow", "StreamHandle"]
+
+
+class _Node:
+    """One stage of a flow: a name, an operator factory, its output schema."""
+
+    __slots__ = (
+        "name", "kind", "factory", "schema", "fanout_ok", "single_use",
+        "configure", "consumed", "built", "source_args", "prototype",
+        "type_name", "is_source",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        factory: Callable[[], Operator],
+        schema: Schema | None,
+        *,
+        fanout_ok: bool = False,
+        single_use: bool = False,
+        configure: Callable[[Operator], None] | None = None,
+        prototype: Operator | None = None,
+        type_name: str | None = None,
+        is_source: bool | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        # Rendering metadata for describe()/to_dot(): recorded up front so
+        # topology inspection never needs to build (and therefore never
+        # spends a single-use instance).
+        if type_name is None:
+            type_name = (
+                type(prototype).__name__ if prototype is not None
+                else "Operator"
+            )
+        self.type_name = type_name
+        if is_source is None:
+            is_source = prototype is not None and prototype.n_inputs == 0
+        self.is_source = is_source
+        self.factory = factory
+        self.schema = schema
+        self.fanout_ok = fanout_ok
+        self.single_use = single_use
+        self.configure = configure
+        self.consumed = 0          # times used as a producer
+        self.built = False         # single-use instances build once
+        self.source_args: tuple | None = None  # for punctuate()
+        #: The instance built at verb time for validation; never wired,
+        #: so the first build adopts it instead of paying a second
+        #: construction (IMPUTE's archive, large timelines).
+        self.prototype = prototype
+
+    def make(self) -> Operator:
+        if self.single_use:
+            if self.built:
+                raise FlowError(
+                    f"stage {self.name!r} wraps a pre-built operator "
+                    f"instance and was already built once; pass a factory "
+                    f"(e.g. lambda: MyOperator(...)) to make the flow "
+                    f"re-runnable"
+                )
+            self.built = True
+            operator = self.factory()
+        elif self.prototype is not None:
+            operator, self.prototype = self.prototype, None
+        else:
+            operator = self.factory()
+        if self.configure is not None:
+            self.configure(operator)
+        return operator
+
+
+class _Edge:
+    """One pending connection: producer node -> consumer node [port]."""
+
+    __slots__ = ("producer", "consumer", "port", "page_size")
+
+    def __init__(
+        self, producer: _Node, consumer: _Node, port: int, page_size: int
+    ) -> None:
+        self.producer = producer
+        self.consumer = consumer
+        self.port = port
+        self.page_size = page_size
+
+
+class StreamHandle:
+    """A reference to one stage's output stream inside a :class:`Flow`.
+
+    Handles are single-consumer: feeding the same handle into two verbs
+    raises :class:`FlowError` (implicit broadcast would silently duplicate
+    the stream without DUPLICATE's feedback reconciliation); use
+    :meth:`split` for explicit fan-out.  Each branch handle returned by
+    ``split(n)`` is itself single-consumer, so ``n`` bounds the fan-out.
+    """
+
+    __slots__ = ("flow", "_node", "_spent")
+
+    def __init__(self, flow: "Flow", node: _Node) -> None:
+        self.flow = flow
+        self._node = node
+        self._spent = False
+
+    @property
+    def name(self) -> str:
+        """The operator name this handle's stage will carry in the plan."""
+        return self._node.name
+
+    @property
+    def schema(self) -> Schema | None:
+        """Output schema of this stage (for patterns and feedback)."""
+        return self._node.schema
+
+    def __repr__(self) -> str:
+        names = self.schema.names if self.schema is not None else ()
+        return f"StreamHandle({self.name!r}, schema={names})"
+
+    # -- source refinement -------------------------------------------------------
+
+    def punctuate(
+        self, *, on: str, every: float, grace: float = 0.0
+    ) -> "StreamHandle":
+        """Interleave progress punctuation on attribute ``on``.
+
+        Only valid directly on a :meth:`Flow.source` stage (punctuation is
+        embedded at the input, NiagaraST-style): the pending list source
+        becomes a :class:`PunctuatedSource` emitting ``[... <= boundary
+        ...]`` every ``every`` units of ``on``, plus the final
+        all-covering punctuation at end of stream.
+        """
+        node = self._node
+        if node.source_args is None:
+            raise FlowError(
+                f"punctuate() applies to a plain source stage; "
+                f"{node.name!r} is a {node.kind} stage"
+            )
+        if node.consumed:
+            raise FlowError(
+                f"punctuate() must precede downstream verbs on "
+                f"{node.name!r}"
+            )
+        schema, timeline, op_kwargs = node.source_args
+        name = node.name
+
+        def factory() -> Operator:
+            return PunctuatedSource(
+                name, schema, timeline,
+                punctuate_on=on, punctuation_interval=every, grace=grace,
+                **op_kwargs,
+            )
+
+        prototype = factory()  # validate the punctuation args eagerly
+        node.factory = factory
+        node.prototype = prototype  # supersedes the plain-source prototype
+        node.type_name = type(prototype).__name__
+        node.kind = "punctuated-source"
+        node.source_args = None
+        return self
+
+    # -- linear verbs -------------------------------------------------------------
+
+    def where(
+        self,
+        predicate: Callable[[StreamTuple], bool] | Pattern,
+        *,
+        name: str | None = None,
+        page_size: int | None = None,
+        configure: Callable[[Operator], None] | None = None,
+        **op_kwargs: Any,
+    ) -> "StreamHandle":
+        """Filter with a predicate or :class:`Pattern` (SELECT)."""
+        schema = self._require_schema("where")
+        return self.flow._derive(
+            lambda name: Select(name, schema, predicate, **op_kwargs),
+            name=name, base="where", kind="where", inputs=(self,),
+            page_size=page_size, configure=configure,
+        )
+
+    #: Alias for :meth:`where`, for callers who think in map/filter terms.
+    filter = where
+
+    def select(
+        self,
+        *attributes: str,
+        name: str | None = None,
+        page_size: int | None = None,
+        configure: Callable[[Operator], None] | None = None,
+        **op_kwargs: Any,
+    ) -> "StreamHandle":
+        """Project onto ``attributes`` in order (PROJECT)."""
+        schema = self._require_schema("select")
+        return self.flow._derive(
+            lambda name: Project(name, schema, attributes, **op_kwargs),
+            name=name, base="project", kind="select", inputs=(self,),
+            page_size=page_size, configure=configure,
+        )
+
+    def extend(
+        self,
+        new_attributes: Sequence[Attribute | tuple | str],
+        compute: Callable[[StreamTuple], Sequence[Any]],
+        *,
+        name: str | None = None,
+        page_size: int | None = None,
+        configure: Callable[[Operator], None] | None = None,
+        **op_kwargs: Any,
+    ) -> "StreamHandle":
+        """Carry the schema and append computed attributes (MAP)."""
+        schema = self._require_schema("extend")
+        return self.flow._derive(
+            lambda name: Map.extending(
+                name, schema, new_attributes, compute, **op_kwargs
+            ),
+            name=name, base="map", kind="extend", inputs=(self,),
+            page_size=page_size, configure=configure,
+        )
+
+    def window(
+        self,
+        spec: AggSpec,
+        *,
+        on: str,
+        width: float,
+        by: str | Sequence[str] = (),
+        slide: float | None = None,
+        name: str | None = None,
+        page_size: int | None = None,
+        configure: Callable[[Operator], None] | None = None,
+        **op_kwargs: Any,
+    ) -> "StreamHandle":
+        """Windowed group aggregate (AVERAGE/COUNT/... over ``on``).
+
+        ``spec`` comes from :mod:`repro.api.aggregates` (``avg("value")``,
+        ``count()``, ...); ``by`` is one grouping attribute or a sequence.
+        """
+        if not isinstance(spec, AggSpec):
+            raise FlowError(
+                f"window() takes an AggSpec (avg(...), count(), ...), "
+                f"got {spec!r}"
+            )
+        schema = self._require_schema("window")
+        group_by = (by,) if isinstance(by, str) else tuple(by)
+        return self.flow._derive(
+            lambda name: WindowAggregate(
+                name, schema,
+                kind=spec.kind,
+                window_attribute=on,
+                width=width,
+                slide=slide,
+                value_attribute=spec.attribute,
+                group_by=group_by,
+                **op_kwargs,
+            ),
+            name=name, base="window", kind="window", inputs=(self,),
+            page_size=page_size, configure=configure,
+        )
+
+    def buffer(
+        self,
+        *,
+        capacity: int = 64,
+        name: str | None = None,
+        page_size: int | None = None,
+        configure: Callable[[Operator], None] | None = None,
+        **op_kwargs: Any,
+    ) -> "StreamHandle":
+        """Insert a :class:`PriorityBuffer` (desired-feedback reordering)."""
+        schema = self._require_schema("buffer")
+        return self.flow._derive(
+            lambda name: PriorityBuffer(
+                name, schema, capacity=capacity, **op_kwargs
+            ),
+            name=name, base="buffer", kind="buffer", inputs=(self,),
+            page_size=page_size, configure=configure,
+        )
+
+    def apply(
+        self,
+        operator: Operator | Callable[[], Operator],
+        *,
+        page_size: int | None = None,
+        configure: Callable[[Operator], None] | None = None,
+    ) -> "StreamHandle":
+        """Pipe through a custom unary operator (the escape hatch).
+
+        Pass a zero-argument factory to keep the flow re-runnable; a
+        pre-built instance is accepted but makes the flow single-build.
+        """
+        return self.flow._attach_custom(
+            operator, inputs=(self,), page_size=page_size,
+            configure=configure,
+        )
+
+    # -- fan-out / fan-in ---------------------------------------------------------
+
+    def split(
+        self,
+        n: int = 2,
+        *,
+        name: str | None = None,
+        page_size: int | None = None,
+        configure: Callable[[Operator], None] | None = None,
+        **op_kwargs: Any,
+    ) -> tuple["StreamHandle", ...]:
+        """Broadcast through an explicit DUPLICATE; returns ``n`` handles.
+
+        The handles share one DUPLICATE stage, so assumed feedback from
+        the branches is reconciled (intersection across consumers) exactly
+        as the paper's section 4.1 requires.
+        """
+        if n < 1:
+            raise FlowError(f"split() needs n >= 1, got {n}")
+        schema = self._require_schema("split")
+        handle = self.flow._derive(
+            lambda name: Duplicate(name, schema, **op_kwargs),
+            name=name, base="duplicate", kind="split", inputs=(self,),
+            page_size=page_size, configure=configure, fanout_ok=True,
+        )
+        return tuple(
+            StreamHandle(self.flow, handle._node) for _ in range(n)
+        )
+
+    def union(
+        self,
+        *others: "StreamHandle",
+        name: str | None = None,
+        page_size: int | None = None,
+        configure: Callable[[Operator], None] | None = None,
+        **op_kwargs: Any,
+    ) -> "StreamHandle":
+        """Merge same-schema streams (UNION, punctuation-aligning)."""
+        schema = self._require_schema("union")
+        inputs = (self, *others)
+        self.flow._check_same_schema("union", inputs)
+        arity = len(inputs)
+        return self.flow._derive(
+            lambda name: Union(name, schema, arity=arity, **op_kwargs),
+            name=name, base="union", kind="union", inputs=inputs,
+            page_size=page_size, configure=configure,
+        )
+
+    def pace(
+        self,
+        *others: "StreamHandle",
+        on: str,
+        interval: float,
+        name: str | None = None,
+        page_size: int | None = None,
+        feedback_enabled: bool = True,
+        feedback_interval: float = 0.0,
+        feedback_bound: str = "watermark",
+        configure: Callable[[Operator], None] | None = None,
+        **op_kwargs: Any,
+    ) -> "StreamHandle":
+        """Merge under a disorder bound; the feedback-producing PACE.
+
+        ``interval`` is the tolerance of the paper's ``WITH PACE ON
+        <attr> <n>`` clause: tuples more than ``interval`` behind the high
+        watermark of ``on`` are dropped, and assumed feedback flows to the
+        lagging inputs.  With no ``others`` the second input is an empty
+        stream that closes immediately (single-stream PACE).
+        """
+        schema = self._require_schema("pace")
+        inputs: tuple[StreamHandle, ...] = (self, *others)
+        self.flow._check_same_schema("pace", inputs)
+        self.flow._check_inputs(inputs)
+        stage_name = self.flow._next_name(name, "pace")
+        arity = max(2, len(inputs))
+
+        def make(name: str) -> Operator:
+            return Pace(
+                name, schema,
+                timestamp_attribute=on,
+                tolerance=interval,
+                arity=arity,
+                feedback_enabled=feedback_enabled,
+                feedback_interval=feedback_interval,
+                feedback_bound=feedback_bound,
+                **op_kwargs,
+            )
+
+        if len(inputs) == 1:
+            # Validate the PACE arguments *before* materialising the
+            # hidden empty source, so a bad call leaves no orphan stage
+            # behind.  (With explicit other inputs, _derive's own
+            # pre-mutation validation already covers this.)
+            make(stage_name)
+            inputs = (
+                self,
+                self.flow.source(schema, [], name=f"{stage_name}_empty"),
+            )
+        return self.flow._derive(
+            make, name=stage_name, base="pace", kind="pace", inputs=inputs,
+            page_size=page_size, configure=configure,
+        )
+
+    def join(
+        self,
+        other: "StreamHandle",
+        *,
+        on: Sequence[tuple[str, str]],
+        how: str = "inner",
+        condition: Callable[[StreamTuple, StreamTuple], bool] | None = None,
+        name: str | None = None,
+        page_size: int | None = None,
+        configure: Callable[[Operator], None] | None = None,
+        **op_kwargs: Any,
+    ) -> "StreamHandle":
+        """Equi-join with ``other`` (symmetric hash join); self is left."""
+        left = self._require_schema("join")
+        right = other._require_schema("join")
+        return self.flow._derive(
+            lambda name: SymmetricHashJoin(
+                name, left, right, on,
+                condition=condition, how=how, **op_kwargs,
+            ),
+            name=name, base="join", kind="join", inputs=(self, other),
+            page_size=page_size, configure=configure,
+        )
+
+    # -- terminals ----------------------------------------------------------------
+
+    def collect(
+        self,
+        name: str = "sink",
+        *,
+        keep_punctuation: bool = False,
+        page_size: int | None = None,
+        configure: Callable[[Operator], None] | None = None,
+        **op_kwargs: Any,
+    ) -> "Flow":
+        """Terminate in a :class:`CollectSink` named ``name``.
+
+        Returns the flow, so a linear pipeline reads top to bottom and
+        ends ready to ``run()``.
+        """
+        schema = self.schema
+        self.flow._derive(
+            lambda name: CollectSink(
+                name, schema, keep_punctuation=keep_punctuation,
+                **op_kwargs,
+            ),
+            name=name, base="sink", kind="collect", inputs=(self,),
+            page_size=page_size, configure=configure,
+        )
+        return self.flow
+
+    def on_demand(
+        self,
+        name: str = "client",
+        *,
+        page_size: int | None = None,
+        configure: Callable[[Operator], None] | None = None,
+        **op_kwargs: Any,
+    ) -> "Flow":
+        """Terminate in an :class:`OnDemandSink` (poll/demand client)."""
+        schema = self.schema
+        self.flow._derive(
+            lambda name: OnDemandSink(name, schema, **op_kwargs),
+            name=name, base="client", kind="on-demand", inputs=(self,),
+            page_size=page_size, configure=configure,
+        )
+        return self.flow
+
+    # -- internals ----------------------------------------------------------------
+
+    def _require_schema(self, verb: str) -> Schema:
+        if self._node.schema is None:
+            raise FlowError(
+                f"{verb}() needs the upstream schema, but stage "
+                f"{self._node.name!r} declares none"
+            )
+        return self._node.schema
+
+    def _check_consumable(self) -> None:
+        node = self._node
+        if self._spent or (node.consumed and not node.fanout_ok):
+            raise FlowError(
+                f"stream {node.name!r} is already consumed; use "
+                f".split() to feed several consumers"
+            )
+
+    def _consume(self) -> _Node:
+        self._check_consumable()
+        self._spent = True
+        self._node.consumed += 1
+        return self._node
+
+
+class Flow:
+    """A named dataflow under construction; compiles to :class:`QueryPlan`.
+
+    ``page_size`` is the default data-queue page size for every edge;
+    individual verbs override it per edge.  A flow is re-runnable: every
+    :meth:`build` (and therefore every :meth:`run`) instantiates fresh
+    operators from the recorded specs.
+    """
+
+    def __init__(
+        self, name: str = "flow", *, page_size: int = DEFAULT_PAGE_SIZE
+    ) -> None:
+        self.name = name
+        self.page_size = page_size
+        self._nodes: list[_Node] = []
+        self._edges: list[_Edge] = []
+        self._names: set[str] = set()
+
+    # -- sources ------------------------------------------------------------------
+
+    def source(
+        self,
+        schema: Schema,
+        timeline: Sequence[tuple[float, Any]],
+        *,
+        name: str | None = None,
+        **op_kwargs: Any,
+    ) -> StreamHandle:
+        """Add a replayed source over ``(arrival_time, element)`` pairs."""
+        stage_name = self._next_name(name, "source")
+        timeline = list(timeline)
+
+        def factory() -> Operator:
+            return ListSource(stage_name, schema, timeline, **op_kwargs)
+
+        prototype = factory()  # validate the timeline eagerly
+        node = _Node(
+            stage_name, "source", factory, schema, prototype=prototype
+        )
+        node.source_args = (schema, timeline, op_kwargs)
+        self._commit_node(node)
+        return StreamHandle(self, node)
+
+    def generate(
+        self,
+        schema: Schema,
+        events_factory: Callable[[], Iterable[tuple[float, Any]]],
+        *,
+        name: str | None = None,
+        **op_kwargs: Any,
+    ) -> StreamHandle:
+        """Add a lazy generator source (arbitrarily long streams)."""
+        stage_name = self._next_name(name, "source")
+        node = _Node(
+            stage_name, "generator-source",
+            lambda: GeneratorSource(
+                stage_name, schema, events_factory, **op_kwargs
+            ),
+            schema,
+            type_name="GeneratorSource", is_source=True,
+        )
+        self._commit_node(node)
+        return StreamHandle(self, node)
+
+    def merge(
+        self,
+        operator: Operator | Callable[[], Operator],
+        *inputs: StreamHandle,
+        page_size: int | None = None,
+        configure: Callable[[Operator], None] | None = None,
+    ) -> StreamHandle:
+        """Feed ``inputs`` into a custom n-ary operator, port by port."""
+        if not inputs:
+            raise FlowError("merge() needs at least one input handle")
+        return self._attach_custom(
+            operator, inputs=inputs, page_size=page_size,
+            configure=configure,
+        )
+
+    # -- compilation --------------------------------------------------------------
+
+    def build(self) -> QueryPlan:
+        """Compile to a fresh, validated :class:`QueryPlan`."""
+        if not self._nodes:
+            raise FlowError(f"flow {self.name!r} has no stages")
+        plan = QueryPlan(self.name)
+        instances: dict[int, Operator] = {}
+        for node in self._nodes:
+            operator = node.make()
+            instances[id(node)] = operator
+            plan.add(operator)
+        for edge in self._edges:
+            plan.connect(
+                instances[id(edge.producer)],
+                instances[id(edge.consumer)],
+                port=edge.port,
+                page_size=edge.page_size,
+            )
+        plan.validate()
+        return plan
+
+    def describe(self) -> str:
+        """Topology description, rendered exactly as the compiled plan's.
+
+        Produced from the recorded stage specs through the same renderer
+        as :meth:`QueryPlan.describe` -- byte-identical to
+        ``flow.build().describe()`` but without building, so inspecting a
+        flow never spends a single-use ``apply()``'d instance.
+        """
+        return render_describe(
+            self.name,
+            [
+                (
+                    node.name,
+                    node.type_name,
+                    [
+                        f"{edge.consumer.name}[{edge.port}]"
+                        for edge in self._edges if edge.producer is node
+                    ],
+                )
+                for node in self._nodes
+            ],
+        )
+
+    def to_dot(self) -> str:
+        """Graphviz DOT export, rendered exactly as the compiled plan's.
+
+        Shares :func:`repro.engine.plan.render_dot` with
+        :meth:`QueryPlan.to_dot`, without building.
+        """
+        has_output = {id(edge.producer) for edge in self._edges}
+        return render_dot(
+            self.name,
+            [
+                (
+                    node.name,
+                    node.type_name,
+                    node.is_source,
+                    id(node) not in has_output,
+                )
+                for node in self._nodes
+            ],
+            [
+                (node.name, edge.consumer.name, edge.port)
+                for node in self._nodes
+                for edge in self._edges if edge.producer is node
+            ],
+        )
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(
+        self,
+        engine: str = "simulated",
+        *,
+        feedback: Sequence[tuple[float, str, Any]] = (),
+        actions: Sequence[tuple[float, Callable[[QueryPlan], None]]] = (),
+        **engine_options: Any,
+    ) -> RunResult:
+        """Compile and run on the named engine; returns a ``RunResult``.
+
+        ``feedback`` declares client feedback injections as ``(time,
+        operator_name, FeedbackPunctuation)`` triples: at ``time`` (the
+        engine's clock), the named operator -- typically a sink --
+        ``inject_feedback``'s the punctuation, which then flows upstream
+        like any other feedback.  ``actions`` are ``(time, callable)``
+        pairs for anything richer (polls, demands); the callable receives
+        the built plan.  ``engine_options`` pass to the engine factory
+        (``control_latency=...``, ...).
+        """
+        plan = self.build()
+        runner = create_engine(engine, plan, **engine_options)
+        schedule: list[tuple[float, Callable[[], None]]] = []
+        for entry in feedback:
+            try:
+                when, target, punct = entry
+            except (TypeError, ValueError):
+                raise FlowError(
+                    "feedback entries are (time, operator_name, "
+                    "FeedbackPunctuation) triples"
+                ) from None
+            operator = plan.operator(target)
+            schedule.append(
+                (float(when),
+                 lambda op=operator, fb=punct: op.inject_feedback(fb))
+            )
+        for entry in actions:
+            try:
+                when, action = entry
+            except (TypeError, ValueError):
+                raise FlowError(
+                    "actions entries are (time, callable) pairs; the "
+                    "callable receives the built plan"
+                ) from None
+            if not callable(action):
+                raise FlowError(
+                    f"action at t={when} is not callable: {action!r}"
+                )
+            schedule.append(
+                (float(when), lambda act=action: act(plan))
+            )
+        if schedule and not hasattr(runner, "at"):
+            raise EngineError(
+                f"engine {engine!r} does not support scheduled actions "
+                f"(no at() hook); cannot inject feedback declaratively"
+            )
+        for when, thunk in schedule:
+            runner.at(when, thunk)
+        return runner.run()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _next_name(self, name: str | None, base: str) -> str:
+        """Resolve a stage name without registering it (pure check).
+
+        Registration happens only when the stage commits -- a verb that
+        fails validation must not claim its name (or mutate the flow in
+        any other way), so a corrected retry succeeds.
+        """
+        if name is not None:
+            if name in self._names:
+                raise FlowError(
+                    f"flow {self.name!r} already has a stage named "
+                    f"{name!r}"
+                )
+            return name
+        candidate = base
+        counter = 1
+        while candidate in self._names:
+            counter += 1
+            candidate = f"{base}_{counter}"
+        return candidate
+
+    def _commit_node(self, node: _Node) -> None:
+        self._names.add(node.name)
+        self._nodes.append(node)
+
+    def _check_same_schema(
+        self, verb: str, inputs: Sequence[StreamHandle]
+    ) -> None:
+        first = inputs[0]._require_schema(verb)
+        for other in inputs[1:]:
+            schema = other._require_schema(verb)
+            if schema.names != first.names:
+                raise FlowError(
+                    f"{verb}() inputs must share a schema: "
+                    f"{first.names} vs {schema.names}"
+                )
+
+    def _check_inputs(self, inputs: Sequence[StreamHandle]) -> None:
+        """Pre-validate input handles without consuming them.
+
+        Runs before any mutation so a failing verb leaves the flow
+        exactly as it was (no half-wired node, no consumed handle).
+        The same handle twice in one verb is rejected here too --
+        otherwise the second consumption would fail only mid-commit.
+        """
+        seen: set[int] = set()
+        for handle in inputs:
+            if handle.flow is not self:
+                raise FlowError(
+                    f"stream {handle.name!r} belongs to flow "
+                    f"{handle.flow.name!r}, not {self.name!r}"
+                )
+            if id(handle) in seen:
+                raise FlowError(
+                    f"stream {handle.name!r} is passed twice to one "
+                    f"verb; use .split() to duplicate it"
+                )
+            seen.add(id(handle))
+            handle._check_consumable()
+
+    def _derive(
+        self,
+        make: Callable[[str], Operator],
+        *,
+        name: str | None,
+        base: str,
+        kind: str,
+        inputs: Sequence[StreamHandle],
+        page_size: int | None,
+        configure: Callable[[Operator], None] | None = None,
+        fanout_ok: bool = False,
+    ) -> StreamHandle:
+        # Validate everything first; mutate the flow only on success.
+        self._check_inputs(inputs)
+        stage_name = self._next_name(name, base)
+        factory = lambda: make(stage_name)  # noqa: E731
+        prototype = factory()  # validate constructor args eagerly
+        if not isinstance(prototype, Operator):
+            raise FlowError(
+                f"stage {stage_name!r} factory returned "
+                f"{prototype!r}, not an Operator"
+            )
+        if prototype.n_inputs != len(inputs):
+            raise FlowError(
+                f"stage {stage_name!r} has {prototype.n_inputs} input "
+                f"port(s) but {len(inputs)} stream(s) were supplied"
+            )
+        node = _Node(
+            stage_name, kind, factory, prototype.output_schema,
+            fanout_ok=fanout_ok, configure=configure, prototype=prototype,
+        )
+        self._commit_node(node)
+        edge_page = self.page_size if page_size is None else page_size
+        for port, handle in enumerate(inputs):
+            producer = handle._consume()
+            self._edges.append(_Edge(producer, node, port, edge_page))
+        return StreamHandle(self, node)
+
+    def _attach_custom(
+        self,
+        operator: Operator | Callable[[], Operator],
+        *,
+        inputs: Sequence[StreamHandle],
+        page_size: int | None,
+        configure: Callable[[Operator], None] | None,
+    ) -> StreamHandle:
+        self._check_inputs(inputs)
+        if isinstance(operator, Operator):
+            prototype = operator
+            single_use = True
+            factory: Callable[[], Operator] = lambda: prototype  # noqa: E731
+        elif callable(operator):
+            prototype = operator()
+            if not isinstance(prototype, Operator):
+                raise FlowError(
+                    f"apply()/merge() factory returned {prototype!r}, "
+                    f"not an Operator"
+                )
+            single_use = False
+            factory = operator
+        else:
+            raise FlowError(
+                f"apply()/merge() takes an Operator or a factory, "
+                f"got {operator!r}"
+            )
+        # The name is baked into the operator: a clash raises here.
+        stage_name = self._next_name(prototype.name, prototype.name)
+        if prototype.n_inputs != len(inputs):
+            raise FlowError(
+                f"stage {stage_name!r} has {prototype.n_inputs} input "
+                f"port(s) but {len(inputs)} stream(s) were supplied"
+            )
+        node = _Node(
+            stage_name, "custom", factory, prototype.output_schema,
+            single_use=single_use, configure=configure,
+            prototype=None if single_use else prototype,
+            type_name=type(prototype).__name__,
+            is_source=prototype.n_inputs == 0,
+        )
+        self._commit_node(node)
+        edge_page = self.page_size if page_size is None else page_size
+        for port, handle in enumerate(inputs):
+            producer = handle._consume()
+            self._edges.append(_Edge(producer, node, port, edge_page))
+        return StreamHandle(self, node)
+
+    def __repr__(self) -> str:
+        return (
+            f"Flow({self.name!r}, stages={len(self._nodes)}, "
+            f"edges={len(self._edges)})"
+        )

@@ -7,6 +7,9 @@
   time (used by all experiments);
 * :class:`ThreadedRuntime` -- thread-per-operator runtime mirroring
   NiagaraST's architecture;
+* the engine registry -- engines addressable by name
+  (``register_engine`` / ``create_engine``), the pluggable backend
+  surface behind ``repro.api.Flow.run``;
 * metrics containers shared by both.
 """
 
@@ -19,12 +22,26 @@ from repro.engine.metrics import (
     PlanMetrics,
 )
 from repro.engine.plan import QueryPlan
+from repro.engine.registry import (
+    available_engines,
+    create_engine,
+    engine_factory,
+    register_engine,
+    run_plan,
+    unregister_engine,
+)
 from repro.engine.runtime import RunResult, RuntimeCore
 from repro.engine.simulator import Simulator
 from repro.engine.threaded import ThreadedRuntime
 
 __all__ = [
     "OperatorHarness",
+    "available_engines",
+    "create_engine",
+    "engine_factory",
+    "register_engine",
+    "run_plan",
+    "unregister_engine",
     "QuiescenceReport",
     "audit_quiescence",
     "OperatorMetrics",

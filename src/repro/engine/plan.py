@@ -19,7 +19,64 @@ from repro.stream.control import ControlChannel
 from repro.stream.pages import DEFAULT_PAGE_SIZE
 from repro.stream.queues import DataQueue
 
-__all__ = ["QueryPlan"]
+__all__ = ["QueryPlan", "render_describe", "render_dot"]
+
+
+def render_describe(
+    name: str, stages: list[tuple[str, str, list[str]]]
+) -> str:
+    """Shared topology-text renderer.
+
+    ``stages`` rows are ``(op_name, type_name, targets)`` where each
+    target is already formatted as ``consumer[port]``.  Used by both
+    :meth:`QueryPlan.describe` and ``Flow.describe`` so the two surfaces
+    cannot drift.
+    """
+    lines = [f"QueryPlan {name!r}:"]
+    for op_name, type_name, targets in stages:
+        rendered = ", ".join(targets) or "(sink)"
+        lines.append(f"  {op_name} ({type_name}) -> {rendered}")
+    return "\n".join(lines)
+
+
+def render_dot(
+    name: str,
+    nodes: list[tuple[str, str, bool, bool]],
+    edges: list[tuple[str, str, int]],
+) -> str:
+    """Shared Graphviz (DOT) renderer.
+
+    ``nodes`` rows are ``(op_name, type_name, is_source, is_sink)``;
+    ``edges`` rows are ``(producer, consumer, port)``.  Sources are drawn
+    as ellipses, sinks with doubled borders, everything else as boxes;
+    edge labels carry the consumer port.  Paste into ``dot -Tpng`` or any
+    DOT viewer.  Used by both :meth:`QueryPlan.to_dot` and
+    ``Flow.to_dot``.
+    """
+    def quote(text: str) -> str:
+        # Escape quotes only: labels deliberately embed DOT's \n.
+        return '"' + text.replace('"', '\\"') + '"'
+
+    lines = [
+        f"digraph {quote(name)} {{",
+        "  rankdir=LR;",
+        "  node [shape=box];",
+    ]
+    for op_name, type_name, is_source, is_sink in nodes:
+        label = f"{op_name}\\n{type_name}"
+        attrs = [f"label={quote(label)}"]
+        if is_source:
+            attrs.append("shape=ellipse")
+        elif is_sink:
+            attrs.append("peripheries=2")
+        lines.append(f"  {quote(op_name)} [{', '.join(attrs)}];")
+    for producer, consumer, port in edges:
+        lines.append(
+            f"  {quote(producer)} -> {quote(consumer)}"
+            f" [label={quote(f'[{port}]')}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
 
 
 class QueryPlan:
@@ -50,7 +107,24 @@ class QueryPlan:
         port: int = 0,
         page_size: int = DEFAULT_PAGE_SIZE,
     ) -> OutputEdge:
-        """Wire producer -> consumer[port] with a fresh queue + channel."""
+        """Wire producer -> consumer[port] with a fresh queue + channel.
+
+        Duplicate wiring of the same ``(consumer, port)`` is rejected up
+        front -- before either endpoint is mutated -- so a bad ``connect``
+        can never leave a producer holding a dangling output edge into a
+        queue nobody drains.
+        """
+        if not 0 <= port < consumer.n_inputs:
+            raise PlanError(
+                f"{consumer.name}: input port {port} out of range "
+                f"(operator has {consumer.n_inputs} inputs)"
+            )
+        if consumer.inputs[port] is not None:
+            raise PlanError(
+                f"plan {self.name!r}: input port {port} of "
+                f"{consumer.name!r} is already connected "
+                f"(from {consumer.inputs[port].producer!r})"
+            )
         for op in (producer, consumer):
             if op.name not in self._operators:
                 self.add(op)
@@ -135,14 +209,43 @@ class QueryPlan:
 
     def describe(self) -> str:
         """Text rendering of the plan topology."""
-        lines = [f"QueryPlan {self.name!r}:"]
-        for op in self._operators.values():
-            targets = ", ".join(
-                f"{e.consumer.name}[{e.consumer_port}]" for e in op.outputs
-            ) or "(sink)"
-            kind = type(op).__name__
-            lines.append(f"  {op.name} ({kind}) -> {targets}")
-        return "\n".join(lines)
+        return render_describe(
+            self.name,
+            [
+                (
+                    op.name,
+                    type(op).__name__,
+                    [
+                        f"{e.consumer.name}[{e.consumer_port}]"
+                        for e in op.outputs
+                    ],
+                )
+                for op in self._operators.values()
+            ],
+        )
+
+    def to_dot(self) -> str:
+        """Graphviz (DOT) rendering of the plan topology.
+
+        See :func:`render_dot` for the conventions.
+        """
+        return render_dot(
+            self.name,
+            [
+                (
+                    op.name,
+                    type(op).__name__,
+                    isinstance(op, SourceOperator),
+                    not op.outputs,
+                )
+                for op in self._operators.values()
+            ],
+            [
+                (op.name, edge.consumer.name, edge.consumer_port)
+                for op in self._operators.values()
+                for edge in op.outputs
+            ],
+        )
 
     def __iter__(self) -> Iterator[Operator]:
         return iter(self._operators.values())

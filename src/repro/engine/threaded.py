@@ -33,6 +33,7 @@ sink arrival logs remain meaningful (if noisy).
 from __future__ import annotations
 
 import threading
+from typing import Callable
 
 from repro.engine.plan import QueryPlan
 from repro.engine.runtime import RunResult, RuntimeCore
@@ -74,6 +75,35 @@ class ThreadedRuntime(RuntimeCore):
         #: Earliest pending-but-unarrived control arrival per operator;
         #: bounds that operator's next wait so delivery is not missed.
         self._control_deadline: dict[str, float] = {}
+        self._actions: list[tuple[float, Callable[[], None]]] = []
+        self._action_errors: list[BaseException] = []
+
+    def at(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule a client-side action at ``time`` wall-clock seconds.
+
+        Mirrors :meth:`Simulator.at` so callers (``Flow.run``'s feedback
+        injection, tests) can schedule actions engine-agnostically.  The
+        action runs on a timer thread under the plan lock, measured from
+        run start; an action whose time falls after the plan has already
+        drained never fires -- the same "the stream is over" rule both
+        engines apply to in-flight feedback.
+        """
+        if self._started:
+            raise EngineError("schedule actions before calling run()")
+        self._actions.append((float(time), action))
+
+    def _run_action(self, action: Callable[[], None]) -> None:
+        # Runs on a timer thread: a raised exception would otherwise be
+        # swallowed there and the run would report success with the
+        # action's effect silently missing.  Capture it; run() re-raises.
+        try:
+            with self._lock:
+                action()
+                self._wakeup.notify_all()
+        except BaseException as error:  # noqa: BLE001 - re-raised in run()
+            with self._lock:
+                self._action_errors.append(error)
+                self._wakeup.notify_all()
 
     # -- runtime surface seen by operators ----------------------------------------
 
@@ -175,13 +205,32 @@ class ThreadedRuntime(RuntimeCore):
                 target=body, args=args, name=f"op-{op.name}", daemon=True
             )
             threads.append(thread)
+        timers: list[threading.Timer] = []
+        for time, action in self._actions:
+            timer = threading.Timer(time, self._run_action, args=(action,))
+            timer.daemon = True
+            timers.append(timer)
         for thread in threads:
             thread.start()
-        for thread in threads:
-            thread.join(self.timeout)
-            if thread.is_alive():
-                raise EngineError(
-                    f"operator thread {thread.name} did not finish within "
-                    f"{self.timeout}s"
-                )
+        for timer in timers:
+            timer.start()
+        try:
+            for thread in threads:
+                thread.join(self.timeout)
+                if thread.is_alive():
+                    raise EngineError(
+                        f"operator thread {thread.name} did not finish "
+                        f"within {self.timeout}s"
+                    )
+        finally:
+            # cancel() is a no-op on a callback that is already running:
+            # join the timer threads too, so a late-firing action cannot
+            # mutate state concurrently with result building or report
+            # its error after we checked for one.
+            for timer in timers:
+                timer.cancel()
+            for timer in timers:
+                timer.join(self.timeout)
+        if self._action_errors:
+            raise self._action_errors[0]
         return self.build_result(self.collect_metrics())

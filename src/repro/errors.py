@@ -37,6 +37,16 @@ class PlanError(ReproError):
     """
 
 
+class FlowError(PlanError):
+    """The fluent dataflow API (``repro.api.Flow``) was misused.
+
+    Raised for re-consuming a stream handle without ``split()``, mixing
+    handles across flows, punctuating a non-source stage, and re-building
+    a flow that contains single-use operator instances.  Subclasses
+    :class:`PlanError`: a flow misuse is a plan-construction error.
+    """
+
+
 class EngineError(ReproError):
     """An execution engine reached an inconsistent state.
 

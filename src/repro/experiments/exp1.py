@@ -30,17 +30,22 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from repro.api.flow import Flow
 from repro.engine.plan import QueryPlan
-from repro.engine.simulator import RunResult, Simulator
-from repro.operators.duplicate import Duplicate
+from repro.engine.runtime import RunResult
 from repro.operators.impute import Impute
 from repro.operators.pace import Pace
-from repro.operators.select import Select
 from repro.operators.sink import CollectSink
-from repro.operators.source import ListSource
 from repro.workloads.imputation import SENSOR_SCHEMA, ImputationWorkload
 
-__all__ = ["Exp1Config", "Exp1ArmResult", "run_experiment_1", "run_arm"]
+__all__ = [
+    "Exp1Config",
+    "Exp1ArmResult",
+    "build_flow",
+    "build_plan",
+    "run_experiment_1",
+    "run_arm",
+]
 
 
 @dataclass(frozen=True)
@@ -113,66 +118,74 @@ class Exp1ArmResult:
         )
 
 
-def build_plan(
-    config: Exp1Config, *, feedback: bool
-) -> tuple[QueryPlan, dict[str, object]]:
-    """Build the Figure 4(a) plan; returns (plan, named operators)."""
+#: Plan-operator names keyed by the short handles the result extraction
+#: (and the historical operators dict) uses.
+_OPERATOR_NAMES = {
+    "source": "source", "duplicate": "duplicate", "clean": "sigma_c",
+    "dirty": "sigma_not_c", "impute": "impute", "pace": "pace",
+    "sink": "sink",
+}
+
+
+def build_flow(config: Exp1Config, *, feedback: bool) -> Flow:
+    """The Figure 4(a) plan on the fluent surface (re-runnable)."""
     workload = ImputationWorkload(
         tuples=config.tuples,
         arrival_interval=config.arrival_interval,
         seed=config.seed,
     )
     schema = SENSOR_SCHEMA
-    plan = QueryPlan(f"exp1-{'fb' if feedback else 'nofb'}")
-    source = ListSource("source", schema, workload.timeline())
-    duplicate = Duplicate("duplicate", schema)
-    clean = Select(
-        "sigma_c", schema,
+    flow = Flow(
+        f"exp1-{'fb' if feedback else 'nofb'}",
+        page_size=config.page_size,
+    )
+    clean_tap, dirty_tap = (
+        flow.source(schema, workload.timeline(), name="source")
+            .split(name="duplicate")
+    )
+    clean = clean_tap.where(
         lambda t: t["speed"] is not None,
-        tuple_cost=config.clean_cost,
+        name="sigma_c", tuple_cost=config.clean_cost,
     )
-    dirty = Select(
-        "sigma_not_c", schema,
+    imputed = dirty_tap.where(
         lambda t: t["speed"] is None,
-        tuple_cost=config.clean_cost,
-    )
-    impute = Impute(
+        name="sigma_not_c", tuple_cost=config.clean_cost,
+    ).apply(lambda: Impute(
         "impute", schema, workload.build_archive(),
         value_attribute="speed",
         lookup_cost=config.lookup_cost,
         tuple_cost=config.clean_cost,
-    )
-    pace = Pace(
-        "pace", schema,
-        timestamp_attribute="timestamp",
-        tolerance=config.tolerance,
+    ))
+    clean.pace(
+        imputed,
+        on="timestamp", interval=config.tolerance, name="pace",
         feedback_enabled=feedback,
         feedback_interval=config.feedback_interval,
-    )
-    sink = CollectSink("sink", schema)
-    for op in (source, duplicate, clean, dirty, impute, pace, sink):
-        plan.add(op)
-    plan.connect(source, duplicate, page_size=config.page_size)
-    plan.connect(duplicate, clean, page_size=config.page_size)
-    plan.connect(duplicate, dirty, page_size=config.page_size)
-    plan.connect(dirty, impute, page_size=config.page_size)
-    plan.connect(clean, pace, port=0, page_size=config.page_size)
-    plan.connect(impute, pace, port=1, page_size=config.page_size)
-    plan.connect(pace, sink, page_size=config.page_size)
+    ).collect("sink")
+    return flow
+
+
+def build_plan(
+    config: Exp1Config, *, feedback: bool
+) -> tuple[QueryPlan, dict[str, object]]:
+    """Build the Figure 4(a) plan; returns (plan, named operators)."""
+    plan = build_flow(config, feedback=feedback).build()
     operators = {
-        "source": source, "duplicate": duplicate, "clean": clean,
-        "dirty": dirty, "impute": impute, "pace": pace, "sink": sink,
+        key: plan.operator(name) for key, name in _OPERATOR_NAMES.items()
     }
     return plan, operators
 
 
-def run_arm(config: Exp1Config, *, feedback: bool) -> Exp1ArmResult:
+def run_arm(
+    config: Exp1Config, *, feedback: bool, engine: str = "simulated"
+) -> Exp1ArmResult:
     """Run one arm and extract the paper's measurements."""
-    plan, ops = build_plan(config, feedback=feedback)
-    result: RunResult = Simulator(plan).run()
-    sink: CollectSink = ops["sink"]           # type: ignore[assignment]
-    impute: Impute = ops["impute"]            # type: ignore[assignment]
-    pace: Pace = ops["pace"]                  # type: ignore[assignment]
+    flow = build_flow(config, feedback=feedback)
+    result: RunResult = flow.run(engine=engine)
+    plan = result.plan
+    sink: CollectSink = plan.operator("sink")  # type: ignore[assignment]
+    impute: Impute = plan.operator("impute")   # type: ignore[assignment]
+    pace: Pace = plan.operator("pace")         # type: ignore[assignment]
 
     total_dirty = config.tuples // 2
     total_clean = config.tuples - total_dirty

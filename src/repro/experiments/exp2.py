@@ -42,16 +42,15 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from repro.api.aggregates import avg
+from repro.api.flow import Flow, StreamHandle
 from repro.engine.plan import QueryPlan
-from repro.engine.simulator import Simulator
-from repro.operators.aggregate import AggregateKind, WindowAggregate
 from repro.operators.passthrough import PassThrough
 from repro.operators.select import QualityFilter
-from repro.operators.sink import CollectSink
-from repro.operators.source import PunctuatedSource
 from repro.punctuation.atoms import InSet, Interval
 from repro.punctuation.patterns import Pattern
 from repro.core.feedback import FeedbackPunctuation
+from repro.stream.schema import Schema
 from repro.workloads.traffic import DETECTOR_SCHEMA, TrafficWorkload
 
 __all__ = [
@@ -125,7 +124,17 @@ class Exp2CellResult:
         )
 
 
-def _build_plan(config: Exp2Config, scheme: str) -> tuple[QueryPlan, dict]:
+#: Plan-operator names keyed by the short handles used by the ops dict.
+_OPERATOR_NAMES = {
+    "source": "source", "parse": "parse", "quality": "sigma_q",
+    "average": "average", "sink": "map_render",
+}
+
+
+def _build_flow(
+    config: Exp2Config, scheme: str
+) -> tuple[Flow, StreamHandle]:
+    """The Figure 4(b) plan as a flow; also returns the AVERAGE handle."""
     workload = TrafficWorkload(
         segments=config.segments,
         detectors_per_segment=config.detectors_per_segment,
@@ -133,59 +142,62 @@ def _build_plan(config: Exp2Config, scheme: str) -> tuple[QueryPlan, dict]:
         horizon=config.horizon,
         seed=config.seed,
     )
-    plan = QueryPlan(f"exp2-{scheme}")
-    source = PunctuatedSource(
-        "source", DETECTOR_SCHEMA, workload.detector_timeline(),
-        punctuate_on="timestamp",
-        punctuation_interval=config.punctuation_interval,
+    flow = Flow(f"exp2-{scheme}", page_size=config.page_size)
+    average = (
+        flow.source(
+            DETECTOR_SCHEMA, workload.detector_timeline(), name="source"
+        )
+        .punctuate(on="timestamp", every=config.punctuation_interval)
+        .apply(lambda: PassThrough(
+            "parse", DETECTOR_SCHEMA, tuple_cost=config.parse_cost,
+            control_cost=config.control_cost,
+        ))
+        .apply(lambda: QualityFilter(
+            "sigma_q", DETECTOR_SCHEMA,
+            lambda tup: tup["speed"] is None or tup["speed"] < 120.0,
+            tuple_cost=config.quality_cost,
+            control_cost=config.control_cost,
+        ))
+        .window(
+            avg("speed"),
+            on="timestamp", width=config.window_width, by="segment",
+            name="average",
+            tuple_cost=config.aggregate_cost,
+            control_cost=config.control_cost,
+            exploit_level=1 if scheme == "F1" else 2,
+            # Schemes F1/F2 stop the relay at AVERAGE (a knob that is not
+            # a constructor argument, hence configure=).
+            configure=(
+                (lambda op: setattr(op, "relay_enabled", False))
+                if scheme in ("F1", "F2") else None
+            ),
+        )
     )
-    parse = PassThrough(
-        "parse", DETECTOR_SCHEMA, tuple_cost=config.parse_cost,
-        control_cost=config.control_cost,
-    )
-    quality = QualityFilter(
-        "sigma_q", DETECTOR_SCHEMA,
-        lambda tup: tup["speed"] is None or tup["speed"] < 120.0,
-        tuple_cost=config.quality_cost,
-        control_cost=config.control_cost,
-    )
-    average = WindowAggregate(
-        "average", DETECTOR_SCHEMA,
-        kind=AggregateKind.AVG,
-        window_attribute="timestamp",
-        width=config.window_width,
-        value_attribute="speed",
-        group_by=("segment",),
-        tuple_cost=config.aggregate_cost,
-        control_cost=config.control_cost,
-        exploit_level=1 if scheme == "F1" else 2,
-    )
-    if scheme in ("F1", "F2"):
-        average.relay_enabled = False
-    sink = CollectSink(
-        "map_render", average.output_schema,
+    average.collect(
+        "map_render",
         tuple_cost=config.render_cost,
         control_cost=config.control_cost,
     )
-    plan.add(source)
-    plan.chain(
-        source, parse, quality, average, sink, page_size=config.page_size
-    )
-    return plan, {
-        "source": source, "parse": parse, "quality": quality,
-        "average": average, "sink": sink,
-    }
+    return flow, average
 
 
-def _viewer_schedule(
-    config: Exp2Config, switch_minutes: float, average: WindowAggregate,
-    sink: CollectSink,
+def _build_plan(config: Exp2Config, scheme: str) -> tuple[QueryPlan, dict]:
+    flow, _ = _build_flow(config, scheme)
+    plan = flow.build()
+    ops = {key: plan.operator(name) for key, name in _OPERATOR_NAMES.items()}
+    return plan, ops
+
+
+def _viewer_feedback(
+    config: Exp2Config,
+    switch_minutes: float,
+    out_schema: Schema,
+    issuer: str,
 ) -> list[tuple[float, FeedbackPunctuation]]:
     """The zooming client: one feedback injection per segment switch."""
     interval = switch_minutes * 60.0
     schedule: list[tuple[float, FeedbackPunctuation]] = []
     switch_count = int(config.horizon // interval)
-    out_schema = average.output_schema
     for index in range(switch_count):
         start = index * interval
         end = min(start + interval, config.horizon)
@@ -208,31 +220,61 @@ def _viewer_schedule(
             (
                 start,
                 FeedbackPunctuation.assumed(
-                    pattern, issuer=sink.name, issued_at=start
+                    pattern, issuer=issuer, issued_at=start
                 ),
             )
         )
     return schedule
 
 
+def _viewer_schedule(
+    config: Exp2Config, switch_minutes: float, average, sink
+) -> list[tuple[float, FeedbackPunctuation]]:
+    """Back-compat wrapper taking operator instances (see tests)."""
+    return _viewer_feedback(
+        config, switch_minutes, average.output_schema, issuer=sink.name
+    )
+
+
 def run_cell(
-    config: Exp2Config, scheme: str, switch_minutes: float
+    config: Exp2Config,
+    scheme: str,
+    switch_minutes: float,
+    *,
+    engine: str = "simulated",
 ) -> Exp2CellResult:
-    """Run one Figure 7 cell (a scheme at a switch frequency)."""
+    """Run one Figure 7 cell (a scheme at a switch frequency).
+
+    The viewer's segment switches are *declared* on the run call --
+    ``(time, sink-name, feedback)`` triples -- rather than wired into the
+    plan: the same flow runs feedback-free (F0) or under any schedule.
+    """
     if scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}")
-    plan, ops = _build_plan(config, scheme)
-    simulator = Simulator(plan)
-    average: WindowAggregate = ops["average"]
-    sink: CollectSink = ops["sink"]
+    if scheme != "F0" and engine != "simulated":
+        # The viewer schedule is phrased in *stream* time; only the
+        # virtual-clock engine can honour it (a wall-clock engine drains
+        # the replay in milliseconds, every injection misses, and the
+        # cell would silently report F0 numbers under an F1-F3 label).
+        raise ValueError(
+            f"scheme {scheme!r} needs timed feedback injections, which "
+            f"only the 'simulated' engine honours (got {engine!r})"
+        )
+    flow, average_handle = _build_flow(config, scheme)
+    injections: list[tuple[float, str, FeedbackPunctuation]] = []
     if scheme != "F0":
-        for when, feedback in _viewer_schedule(
-            config, switch_minutes, average, sink
-        ):
-            simulator.at(
-                when, lambda fb=feedback: sink.inject_feedback(fb)
+        injections = [
+            (when, "map_render", feedback)
+            for when, feedback in _viewer_feedback(
+                config, switch_minutes, average_handle.schema,
+                issuer="map_render",
             )
-    result = simulator.run()
+        ]
+    result = flow.run(engine=engine, feedback=injections)
+    plan = result.plan
+    ops = {key: plan.operator(name) for key, name in _OPERATOR_NAMES.items()}
+    average = ops["average"]
+    sink = ops["sink"]
     stage_work = {
         name: ops[name].metrics.busy_time
         for name in ("parse", "quality", "average", "sink")

@@ -1,6 +1,6 @@
 """Punctuation mini-language (system S8 in DESIGN.md)."""
 
-from repro.lang.query import Catalog, compile_query
+from repro.lang.query import Catalog, compile_flow, compile_query
 from repro.lang.punctlang import (
     format_feedback,
     format_pattern,
@@ -11,6 +11,7 @@ from repro.lang.punctlang import (
 
 __all__ = [
     "Catalog",
+    "compile_flow",
     "compile_query",
     "format_feedback",
     "format_pattern",

@@ -18,8 +18,12 @@ onto the operator library::
     [WITH PACE ON <attr> <n> [SECOND[S]|MINUTE[S]]]
 
 Streams are named in a :class:`Catalog` mapping stream name to a schema
-plus an arrival timeline.  ``compile_query`` returns a ready-to-run
-:class:`~repro.engine.plan.QueryPlan` whose sink is named ``"result"``.
+plus an arrival timeline.  ``compile_flow`` returns the fluent-API
+:class:`~repro.api.flow.Flow` the query text denotes; ``compile_query``
+builds it into a ready-to-run :class:`~repro.engine.plan.QueryPlan` whose
+sink is named ``"result"``.  Compilation goes *through the builder* --
+the declarative text, the fluent verbs, and the hand-wired plan are three
+surfaces over one construction path.
 
 The language is deliberately small — it exists to show the feedback
 machinery slotting under a declarative surface (PACE clauses become
@@ -32,15 +36,11 @@ import re
 from dataclasses import dataclass
 from typing import Any
 
+from repro.api.aggregates import AggSpec
+from repro.api.flow import Flow
 from repro.engine.plan import QueryPlan
 from repro.errors import PlanError
-from repro.operators.aggregate import AggregateKind, WindowAggregate
-from repro.operators.pace import Pace
-from repro.operators.project import Project
-from repro.operators.select import Select
-from repro.operators.sink import CollectSink
-from repro.operators.source import ListSource
-from repro.operators.union import Union
+from repro.operators.aggregate import AggregateKind
 from repro.punctuation.atoms import (
     AtLeast,
     AtMost,
@@ -52,7 +52,7 @@ from repro.punctuation.atoms import (
 from repro.punctuation.patterns import Pattern
 from repro.stream.schema import Schema
 
-__all__ = ["Catalog", "compile_query"]
+__all__ = ["Catalog", "compile_flow", "compile_query"]
 
 
 @dataclass
@@ -168,23 +168,23 @@ def _parse(query: str) -> _ParsedQuery:
     return _ParsedQuery(projection, streams, where, aggregate, pace)
 
 
-def compile_query(
+def compile_flow(
     query: str,
     catalog: Catalog,
     *,
-    plan_name: str = "query",
+    flow_name: str = "query",
     page_size: int = 16,
-) -> QueryPlan:
-    """Compile a query string into a runnable plan (sink: ``"result"``).
+) -> Flow:
+    """Compile a query string into a fluent :class:`Flow` (sink ``"result"``).
 
     ``WITH PACE`` requires at least two streams or a disordered single
     stream; it unions the FROM streams under the disorder bound and makes
     the plan a feedback producer exactly as in the paper's sketch.
     """
     parsed = _parse(query)
-    plan = QueryPlan(plan_name)
+    flow = Flow(flow_name, page_size=page_size)
 
-    sources = []
+    handles = []
     schema: Schema | None = None
     for stream_name in parsed.streams:
         stream_schema, timeline = catalog.lookup(stream_name)
@@ -195,76 +195,58 @@ def compile_query(
                 f"UNION streams must share a schema: {schema.names} vs "
                 f"{stream_schema.names}"
             )
-        source = ListSource(stream_name, stream_schema, timeline)
-        plan.add(source)
-        sources.append(source)
+        handles.append(flow.source(stream_schema, timeline, name=stream_name))
 
     assert schema is not None
     # Merge stage: PACE when requested, plain UNION for several streams.
+    # (Single-stream PACE gets its empty second input from the verb.)
     if parsed.pace is not None:
-        merge = Pace(
-            "pace", schema,
-            timestamp_attribute=parsed.pace["attr"],
-            tolerance=parsed.pace["tolerance"],
-            arity=max(len(sources), 2),
+        upstream = handles[0].pace(
+            *handles[1:],
+            on=parsed.pace["attr"],
+            interval=parsed.pace["tolerance"],
             feedback_interval=parsed.pace["tolerance"] / 2.0,
+            name="pace",
         )
-        plan.add(merge)
-        for index, source in enumerate(sources):
-            plan.connect(source, merge, port=index, page_size=page_size)
-        if len(sources) == 1:
-            # Single-stream PACE: the second port closes immediately.
-            empty = ListSource("empty", schema, [])
-            plan.add(empty)
-            plan.connect(empty, merge, port=1, page_size=page_size)
-        upstream = merge
-    elif len(sources) > 1:
-        merge = Union("union", schema, arity=len(sources))
-        plan.add(merge)
-        for index, source in enumerate(sources):
-            plan.connect(source, merge, port=index, page_size=page_size)
-        upstream = merge
+    elif len(handles) > 1:
+        upstream = handles[0].union(*handles[1:], name="union")
     else:
-        upstream = sources[0]
+        upstream = handles[0]
 
     if parsed.where:
         pattern_constraints: dict[str, Atom] = {}
         for attr, op, literal in parsed.where:
             pattern_constraints[attr] = _COMPARATORS[op](literal)
-        keep = Select(
-            "where",
-            schema,
-            Pattern.from_mapping(schema, pattern_constraints),
+        upstream = upstream.where(
+            Pattern.from_mapping(schema, pattern_constraints), name="where"
         )
-        plan.add(keep)
-        plan.connect(upstream, keep, page_size=page_size)
-        upstream = keep
 
     if parsed.aggregate is not None:
         spec = parsed.aggregate
-        aggregate = WindowAggregate(
-            "aggregate", schema,
-            kind=spec["kind"],
-            window_attribute=spec["window_attr"],
+        upstream = upstream.window(
+            AggSpec(spec["kind"], spec["attr"]),
+            on=spec["window_attr"],
             width=spec["window"],
             slide=spec["slide"],
-            value_attribute=spec["attr"],
-            group_by=tuple(spec["group_by"]),
+            by=tuple(spec["group_by"]),
+            name="aggregate",
         )
-        plan.add(aggregate)
-        plan.connect(upstream, aggregate, page_size=page_size)
-        upstream = aggregate
 
     if parsed.projection is not None:
-        project = Project(
-            "project", upstream.output_schema, parsed.projection
-        )
-        plan.add(project)
-        plan.connect(upstream, project, page_size=page_size)
-        upstream = project
+        upstream = upstream.select(*parsed.projection, name="project")
 
-    sink = CollectSink("result", upstream.output_schema)
-    plan.add(sink)
-    plan.connect(upstream, sink, page_size=page_size)
-    plan.validate()
-    return plan
+    upstream.collect("result")
+    return flow
+
+
+def compile_query(
+    query: str,
+    catalog: Catalog,
+    *,
+    plan_name: str = "query",
+    page_size: int = 16,
+) -> QueryPlan:
+    """Compile a query string into a runnable plan (sink: ``"result"``)."""
+    return compile_flow(
+        query, catalog, flow_name=plan_name, page_size=page_size
+    ).build()

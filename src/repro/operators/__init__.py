@@ -50,4 +50,5 @@ __all__ = [
     "SymmetricHashJoin",
     "ThriftyJoin",
     "Union",
+    "WindowAggregate",
 ]

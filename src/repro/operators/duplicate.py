@@ -41,6 +41,18 @@ class Duplicate(Operator):
     def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
         self.emit(tup)
 
+    def on_page(self, port_index: int, batch: list) -> None:
+        """Batch path: one guard pass, one ``put_many`` per output edge.
+
+        Subclasses that override :meth:`on_tuple` keep element-wise
+        dispatch -- the batch shortcut is only valid for plain broadcast.
+        """
+        if type(self).on_tuple is not Duplicate.on_tuple:
+            for tup in batch:
+                self.on_tuple(port_index, tup)
+            return
+        self.emit_many(batch)
+
     # -- feedback reconciliation ---------------------------------------------
 
     def _agreed_patterns(self, pattern: Pattern, from_edge: OutputEdge | None) -> list[Pattern]:

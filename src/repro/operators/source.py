@@ -13,7 +13,6 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import WorkloadError
 from repro.operators.base import SourceOperator
-from repro.punctuation.embedded import Punctuation
 from repro.punctuation.schemes import ProgressPunctuator
 from repro.stream.schema import Schema
 from repro.stream.tuples import StreamTuple

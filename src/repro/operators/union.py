@@ -56,6 +56,20 @@ class Union(Operator):
     def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
         self.emit(tup)
 
+    def on_page(self, port_index: int, batch: list) -> None:
+        """Batch path: interleaving is per page, so forward the run in bulk.
+
+        Punctuation never reaches this hook (the page walk dispatches it
+        through :meth:`on_punctuation`), so frontier bookkeeping is
+        untouched.  Subclasses with their own per-tuple semantics (PACE's
+        lateness policy) fall back to element-wise dispatch.
+        """
+        if type(self).on_tuple is not Union.on_tuple:
+            for tup in batch:
+                self.on_tuple(port_index, tup)
+            return
+        self.emit_many(batch)
+
     def on_punctuation(self, port_index: int, punct: Punctuation) -> None:
         self._advance_frontier(port_index, punct.pattern)
         if self._covered_everywhere(punct.pattern, exclude=port_index):

@@ -1,6 +1,5 @@
 """Tests for the quiescence audit and the reproduction report driver."""
 
-import pytest
 
 from repro.engine import QueryPlan, Simulator
 from repro.engine.audit import audit_quiescence

@@ -13,7 +13,7 @@ from repro.operators import (
     PriorityBuffer,
     PunctuatedSource,
 )
-from repro.punctuation import AtMost, Pattern, Punctuation
+from repro.punctuation import Pattern, Punctuation
 from repro.stream import Schema, StreamTuple
 
 

@@ -1,6 +1,5 @@
 """Deep propagation chains: hop counts, distance, and attenuation."""
 
-import pytest
 
 from repro.core import FeedbackPunctuation
 from repro.engine import QueryPlan, Simulator

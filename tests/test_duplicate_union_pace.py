@@ -228,3 +228,91 @@ class TestPace:
     def test_invalid_bound_policy_rejected(self, schema):
         with pytest.raises(ValueError):
             self.make(schema, feedback_bound="nonsense")
+
+
+class TestBatchParity:
+    """Native on_page for Union/Duplicate must match the per-element path."""
+
+    def elements(self, schema):
+        data = [tup(schema, float(i), seg=i % 3) for i in range(20)]
+        punct = Punctuation.up_to(schema, "ts", 10.0)
+        return data[:10] + [punct] + data[10:]
+
+    def test_union_page_matches_elements(self, schema):
+        batched = Union("u_batch", schema, arity=2)
+        h_batch = OperatorHarness(batched)
+        elementwise = Union("u_elem", schema, arity=2)
+        h_elem = OperatorHarness(elementwise)
+
+        page = self.elements(schema)
+        batched.process_page(0, page)
+        for element in page:
+            elementwise.process_element(0, element)
+
+        assert (
+            [t.values for t in h_batch.emitted_tuples()]
+            == [t.values for t in h_elem.emitted_tuples()]
+        )
+        assert batched.metrics.tuples_in == elementwise.metrics.tuples_in
+        assert batched.metrics.tuples_out == elementwise.metrics.tuples_out
+        assert (
+            batched.metrics.punctuations_in
+            == elementwise.metrics.punctuations_in
+        )
+        assert batched.metrics.pages_batched == 1
+
+    def test_union_batch_respects_input_guards(self, schema):
+        batched = Union("u_batch", schema, arity=2)
+        h_batch = OperatorHarness(batched)
+        elementwise = Union("u_elem", schema, arity=2)
+        h_elem = OperatorHarness(elementwise)
+        fb = FeedbackPunctuation.assumed(
+            Pattern.from_mapping(schema, {"seg": 1})
+        )
+        for union in (batched, elementwise):
+            union.input_port(0).guards.install(fb.pattern, origin=fb, at=0.0)
+
+        page = self.elements(schema)
+        batched.process_page(0, page)
+        for element in page:
+            elementwise.process_element(0, element)
+
+        assert (
+            [t.values for t in h_batch.emitted_tuples()]
+            == [t.values for t in h_elem.emitted_tuples()]
+        )
+        assert (
+            batched.metrics.input_guard_drops
+            == elementwise.metrics.input_guard_drops
+            > 0
+        )
+
+    def test_duplicate_page_matches_elements(self, schema):
+        batched = Duplicate("d_batch", schema)
+        h_batch = OperatorHarness(batched, outputs=2)
+        elementwise = Duplicate("d_elem", schema)
+        h_elem = OperatorHarness(elementwise, outputs=2)
+
+        page = self.elements(schema)
+        batched.process_page(0, page)
+        for element in page:
+            elementwise.process_element(0, element)
+
+        for output in (0, 1):
+            assert (
+                [t.values for t in h_batch.emitted_tuples(output=output)]
+                == [t.values for t in h_elem.emitted_tuples(output=output)]
+            )
+        assert batched.metrics.tuples_out == elementwise.metrics.tuples_out
+        assert batched.metrics.pages_batched == 1
+
+    def test_pace_subclass_keeps_elementwise_semantics(self, schema):
+        """PACE overrides on_tuple; the Union batch path must not bypass it."""
+        pace = Pace(
+            "pace", schema, timestamp_attribute="ts", tolerance=1.0,
+        )
+        harness = OperatorHarness(pace)
+        page = [tup(schema, 10.0), tup(schema, 0.5)]  # second is deep-late
+        pace.process_page(0, page)
+        assert len(harness.emitted_tuples()) == 1
+        assert pace.late_drops == 1

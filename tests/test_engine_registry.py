@@ -1,0 +1,122 @@
+"""Tests for the named-engine registry (repro.engine.registry)."""
+
+import pytest
+
+from repro import (
+    CollectSink,
+    ListSource,
+    QueryPlan,
+    Schema,
+    Simulator,
+    StreamTuple,
+    ThreadedRuntime,
+)
+from repro.engine.registry import (
+    available_engines,
+    create_engine,
+    engine_factory,
+    register_engine,
+    run_plan,
+    unregister_engine,
+)
+from repro.errors import EngineError
+
+SCHEMA = Schema.of("ts", "v")
+
+
+def tiny_plan():
+    plan = QueryPlan("tiny")
+    source = ListSource(
+        "src", SCHEMA,
+        [(float(i), StreamTuple(SCHEMA, (i, i * 10))) for i in range(5)],
+    )
+    plan.chain(source, CollectSink("out", SCHEMA))
+    return plan
+
+
+class TestBuiltins:
+    def test_builtin_engines_registered(self):
+        assert "simulated" in available_engines()
+        assert "threaded" in available_engines()
+
+    def test_factories_resolve_to_engine_classes(self):
+        assert engine_factory("simulated") is Simulator
+        assert engine_factory("threaded") is ThreadedRuntime
+
+    def test_create_engine_builds_over_plan(self):
+        engine = create_engine("simulated", tiny_plan())
+        assert isinstance(engine, Simulator)
+
+    def test_create_engine_forwards_options(self):
+        engine = create_engine(
+            "simulated", tiny_plan(), control_latency=0.5, max_events=123
+        )
+        assert engine.control_latency == 0.5
+        assert engine.max_events == 123
+
+    def test_run_plan_convenience(self):
+        result = run_plan(tiny_plan(), engine="simulated")
+        assert len(result.sink("out").results) == 5
+
+
+class TestErrorPaths:
+    def test_unknown_engine_lists_known_names(self):
+        with pytest.raises(EngineError, match="simulated"):
+            engine_factory("warp-drive")
+
+    def test_unknown_engine_on_create(self):
+        with pytest.raises(EngineError, match="unknown engine"):
+            create_engine("warp-drive", tiny_plan())
+
+    def test_double_registration_rejected(self):
+        register_engine("temp-engine", Simulator)
+        try:
+            with pytest.raises(EngineError, match="already registered"):
+                register_engine("temp-engine", ThreadedRuntime)
+        finally:
+            unregister_engine("temp-engine")
+
+    def test_replace_overrides(self):
+        register_engine("temp-engine", Simulator)
+        try:
+            register_engine("temp-engine", ThreadedRuntime, replace=True)
+            assert engine_factory("temp-engine") is ThreadedRuntime
+        finally:
+            unregister_engine("temp-engine")
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(EngineError, match="not registered"):
+            unregister_engine("never-registered")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(EngineError, match="non-empty"):
+            register_engine("", Simulator)
+
+    def test_non_callable_factory_rejected(self):
+        with pytest.raises(EngineError, match="callable"):
+            register_engine("broken", object())
+
+
+class TestCustomBackend:
+    def test_custom_backend_plugs_into_flow_run(self):
+        """A new backend serves flow.run(engine=...) without API changes."""
+        from repro import Flow
+
+        calls = []
+
+        def tracing_simulator(plan, **options):
+            calls.append(options)
+            return Simulator(plan, **options)
+
+        register_engine("tracing", tracing_simulator)
+        try:
+            flow = Flow("custom")
+            flow.source(
+                SCHEMA,
+                [(float(i), StreamTuple(SCHEMA, (i, i))) for i in range(3)],
+            ).collect("out")
+            result = flow.run(engine="tracing", control_latency=0.25)
+            assert len(result.sink("out").results) == 3
+            assert calls == [{"control_latency": 0.25}]
+        finally:
+            unregister_engine("tracing")

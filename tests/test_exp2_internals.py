@@ -85,3 +85,10 @@ class TestPlanConstruction:
         monkeypatch.setenv("REPRO_EXP2_HOURS", "0.5")
         config = Exp2Config.from_env()
         assert config.horizon == pytest.approx(1800.0)
+
+
+class TestEngineGuard:
+    def test_feedback_schemes_require_the_virtual_clock(self, config):
+        from repro.experiments.exp2 import run_cell
+        with pytest.raises(ValueError, match="simulated"):
+            run_cell(config, "F3", 2.0, engine="threaded")

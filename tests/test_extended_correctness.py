@@ -1,6 +1,5 @@
 """Tests for the desired/demanded correctness notions (paper future work)."""
 
-import pytest
 
 from repro.core import (
     FeedbackPunctuation,

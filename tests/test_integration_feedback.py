@@ -7,7 +7,6 @@ chains across several operators, guard expiration driven by source
 punctuation, and on-demand result production.
 """
 
-import pytest
 
 from repro.core import (
     FeedbackPunctuation,
@@ -26,7 +25,7 @@ from repro.operators import (
     Union,
     WindowAggregate,
 )
-from repro.punctuation import AtMost, InSet, Pattern, Punctuation
+from repro.punctuation import AtMost, InSet, Pattern
 from repro.stream import Schema, StreamTuple
 
 SCHEMA = Schema([("ts", "timestamp", True), ("seg", "int"), ("v", "float")])

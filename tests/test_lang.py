@@ -18,8 +18,6 @@ from repro.punctuation import (
     GreaterThan,
     InSet,
     LessThan,
-    Pattern,
-    WILDCARD,
 )
 from repro.stream import Schema
 

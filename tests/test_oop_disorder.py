@@ -7,7 +7,6 @@ grace-aware punctuator) and require identical results, plus PACE's
 behaviour under bursty arrivals.
 """
 
-import pytest
 
 from repro.engine import QueryPlan, Simulator
 from repro.operators import (

@@ -12,7 +12,6 @@ from repro.stream import (
     ControlChannel,
     DataQueue,
     Schema,
-    SchemaMapping,
     StreamTuple,
 )
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import EngineError
-from repro.punctuation import Pattern, Punctuation
+from repro.punctuation import Punctuation
 from repro.stream import DataQueue, Page, Schema, StreamTuple
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import PatternError
-from repro.punctuation import AtLeast, AtMost, Equals, Pattern, WILDCARD
+from repro.punctuation import AtLeast, AtMost, Equals, Pattern
 from repro.stream import Schema, StreamTuple
 
 

@@ -1,0 +1,97 @@
+"""Plan wiring safety (duplicate connect) and the Graphviz export."""
+
+import pytest
+
+from repro import (
+    CollectSink,
+    ListSource,
+    QueryPlan,
+    Schema,
+    Select,
+    StreamTuple,
+    Union,
+)
+from repro.errors import PlanError
+
+SCHEMA = Schema.of("a", "b")
+
+
+def source(name="src"):
+    return ListSource(
+        name, SCHEMA,
+        [(float(i), StreamTuple(SCHEMA, (i, i))) for i in range(3)],
+    )
+
+
+class TestDuplicateWiring:
+    def test_duplicate_consumer_port_rejected(self):
+        plan = QueryPlan("dup-wire")
+        first, second = source("s1"), source("s2")
+        sink = CollectSink("out", SCHEMA)
+        plan.connect(first, sink)
+        with pytest.raises(PlanError, match="already connected"):
+            plan.connect(second, sink)
+
+    def test_rejected_connect_leaves_no_dangling_edge(self):
+        """The producer must not keep an output edge nobody drains."""
+        plan = QueryPlan("no-dangle")
+        first, second = source("s1"), source("s2")
+        sink = CollectSink("out", SCHEMA)
+        plan.connect(first, sink)
+        with pytest.raises(PlanError):
+            plan.connect(second, sink)
+        assert second.outputs == []
+        assert len(plan.edges) == 1
+        plan.validate()  # still a consistent plan
+
+    def test_distinct_ports_still_wire(self):
+        plan = QueryPlan("two-ports")
+        union = Union("u", SCHEMA, arity=2)
+        plan.connect(source("s1"), union, port=0)
+        plan.connect(source("s2"), union, port=1)
+        plan.connect(union, CollectSink("out", SCHEMA))
+        plan.validate()
+
+    def test_out_of_range_port_rejected_before_mutation(self):
+        plan = QueryPlan("bad-port")
+        src = source()
+        sink = CollectSink("out", SCHEMA)
+        with pytest.raises(PlanError, match="out of range"):
+            plan.connect(src, sink, port=3)
+        assert src.outputs == []
+
+
+class TestToDot:
+    def plan(self):
+        plan = QueryPlan("dotted")
+        src = source()
+        keep = Select("keep", SCHEMA, lambda t: True)
+        plan.chain(src, keep, CollectSink("out", SCHEMA))
+        return plan
+
+    def test_valid_digraph_shell(self):
+        dot = self.plan().to_dot()
+        assert dot.startswith('digraph "dotted" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_nodes_and_edges_present(self):
+        dot = self.plan().to_dot()
+        for op in ("src", "keep", "out"):
+            assert f'"{op}" [' in dot
+        assert '"src" -> "keep" [label="[0]"];' in dot
+        assert '"keep" -> "out" [label="[0]"];' in dot
+
+    def test_shapes_by_role(self):
+        dot = self.plan().to_dot()
+        assert '"src" [label="src\\nListSource", shape=ellipse];' in dot
+        assert 'peripheries=2' in dot  # the sink
+
+    def test_ports_labelled_on_multi_input_operators(self):
+        plan = QueryPlan("ports")
+        union = Union("u", SCHEMA, arity=2)
+        plan.connect(source("s1"), union, port=0)
+        plan.connect(source("s2"), union, port=1)
+        plan.connect(union, CollectSink("out", SCHEMA))
+        dot = plan.to_dot()
+        assert '"s1" -> "u" [label="[0]"];' in dot
+        assert '"s2" -> "u" [label="[1]"];' in dot

@@ -28,8 +28,6 @@ from repro.punctuation import (
     Equals,
     InSet,
     Pattern,
-    Punctuation,
-    WILDCARD,
 )
 from repro.stream import Schema, StreamTuple
 

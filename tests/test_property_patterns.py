@@ -12,8 +12,7 @@ The feedback framework's correctness rests on three algebraic relations:
 
 from __future__ import annotations
 
-import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.punctuation import (
     AtLeast,

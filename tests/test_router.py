@@ -6,7 +6,7 @@ from repro.core import ExploitAction, FeedbackPunctuation
 from repro.engine.harness import OperatorHarness
 from repro.errors import PlanError
 from repro.operators.router import Router
-from repro.punctuation import AtLeast, AtMost, LessThan, Pattern, Punctuation
+from repro.punctuation import AtLeast, LessThan, Pattern, Punctuation
 from repro.stream import Schema, StreamTuple
 
 SCHEMA = Schema([("ts", "timestamp", True), ("seg", "int"), ("v", "float")])

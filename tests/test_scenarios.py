@@ -5,9 +5,7 @@ and asserts the claimed benefit *and* result preservation, mirroring the
 example scripts but with assertions instead of prints.
 """
 
-import pytest
 
-from repro.core import FeedbackPunctuation
 from repro.engine import QueryPlan, Simulator
 from repro.engine.audit import audit_quiescence
 from repro.operators import (
