@@ -1,0 +1,138 @@
+"""Micro-benchmark: bounded queues under a fast producer / slow consumer.
+
+The tentpole claim of the backpressure subsystem: with a ``queue_capacity``
+set, peak :class:`~repro.stream.queues.DataQueue` occupancy is bounded by
+the high-water mark instead of growing with the producer/consumer speed
+gap -- at a throughput cost within ~10% of the unbounded run (on virtual
+time the consumer is the binding resource either way, so the makespan is
+essentially unchanged).
+
+The workload is the worst case for an unbounded queue: the source's whole
+timeline arrives at t=0 while the sink pays a per-tuple cost, so without
+flow control the head queue holds the entire stream.  The result is
+recorded in ``BENCH_backpressure.json`` at the repo root (set
+``REPRO_BENCH_RECORD=1`` to rewrite it).
+
+Scale knobs: ``REPRO_BENCH_BP_TUPLES`` (default 20000),
+``REPRO_BENCH_BP_CAPACITY`` (default 64).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.api import Flow
+from repro.stream import Schema, StreamTuple
+
+SCHEMA = Schema([("ts", "timestamp", True), ("v", "float")])
+N_TUPLES = int(os.environ.get("REPRO_BENCH_BP_TUPLES", "20000"))
+CAPACITY = int(os.environ.get("REPRO_BENCH_BP_CAPACITY", "64"))
+PAGE_SIZE = 16
+SINK_COST = 0.0005
+RECORD = os.environ.get("REPRO_BENCH_RECORD") == "1"
+
+
+def burst_flow() -> Flow:
+    """Everything arrives at t=0; the consumer is the bottleneck."""
+    timeline = [
+        (0.0, StreamTuple(SCHEMA, (float(i), float(i))))
+        for i in range(N_TUPLES)
+    ]
+    flow = Flow("bp-bench", page_size=PAGE_SIZE)
+    (flow.source(SCHEMA, timeline)
+         .where(lambda t: True, name="keep", tuple_cost=SINK_COST)
+         .collect("sink"))
+    return flow
+
+
+def run_variant(queue_capacity: int | None):
+    flow = burst_flow()
+    start = time.perf_counter()
+    result = flow.run("simulated", queue_capacity=queue_capacity)
+    wall = time.perf_counter() - start
+    head = result.metrics.queue_metrics["source->keep[0]"]
+    return result, head, wall
+
+
+class TestBackpressureBoundedness:
+    def test_bounded_peak_and_unchanged_throughput(self, report):
+        unbounded_result, unbounded_head, unbounded_wall = run_variant(None)
+        bounded_result, bounded_head, bounded_wall = run_variant(CAPACITY)
+
+        # Correctness: flow control changes timing, never content.
+        assert (
+            [t.values for t in bounded_result.sink("sink").results]
+            == [t.values for t in unbounded_result.sink("sink").results]
+        )
+
+        # The headline claim: occupancy bounded by the high-water mark
+        # (the source pauses exactly at the crossing) vs. the whole
+        # stream parked in the head queue.
+        assert unbounded_head.peak_occupancy == N_TUPLES
+        assert bounded_head.peak_occupancy <= CAPACITY + PAGE_SIZE
+        source = bounded_result.metrics.operator_metrics["source"]
+        assert source.pauses_received > 0
+        # The last pause may be resolved by end-of-stream instead of a
+        # resume (a source is allowed to finish while paused).
+        assert source.resumes_received in (
+            source.pauses_received, source.pauses_received - 1
+        )
+
+        # Throughput within 10% on virtual time (the consumer binds).
+        assert bounded_result.makespan <= unbounded_result.makespan * 1.10
+
+        record = {
+            "benchmark": "backpressure_fast_producer_slow_consumer",
+            "tuples": N_TUPLES,
+            "page_size": PAGE_SIZE,
+            "queue_capacity": CAPACITY,
+            "low_water": CAPACITY // 2,
+            "sink_tuple_cost": SINK_COST,
+            "unbounded_peak_occupancy": unbounded_head.peak_occupancy,
+            "bounded_peak_occupancy": bounded_head.peak_occupancy,
+            "occupancy_reduction": round(
+                unbounded_head.peak_occupancy
+                / max(1, bounded_head.peak_occupancy), 1
+            ),
+            "unbounded_makespan_s": round(unbounded_result.makespan, 6),
+            "bounded_makespan_s": round(bounded_result.makespan, 6),
+            "makespan_overhead_pct": round(
+                (bounded_result.makespan / unbounded_result.makespan - 1)
+                * 100, 3
+            ),
+            "pauses": source.pauses_received,
+            "resumes": source.resumes_received,
+            "source_time_paused_s": round(source.time_paused, 6),
+            "unbounded_wall_s": round(unbounded_wall, 6),
+            "bounded_wall_s": round(bounded_wall, 6),
+        }
+        if RECORD:
+            out = (
+                Path(__file__).resolve().parents[1]
+                / "BENCH_backpressure.json"
+            )
+            out.write_text(json.dumps(record, indent=2) + "\n")
+
+        report.append(
+            f"backpressure: peak occupancy {unbounded_head.peak_occupancy}"
+            f" -> {bounded_head.peak_occupancy} "
+            f"({record['occupancy_reduction']}x smaller), makespan "
+            f"{unbounded_result.makespan:.3f}s -> "
+            f"{bounded_result.makespan:.3f}s "
+            f"({record['makespan_overhead_pct']:+.2f}%), "
+            f"{source.pauses_received} pause/resume cycles"
+        )
+
+    def test_capacity_sweep_bounds_scale_with_capacity(self, report):
+        """Peak occupancy tracks the knob, not the stream length."""
+        for capacity in (32, 128, 512):
+            flow = burst_flow()
+            result = flow.run("simulated", queue_capacity=capacity)
+            head = result.metrics.queue_metrics["source->keep[0]"]
+            assert head.peak_occupancy <= capacity + PAGE_SIZE
+            report.append(
+                f"  capacity={capacity}: peak={head.peak_occupancy}"
+            )

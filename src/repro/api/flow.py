@@ -44,7 +44,12 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.api.aggregates import AggSpec
-from repro.engine.plan import QueryPlan, render_describe, render_dot
+from repro.engine.plan import (
+    QueryPlan,
+    edge_annotation,
+    render_describe,
+    render_dot,
+)
 from repro.engine.registry import create_engine
 from repro.engine.runtime import RunResult
 from repro.errors import EngineError, FlowError
@@ -143,17 +148,27 @@ class _Node:
 
 
 class _Edge:
-    """One pending connection: producer node -> consumer node [port]."""
+    """One pending connection: producer node -> consumer node [port].
 
-    __slots__ = ("producer", "consumer", "port", "page_size")
+    ``capacity`` is the edge's queue bound (high-water mark); ``None``
+    defers to the run-level ``queue_capacity`` default, if any.
+    """
+
+    __slots__ = ("producer", "consumer", "port", "page_size", "capacity")
 
     def __init__(
-        self, producer: _Node, consumer: _Node, port: int, page_size: int
+        self,
+        producer: _Node,
+        consumer: _Node,
+        port: int,
+        page_size: int,
+        capacity: int | None = None,
     ) -> None:
         self.producer = producer
         self.consumer = consumer
         self.port = port
         self.page_size = page_size
+        self.capacity = capacity
 
 
 class StreamHandle:
@@ -237,6 +252,7 @@ class StreamHandle:
         *,
         name: str | None = None,
         page_size: int | None = None,
+        queue_capacity: int | None = None,
         configure: Callable[[Operator], None] | None = None,
         **op_kwargs: Any,
     ) -> "StreamHandle":
@@ -245,7 +261,8 @@ class StreamHandle:
         return self.flow._derive(
             lambda name: Select(name, schema, predicate, **op_kwargs),
             name=name, base="where", kind="where", inputs=(self,),
-            page_size=page_size, configure=configure,
+            page_size=page_size, queue_capacity=queue_capacity,
+            configure=configure,
         )
 
     #: Alias for :meth:`where`, for callers who think in map/filter terms.
@@ -256,6 +273,7 @@ class StreamHandle:
         *attributes: str,
         name: str | None = None,
         page_size: int | None = None,
+        queue_capacity: int | None = None,
         configure: Callable[[Operator], None] | None = None,
         **op_kwargs: Any,
     ) -> "StreamHandle":
@@ -264,7 +282,8 @@ class StreamHandle:
         return self.flow._derive(
             lambda name: Project(name, schema, attributes, **op_kwargs),
             name=name, base="project", kind="select", inputs=(self,),
-            page_size=page_size, configure=configure,
+            page_size=page_size, queue_capacity=queue_capacity,
+            configure=configure,
         )
 
     def extend(
@@ -274,6 +293,7 @@ class StreamHandle:
         *,
         name: str | None = None,
         page_size: int | None = None,
+        queue_capacity: int | None = None,
         configure: Callable[[Operator], None] | None = None,
         **op_kwargs: Any,
     ) -> "StreamHandle":
@@ -284,7 +304,8 @@ class StreamHandle:
                 name, schema, new_attributes, compute, **op_kwargs
             ),
             name=name, base="map", kind="extend", inputs=(self,),
-            page_size=page_size, configure=configure,
+            page_size=page_size, queue_capacity=queue_capacity,
+            configure=configure,
         )
 
     def window(
@@ -297,6 +318,7 @@ class StreamHandle:
         slide: float | None = None,
         name: str | None = None,
         page_size: int | None = None,
+        queue_capacity: int | None = None,
         configure: Callable[[Operator], None] | None = None,
         **op_kwargs: Any,
     ) -> "StreamHandle":
@@ -324,7 +346,8 @@ class StreamHandle:
                 **op_kwargs,
             ),
             name=name, base="window", kind="window", inputs=(self,),
-            page_size=page_size, configure=configure,
+            page_size=page_size, queue_capacity=queue_capacity,
+            configure=configure,
         )
 
     def buffer(
@@ -333,6 +356,7 @@ class StreamHandle:
         capacity: int = 64,
         name: str | None = None,
         page_size: int | None = None,
+        queue_capacity: int | None = None,
         configure: Callable[[Operator], None] | None = None,
         **op_kwargs: Any,
     ) -> "StreamHandle":
@@ -343,7 +367,8 @@ class StreamHandle:
                 name, schema, capacity=capacity, **op_kwargs
             ),
             name=name, base="buffer", kind="buffer", inputs=(self,),
-            page_size=page_size, configure=configure,
+            page_size=page_size, queue_capacity=queue_capacity,
+            configure=configure,
         )
 
     def apply(
@@ -351,6 +376,7 @@ class StreamHandle:
         operator: Operator | Callable[[], Operator],
         *,
         page_size: int | None = None,
+        queue_capacity: int | None = None,
         configure: Callable[[Operator], None] | None = None,
     ) -> "StreamHandle":
         """Pipe through a custom unary operator (the escape hatch).
@@ -360,7 +386,7 @@ class StreamHandle:
         """
         return self.flow._attach_custom(
             operator, inputs=(self,), page_size=page_size,
-            configure=configure,
+            queue_capacity=queue_capacity, configure=configure,
         )
 
     # -- fan-out / fan-in ---------------------------------------------------------
@@ -371,6 +397,7 @@ class StreamHandle:
         *,
         name: str | None = None,
         page_size: int | None = None,
+        queue_capacity: int | None = None,
         configure: Callable[[Operator], None] | None = None,
         **op_kwargs: Any,
     ) -> tuple["StreamHandle", ...]:
@@ -386,7 +413,8 @@ class StreamHandle:
         handle = self.flow._derive(
             lambda name: Duplicate(name, schema, **op_kwargs),
             name=name, base="duplicate", kind="split", inputs=(self,),
-            page_size=page_size, configure=configure, fanout_ok=True,
+            page_size=page_size, queue_capacity=queue_capacity,
+            configure=configure, fanout_ok=True,
         )
         return tuple(
             StreamHandle(self.flow, handle._node) for _ in range(n)
@@ -397,6 +425,7 @@ class StreamHandle:
         *others: "StreamHandle",
         name: str | None = None,
         page_size: int | None = None,
+        queue_capacity: int | None = None,
         configure: Callable[[Operator], None] | None = None,
         **op_kwargs: Any,
     ) -> "StreamHandle":
@@ -408,7 +437,8 @@ class StreamHandle:
         return self.flow._derive(
             lambda name: Union(name, schema, arity=arity, **op_kwargs),
             name=name, base="union", kind="union", inputs=inputs,
-            page_size=page_size, configure=configure,
+            page_size=page_size, queue_capacity=queue_capacity,
+            configure=configure,
         )
 
     def pace(
@@ -418,6 +448,7 @@ class StreamHandle:
         interval: float,
         name: str | None = None,
         page_size: int | None = None,
+        queue_capacity: int | None = None,
         feedback_enabled: bool = True,
         feedback_interval: float = 0.0,
         feedback_bound: str = "watermark",
@@ -463,7 +494,8 @@ class StreamHandle:
             )
         return self.flow._derive(
             make, name=stage_name, base="pace", kind="pace", inputs=inputs,
-            page_size=page_size, configure=configure,
+            page_size=page_size, queue_capacity=queue_capacity,
+            configure=configure,
         )
 
     def join(
@@ -475,6 +507,7 @@ class StreamHandle:
         condition: Callable[[StreamTuple, StreamTuple], bool] | None = None,
         name: str | None = None,
         page_size: int | None = None,
+        queue_capacity: int | None = None,
         configure: Callable[[Operator], None] | None = None,
         **op_kwargs: Any,
     ) -> "StreamHandle":
@@ -487,7 +520,8 @@ class StreamHandle:
                 condition=condition, how=how, **op_kwargs,
             ),
             name=name, base="join", kind="join", inputs=(self, other),
-            page_size=page_size, configure=configure,
+            page_size=page_size, queue_capacity=queue_capacity,
+            configure=configure,
         )
 
     # -- terminals ----------------------------------------------------------------
@@ -498,6 +532,7 @@ class StreamHandle:
         *,
         keep_punctuation: bool = False,
         page_size: int | None = None,
+        queue_capacity: int | None = None,
         configure: Callable[[Operator], None] | None = None,
         **op_kwargs: Any,
     ) -> "Flow":
@@ -513,7 +548,8 @@ class StreamHandle:
                 **op_kwargs,
             ),
             name=name, base="sink", kind="collect", inputs=(self,),
-            page_size=page_size, configure=configure,
+            page_size=page_size, queue_capacity=queue_capacity,
+            configure=configure,
         )
         return self.flow
 
@@ -522,6 +558,7 @@ class StreamHandle:
         name: str = "client",
         *,
         page_size: int | None = None,
+        queue_capacity: int | None = None,
         configure: Callable[[Operator], None] | None = None,
         **op_kwargs: Any,
     ) -> "Flow":
@@ -530,7 +567,8 @@ class StreamHandle:
         self.flow._derive(
             lambda name: OnDemandSink(name, schema, **op_kwargs),
             name=name, base="client", kind="on-demand", inputs=(self,),
-            page_size=page_size, configure=configure,
+            page_size=page_size, queue_capacity=queue_capacity,
+            configure=configure,
         )
         return self.flow
 
@@ -628,6 +666,7 @@ class Flow:
         operator: Operator | Callable[[], Operator],
         *inputs: StreamHandle,
         page_size: int | None = None,
+        queue_capacity: int | None = None,
         configure: Callable[[Operator], None] | None = None,
     ) -> StreamHandle:
         """Feed ``inputs`` into a custom n-ary operator, port by port."""
@@ -635,13 +674,18 @@ class Flow:
             raise FlowError("merge() needs at least one input handle")
         return self._attach_custom(
             operator, inputs=inputs, page_size=page_size,
-            configure=configure,
+            queue_capacity=queue_capacity, configure=configure,
         )
 
     # -- compilation --------------------------------------------------------------
 
-    def build(self) -> QueryPlan:
-        """Compile to a fresh, validated :class:`QueryPlan`."""
+    def build(self, *, queue_capacity: int | None = None) -> QueryPlan:
+        """Compile to a fresh, validated :class:`QueryPlan`.
+
+        ``queue_capacity`` bounds every edge that did not set its own
+        capacity via a verb's ``queue_capacity=`` argument -- the
+        one-knob way to turn on backpressure for a whole flow.
+        """
         if not self._nodes:
             raise FlowError(f"flow {self.name!r} has no stages")
         plan = QueryPlan(self.name)
@@ -656,6 +700,10 @@ class Flow:
                 instances[id(edge.consumer)],
                 port=edge.port,
                 page_size=edge.page_size,
+                capacity=(
+                    edge.capacity if edge.capacity is not None
+                    else queue_capacity
+                ),
             )
         plan.validate()
         return plan
@@ -676,6 +724,7 @@ class Flow:
                     node.type_name,
                     [
                         f"{edge.consumer.name}[{edge.port}]"
+                        f"{edge_annotation(edge.capacity)}"
                         for edge in self._edges if edge.producer is node
                     ],
                 )
@@ -702,7 +751,7 @@ class Flow:
                 for node in self._nodes
             ],
             [
-                (node.name, edge.consumer.name, edge.port)
+                (node.name, edge.consumer.name, edge.port, edge.capacity)
                 for node in self._nodes
                 for edge in self._edges if edge.producer is node
             ],
@@ -716,6 +765,7 @@ class Flow:
         *,
         feedback: Sequence[tuple[float, str, Any]] = (),
         actions: Sequence[tuple[float, Callable[[QueryPlan], None]]] = (),
+        queue_capacity: int | None = None,
         **engine_options: Any,
     ) -> RunResult:
         """Compile and run on the named engine; returns a ``RunResult``.
@@ -726,10 +776,12 @@ class Flow:
         ``inject_feedback``'s the punctuation, which then flows upstream
         like any other feedback.  ``actions`` are ``(time, callable)``
         pairs for anything richer (polls, demands); the callable receives
-        the built plan.  ``engine_options`` pass to the engine factory
-        (``control_latency=...``, ...).
+        the built plan.  ``queue_capacity`` bounds every edge without its
+        own per-verb capacity, enabling runtime backpressure (see
+        ``docs/backpressure.md``).  ``engine_options`` pass to the engine
+        factory (``control_latency=...``, ...).
         """
-        plan = self.build()
+        plan = self.build(queue_capacity=queue_capacity)
         runner = create_engine(engine, plan, **engine_options)
         schedule: list[tuple[float, Callable[[], None]]] = []
         for entry in feedback:
@@ -840,6 +892,7 @@ class Flow:
         kind: str,
         inputs: Sequence[StreamHandle],
         page_size: int | None,
+        queue_capacity: int | None = None,
         configure: Callable[[Operator], None] | None = None,
         fanout_ok: bool = False,
     ) -> StreamHandle:
@@ -866,7 +919,9 @@ class Flow:
         edge_page = self.page_size if page_size is None else page_size
         for port, handle in enumerate(inputs):
             producer = handle._consume()
-            self._edges.append(_Edge(producer, node, port, edge_page))
+            self._edges.append(
+                _Edge(producer, node, port, edge_page, queue_capacity)
+            )
         return StreamHandle(self, node)
 
     def _attach_custom(
@@ -875,6 +930,7 @@ class Flow:
         *,
         inputs: Sequence[StreamHandle],
         page_size: int | None,
+        queue_capacity: int | None = None,
         configure: Callable[[Operator], None] | None,
     ) -> StreamHandle:
         self._check_inputs(inputs)
@@ -914,7 +970,9 @@ class Flow:
         edge_page = self.page_size if page_size is None else page_size
         for port, handle in enumerate(inputs):
             producer = handle._consume()
-            self._edges.append(_Edge(producer, node, port, edge_page))
+            self._edges.append(
+                _Edge(producer, node, port, edge_page, queue_capacity)
+            )
         return StreamHandle(self, node)
 
     def __repr__(self) -> str:

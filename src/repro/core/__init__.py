@@ -37,7 +37,12 @@ from repro.core.extended_correctness import (
     check_desired_content,
     check_desired_prioritization,
 )
-from repro.core.feedback import FeedbackIntent, FeedbackPunctuation
+from repro.core.feedback import (
+    FeedbackIntent,
+    FeedbackPunctuation,
+    FlowControlKind,
+    FlowControlPunctuation,
+)
 from repro.core.guards import Guard, GuardSet
 from repro.core.propagation import PropagationPlan, PropagationPlanner
 from repro.core.roles import (
@@ -64,6 +69,8 @@ __all__ = [
     "FeedbackProducer",
     "FeedbackPunctuation",
     "FeedbackRelayer",
+    "FlowControlKind",
+    "FlowControlPunctuation",
     "Guard",
     "GuardSet",
     "PropagationBehavior",

@@ -21,6 +21,17 @@ things (paper section 3.2):
 Feedback is final: the model has no retractions (paper section 4.4), so the
 class offers no "cancel" constructor and :mod:`repro.core.guards` never
 un-enacts a guard except through punctuation-driven expiration.
+
+This module also defines :class:`FlowControlPunctuation`, the
+*runtime-generated* sibling of :class:`FeedbackPunctuation`: where semantic
+feedback steers **which** tuples antecedents produce, flow control steers
+**how fast** they produce them.  The paper's pacing examples (section 2,
+Example 2) throttle by dropping; flow-control punctuation instead pauses
+and resumes upstream emission so bounded queues never overflow -- the
+backpressure use of the same out-of-band upstream channel.  Unlike semantic
+feedback it carries no pattern (it is about the whole stream on one edge)
+and it *is* retractable: every ``pause`` is eventually cancelled by its
+``resume``.
 """
 
 from __future__ import annotations
@@ -33,7 +44,12 @@ from repro.errors import FeedbackError
 from repro.punctuation.patterns import Pattern
 from repro.stream.schema import Schema
 
-__all__ = ["FeedbackIntent", "FeedbackPunctuation"]
+__all__ = [
+    "FeedbackIntent",
+    "FeedbackPunctuation",
+    "FlowControlKind",
+    "FlowControlPunctuation",
+]
 
 _feedback_counter = itertools.count()
 
@@ -174,3 +190,84 @@ class FeedbackPunctuation:
 
     def __repr__(self) -> str:
         return f"{self.intent.glyph}{self.pattern!r}"
+
+
+class FlowControlKind(enum.Enum):
+    """The two flow-control verbs, with display glyphs.
+
+    ``PAUSE`` (``⊣``) -- the consumer's queue crossed its high-water mark;
+    suspend emission on this edge.  ``RESUME`` (``⊢``) -- the queue drained
+    to its low-water mark; emission may continue.
+    """
+
+    PAUSE = "pause"
+    RESUME = "resume"
+
+    @property
+    def glyph(self) -> str:
+        return {"pause": "⊣", "resume": "⊢"}[self.value]
+
+
+class FlowControlPunctuation:
+    """Runtime-generated feedback about *rate*: pause or resume an edge.
+
+    Travels upstream on the control channel exactly like
+    :class:`FeedbackPunctuation` (out of band, high priority, delivered
+    with ``control_latency`` arrival semantics), but is issued by the
+    consumer's *runtime* when a bounded :class:`~repro.stream.queues.
+    DataQueue` crosses a watermark -- no operator ever constructs one in
+    normal operation.
+
+    ``edge`` names the queue the signal is about (``"select->avg[0]"``);
+    ``issuer`` is the consumer whose runtime spoke; ``occupancy`` records
+    the queue depth at signalling time (for diagnostics and the
+    backpressure benchmark).  Instances are immutable.
+    """
+
+    __slots__ = ("kind", "edge", "issuer", "issued_at", "occupancy", "seq")
+
+    is_punctuation = False  # flow control never flows inside data pages
+
+    def __init__(
+        self,
+        kind: FlowControlKind,
+        edge: str,
+        *,
+        issuer: str = "",
+        issued_at: float = 0.0,
+        occupancy: int = 0,
+    ) -> None:
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "edge", edge)
+        object.__setattr__(self, "issuer", issuer)
+        object.__setattr__(self, "issued_at", float(issued_at))
+        object.__setattr__(self, "occupancy", int(occupancy))
+        object.__setattr__(self, "seq", next(_feedback_counter))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("FlowControlPunctuation is immutable")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def pause(cls, edge: str, **kw: Any) -> "FlowControlPunctuation":
+        """``⊣[edge]`` -- suspend emission into this queue."""
+        return cls(FlowControlKind.PAUSE, edge, **kw)
+
+    @classmethod
+    def resume(cls, edge: str, **kw: Any) -> "FlowControlPunctuation":
+        """``⊢[edge]`` -- emission into this queue may continue."""
+        return cls(FlowControlKind.RESUME, edge, **kw)
+
+    # -- semantics --------------------------------------------------------------
+
+    @property
+    def is_pause(self) -> bool:
+        return self.kind is FlowControlKind.PAUSE
+
+    @property
+    def is_resume(self) -> bool:
+        return self.kind is FlowControlKind.RESUME
+
+    def __repr__(self) -> str:
+        return f"{self.kind.glyph}[{self.edge}@{self.occupancy}]"

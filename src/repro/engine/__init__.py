@@ -1,5 +1,9 @@
 """Execution engines (systems S5, S6, S9 in DESIGN.md).
 
+The runtime architecture of the paper's section 5 (NiagaraST): operators
+connected by page queues, out-of-band high-priority control, one
+scheduling policy per engine over a shared mechanism core.
+
 * :class:`QueryPlan` -- the operator DAG shared by both engines;
 * :class:`RuntimeCore` -- the shared mechanism layer (control draining,
   completion bookkeeping, operator finish) every engine builds on;
@@ -20,6 +24,7 @@ from repro.engine.metrics import (
     OutputLog,
     OutputRecord,
     PlanMetrics,
+    QueueMetrics,
 )
 from repro.engine.plan import QueryPlan
 from repro.engine.registry import (
@@ -48,6 +53,7 @@ __all__ = [
     "OutputLog",
     "OutputRecord",
     "PlanMetrics",
+    "QueueMetrics",
     "QueryPlan",
     "RunResult",
     "RuntimeCore",

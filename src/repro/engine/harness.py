@@ -1,9 +1,12 @@
 """OperatorHarness: drive a single operator outside a full plan.
 
-Useful for unit tests, characterization conformance checks and operator
-development: the harness wires stub queues and control channels to every
-port, lets you push tuples / punctuation / feedback directly, and exposes
-what the operator emitted downstream and sent upstream.
+Useful for unit tests, characterization conformance checks (the
+machine-checkable Tables 1-2 of the paper) and operator development: the
+harness wires stub queues and control channels to every port, lets you
+push tuples / punctuation / feedback directly, and exposes what the
+operator emitted downstream and sent upstream -- the three feedback roles
+(producer / exploiter / relayer, paper section 3.5) observed in
+isolation.
 
 Example::
 

@@ -8,7 +8,10 @@ The experiments report three kinds of numbers, all sourced here:
 * **output patterns** -- ``(tuple, emit_time)`` pairs recorded by sinks,
   which regenerate the scatter shapes of Figures 5 and 6;
 * **feedback accounting** -- counts of feedback produced / exploited /
-  relayed plus guard drop counters, used for the savings breakdowns.
+  relayed plus guard drop counters, used for the savings breakdowns;
+* **flow-control accounting** -- pause/resume signals issued and received,
+  time spent paused, and per-queue occupancy high-water marks, used by the
+  backpressure benchmark (``BENCH_backpressure.json``).
 """
 
 from __future__ import annotations
@@ -16,7 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-__all__ = ["OperatorMetrics", "OutputRecord", "OutputLog", "PlanMetrics"]
+__all__ = [
+    "OperatorMetrics",
+    "OutputRecord",
+    "OutputLog",
+    "PlanMetrics",
+    "QueueMetrics",
+]
 
 
 @dataclass
@@ -44,6 +53,12 @@ class OperatorMetrics:
     feedback_relayed: int = 0
     feedback_ignored: int = 0
     control_messages: int = 0
+    control_forwarded: int = 0
+    pauses_issued: int = 0
+    resumes_issued: int = 0
+    pauses_received: int = 0
+    resumes_received: int = 0
+    time_paused: float = 0.0
     busy_time: float = 0.0
 
     def grow_state(self, delta: int = 1) -> None:
@@ -74,6 +89,12 @@ class OperatorMetrics:
             "feedback_relayed": self.feedback_relayed,
             "feedback_ignored": self.feedback_ignored,
             "control_messages": self.control_messages,
+            "control_forwarded": self.control_forwarded,
+            "pauses_issued": self.pauses_issued,
+            "resumes_issued": self.resumes_issued,
+            "pauses_received": self.pauses_received,
+            "resumes_received": self.resumes_received,
+            "time_paused": self.time_paused,
             "busy_time": self.busy_time,
         }
 
@@ -118,14 +139,50 @@ class OutputLog:
         return [(r.time, r.element) for r in self._records if r.tag == tag]
 
 
+@dataclass(frozen=True)
+class QueueMetrics:
+    """Occupancy accounting of one inter-operator data queue.
+
+    ``peak_occupancy`` is the gauge the backpressure benchmark bounds:
+    with a ``capacity`` set, the runtime's pause/resume signalling keeps
+    it near the high-water mark instead of letting it grow with the
+    producer/consumer speed gap.
+    """
+
+    name: str
+    capacity: int | None
+    low_water: int
+    peak_occupancy: int
+    elements_enqueued: int
+    pages_flushed: int
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "low_water": self.low_water,
+            "peak_occupancy": self.peak_occupancy,
+            "elements_enqueued": self.elements_enqueued,
+            "pages_flushed": self.pages_flushed,
+        }
+
+
 @dataclass
 class PlanMetrics:
     """Aggregated view over a finished run."""
 
     operator_metrics: dict[str, OperatorMetrics] = field(default_factory=dict)
+    queue_metrics: dict[str, QueueMetrics] = field(default_factory=dict)
     makespan: float = 0.0
     total_work: float = 0.0
     events_processed: int = 0
+
+    def peak_queue_occupancy(self) -> int:
+        """The deepest any data queue got during the run."""
+        return max(
+            (q.peak_occupancy for q in self.queue_metrics.values()),
+            default=0,
+        )
 
     def work_of(self, *operators: str) -> float:
         """Summed busy time of the named operators."""

@@ -19,7 +19,7 @@ from repro.stream.control import ControlChannel
 from repro.stream.pages import DEFAULT_PAGE_SIZE
 from repro.stream.queues import DataQueue
 
-__all__ = ["QueryPlan", "render_describe", "render_dot"]
+__all__ = ["QueryPlan", "edge_annotation", "render_describe", "render_dot"]
 
 
 def render_describe(
@@ -42,16 +42,18 @@ def render_describe(
 def render_dot(
     name: str,
     nodes: list[tuple[str, str, bool, bool]],
-    edges: list[tuple[str, str, int]],
+    edges: list[tuple[str, str, int, int | None]],
 ) -> str:
     """Shared Graphviz (DOT) renderer.
 
     ``nodes`` rows are ``(op_name, type_name, is_source, is_sink)``;
-    ``edges`` rows are ``(producer, consumer, port)``.  Sources are drawn
-    as ellipses, sinks with doubled borders, everything else as boxes;
-    edge labels carry the consumer port.  Paste into ``dot -Tpng`` or any
-    DOT viewer.  Used by both :meth:`QueryPlan.to_dot` and
-    ``Flow.to_dot``.
+    ``edges`` rows are ``(producer, consumer, port, capacity)``.  Sources
+    are drawn as ellipses, sinks with doubled borders, everything else as
+    boxes; edge labels carry the consumer port.  Backpressure-capable
+    edges (``capacity`` set) additionally carry a ``cap=N`` label and a
+    tee arrowtail -- the queue can push back on its producer.  Paste into
+    ``dot -Tpng`` or any DOT viewer.  Used by both
+    :meth:`QueryPlan.to_dot` and ``Flow.to_dot``.
     """
     def quote(text: str) -> str:
         # Escape quotes only: labels deliberately embed DOT's \n.
@@ -70,13 +72,27 @@ def render_dot(
         elif is_sink:
             attrs.append("peripheries=2")
         lines.append(f"  {quote(op_name)} [{', '.join(attrs)}];")
-    for producer, consumer, port in edges:
+    for producer, consumer, port, capacity in edges:
+        label = f"[{port}]"
+        attrs = [f"label={quote(label)}"]
+        if capacity is not None:
+            attrs[0] = f"label={quote(f'{label} cap={capacity}')}"
+            attrs.append("dir=both, arrowtail=tee")
         lines.append(
             f"  {quote(producer)} -> {quote(consumer)}"
-            f" [label={quote(f'[{port}]')}];"
+            f" [{', '.join(attrs)}];"
         )
     lines.append("}")
     return "\n".join(lines)
+
+
+def edge_annotation(capacity: int | None) -> str:
+    """The describe()-style suffix for one edge's queue capacity.
+
+    Empty for unbounded edges, so plans without backpressure render
+    byte-identically to historical output.
+    """
+    return f" (cap={capacity})" if capacity is not None else ""
 
 
 class QueryPlan:
@@ -106,8 +122,15 @@ class QueryPlan:
         *,
         port: int = 0,
         page_size: int = DEFAULT_PAGE_SIZE,
+        capacity: int | None = None,
+        low_water: int | None = None,
     ) -> OutputEdge:
         """Wire producer -> consumer[port] with a fresh queue + channel.
+
+        ``capacity`` bounds the edge's data queue (high-water mark in
+        elements) and opts the edge into runtime backpressure;
+        ``low_water`` overrides the relief mark (default ``capacity //
+        2``).  Unbounded (the default) edges behave exactly as before.
 
         Duplicate wiring of the same ``(consumer, port)`` is rejected up
         front -- before either endpoint is mutated -- so a bad ``connect``
@@ -129,7 +152,10 @@ class QueryPlan:
             if op.name not in self._operators:
                 self.add(op)
         edge_name = f"{producer.name}->{consumer.name}[{port}]"
-        queue = DataQueue(edge_name, page_size=page_size)
+        queue = DataQueue(
+            edge_name, page_size=page_size,
+            capacity=capacity, low_water=low_water,
+        )
         control = ControlChannel(edge_name)
         edge = OutputEdge(queue, control, consumer, port)
         producer.attach_output(edge)
@@ -217,6 +243,7 @@ class QueryPlan:
                     type(op).__name__,
                     [
                         f"{e.consumer.name}[{e.consumer_port}]"
+                        f"{edge_annotation(e.queue.capacity)}"
                         for e in op.outputs
                     ],
                 )
@@ -241,7 +268,12 @@ class QueryPlan:
                 for op in self._operators.values()
             ],
             [
-                (op.name, edge.consumer.name, edge.consumer_port)
+                (
+                    op.name,
+                    edge.consumer.name,
+                    edge.consumer_port,
+                    edge.queue.capacity,
+                )
                 for op in self._operators.values()
                 for edge in op.outputs
             ],

@@ -1,7 +1,12 @@
 """Engine registry: execution engines addressable by name.
 
-The fluent API (``repro.api.Flow``) is engine-agnostic *by name*, the way
-Beam/Flink-style builder APIs decouple pipeline authorship from runners:
+The paper's runtime (section 5) is one fixed NiagaraST deployment; the
+reproduction instead treats engines as interchangeable scheduling
+policies over the shared runtime core, so the same feedback semantics
+can be exercised on virtual time, wall-clock threads, and the ROADMAP's
+future backends.  The fluent API (``repro.api.Flow``) is engine-agnostic
+*by name*, the way Beam/Flink-style builder APIs decouple pipeline
+authorship from runners:
 ``flow.run(engine="simulated")`` looks the engine up here instead of
 importing an engine class.  The ROADMAP's future backends (asyncio,
 sharded, multi-process workers) plug in with one ``register_engine`` call

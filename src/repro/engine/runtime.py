@@ -34,6 +34,26 @@ Policy hooks a subclass may override:
     records a wake-up deadline for the sleeping operator thread.
 ``_on_finished``
     Post-finish plumbing (stamp + wake consumers vs. notify all threads).
+``_on_paused`` / ``_on_resumed``
+    What happens when an operator's last resume arrives / first pause
+    lands: the simulator reschedules stalled work and flushes open pages,
+    the threaded runtime notifies sleeping threads.
+
+**Backpressure** also lives here, because it is pure mechanism: when a
+bounded :class:`~repro.stream.queues.DataQueue` crosses its high-water
+mark, :meth:`RuntimeCore.check_pressure` issues a *pause*
+:class:`~repro.core.feedback.FlowControlPunctuation` upstream on the
+edge's control channel -- on behalf of the consumer, exactly as if the
+consumer had produced feedback -- and :meth:`RuntimeCore.check_relief`
+issues the matching *resume* when the queue drains to its low-water mark.
+Delivery rides the ordinary control-drain path, so pauses observe
+``control_latency`` and preempt data like any feedback.  Engines stop
+scheduling paused operators; pressure propagates transitively because a
+paused operator stops draining its own inputs.  Deadlock is avoided by
+three rules (see ``docs/backpressure.md``): pause flushes the producer's
+open pages (so the consumer can always drain to the low-water mark), a
+paused operator whose inputs are exhausted may still finish, and resume
+signals to already-finished producers are simply dropped.
 """
 
 from __future__ import annotations
@@ -41,13 +61,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.core.feedback import FeedbackPunctuation, FlowControlPunctuation
 from repro.core.roles import FeedbackLog
-from repro.engine.metrics import OutputLog, PlanMetrics
+from repro.engine.metrics import OutputLog, PlanMetrics, QueueMetrics
 from repro.engine.plan import QueryPlan
 from repro.errors import EngineError
 from repro.operators.base import Operator, OutputEdge, SourceOperator
 from repro.stream.clock import Clock
-from repro.stream.control import ControlMessage, ControlMessageKind
+from repro.stream.control import (
+    ControlMessage,
+    ControlMessageKind,
+    Direction,
+)
 
 __all__ = ["RuntimeCore", "RunResult"]
 
@@ -99,6 +124,10 @@ class RuntimeCore:
         self.feedback_log = FeedbackLog()
         self.output_log = OutputLog()
         self._started = False
+        #: Edges (by queue name) each operator is currently paused on.
+        self._paused_outputs: dict[str, set[str]] = {}
+        #: When each currently-paused operator's first pause landed.
+        self._paused_since: dict[str, float] = {}
 
     # -- runtime surface seen by operators -----------------------------------------
 
@@ -128,6 +157,12 @@ class RuntimeCore:
 
     def _on_finished(self, operator: Operator, at: float) -> None:
         """Post-finish plumbing (stamp outputs / wake consumers)."""
+
+    def _on_paused(self, operator: Operator, at: float) -> None:
+        """An operator just became paused (first pause on any edge)."""
+
+    def _on_resumed(self, operator: Operator, at: float) -> None:
+        """An operator's last pause was lifted; reschedule its work."""
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -197,10 +232,138 @@ class RuntimeCore:
             operator.metrics.control_messages += 1
             self._charge_control(operator)
             if message.kind is ControlMessageKind.FEEDBACK:
-                operator.receive_feedback(message.payload, from_edge=from_edge)
+                if isinstance(message.payload, FeedbackPunctuation):
+                    operator.receive_feedback(
+                        message.payload, from_edge=from_edge
+                    )
+                else:
+                    # A feedback payload this runtime predates (a future
+                    # punctuation kind): forward it rather than dropping
+                    # it on the floor, so it still reaches an operator
+                    # (or client) that understands it.
+                    operator.forward_control(message)
+            elif message.kind is ControlMessageKind.FLOW_CONTROL:
+                self._apply_flow_control(
+                    operator, message.payload, from_edge
+                )
             elif message.kind is ControlMessageKind.RESULT_REQUEST:
                 operator.on_result_request(message.payload)
-            # END_OF_STREAM / SHUTDOWN are carried via queue closure.
+            else:
+                # END_OF_STREAM / SHUTDOWN are normally carried via queue
+                # closure; explicit messages of those kinds -- and any
+                # kind this runtime predates -- are forwarded so every
+                # operator on the path still hears them.
+                operator.forward_control(message)
+
+    # -- flow control (backpressure) -----------------------------------------------
+
+    def is_paused(self, operator: Operator) -> bool:
+        """True while any of ``operator``'s output edges has it paused."""
+        return bool(self._paused_outputs.get(operator.name))
+
+    def check_pressure(self, producer: Operator, at: float | None = None) -> None:
+        """Signal *pause* on any of ``producer``'s queues over high water.
+
+        Called by engines right after a producer's activity.  The pause
+        punctuation is issued on behalf of the edge's consumer (it is the
+        consumer's queue that is congested) and travels upstream on the
+        edge's control channel like any feedback.
+        """
+        if producer.finished:
+            return
+        now = self.clock.now() if at is None else at
+        for edge in producer.outputs:
+            queue = edge.queue
+            if queue.pressure_signalled or not queue.above_high_water:
+                continue
+            queue.pressure_signalled = True
+            consumer = edge.consumer
+            consumer.metrics.pauses_issued += 1
+            punct = FlowControlPunctuation.pause(
+                queue.name, issuer=consumer.name, issued_at=now,
+                occupancy=queue.occupancy,
+            )
+            edge.control.send(
+                ControlMessage(
+                    ControlMessageKind.FLOW_CONTROL,
+                    Direction.UPSTREAM,
+                    payload=punct,
+                    sender=consumer.name,
+                    sent_at=now,
+                )
+            )
+            self.notify_control(producer, at=now)
+
+    def check_relief(self, consumer: Operator, at: float | None = None) -> None:
+        """Signal *resume* on any of ``consumer``'s inputs at low water.
+
+        Called by engines right after a consumer drained a page.  Resume
+        toward an already-finished producer is skipped (the flag is still
+        cleared): the stream is over and there is no emission to resume.
+        """
+        now = self.clock.now() if at is None else at
+        for port in consumer.inputs:
+            if port is None:
+                continue
+            queue = port.queue
+            if not queue.pressure_signalled or not queue.below_low_water:
+                continue
+            queue.pressure_signalled = False
+            producer = port.producer
+            if producer is None or producer.finished:
+                continue
+            consumer.metrics.resumes_issued += 1
+            punct = FlowControlPunctuation.resume(
+                queue.name, issuer=consumer.name, issued_at=now,
+                occupancy=queue.occupancy,
+            )
+            port.control.send(
+                ControlMessage(
+                    ControlMessageKind.FLOW_CONTROL,
+                    Direction.UPSTREAM,
+                    payload=punct,
+                    sender=consumer.name,
+                    sent_at=now,
+                )
+            )
+            self.notify_control(producer, at=now)
+
+    def _apply_flow_control(
+        self,
+        operator: Operator,
+        punct: FlowControlPunctuation,
+        from_edge: OutputEdge | None,
+    ) -> None:
+        """Deliver one pause/resume to the producer it throttles.
+
+        Every operator participates regardless of ``feedback_aware``:
+        flow control is a runtime protocol, not a semantic hint, so the
+        paper's incremental-deployment story (feedback-unaware operators
+        ignore feedback) does not exempt anyone from backpressure.
+        """
+        paused = self._paused_outputs.setdefault(operator.name, set())
+        at = self._activity_time(operator)
+        if punct.is_pause:
+            operator.metrics.pauses_received += 1
+            if not paused:
+                self._paused_since[operator.name] = at
+            paused.add(punct.edge)
+            # Flush open output pages: the consumer must be able to drain
+            # everything buffered, or it could never reach its low-water
+            # mark and the pause would deadlock (rule 1 of 3).
+            for edge in operator.outputs:
+                edge.queue.flush()
+            operator.on_pause(punct, from_edge)
+            self._on_paused(operator, at)
+        else:
+            operator.metrics.resumes_received += 1
+            paused.discard(punct.edge)
+            operator.on_resume(punct, from_edge)
+            if not paused:
+                since = self._paused_since.pop(operator.name, None)
+                if since is not None:
+                    operator.metrics.time_paused += max(0.0, at - since)
+                self._on_resumed(operator, at)
 
     # -- input completion and finish ---------------------------------------------
 
@@ -237,6 +400,13 @@ class RuntimeCore:
         operator.on_finish()
         for edge in operator.outputs:
             edge.queue.close()
+        # A paused operator may finish (its inputs are exhausted; holding
+        # it hostage to a resume that depends on downstream progress could
+        # deadlock -- rule 2 of 3).  Settle its paused-time accounting.
+        if self._paused_outputs.pop(operator.name, None):
+            since = self._paused_since.pop(operator.name, None)
+            if since is not None:
+                operator.metrics.time_paused += max(0.0, at - since)
         self._on_finished(operator, at)
 
     # -- sources ---------------------------------------------------------------------
@@ -256,6 +426,16 @@ class RuntimeCore:
         for op in self.plan:
             metrics.operator_metrics[op.name] = op.metrics
             metrics.total_work += op.metrics.busy_time
+        for edge in self.plan.edges:
+            queue = edge.queue
+            metrics.queue_metrics[queue.name] = QueueMetrics(
+                name=queue.name,
+                capacity=queue.capacity,
+                low_water=queue.low_water,
+                peak_occupancy=queue.peak_occupancy,
+                elements_enqueued=queue.elements_enqueued,
+                pages_flushed=queue.pages_flushed,
+            )
         metrics.makespan = self.clock.now()
         return metrics
 

@@ -82,6 +82,10 @@ class Simulator(RuntimeCore):
         self._rr_port: dict[str, int] = {}
         self._events_processed = 0
         self._actions: list[tuple[float, Callable[[], None]]] = []
+        #: Source elements that arrived while their source was paused:
+        #: exactly one per paused source (event chaining stops at the
+        #: stash), replayed by ``_on_resumed``.
+        self._paused_source_pending: dict[str, Any] = {}
 
     @property
     def runtime(self) -> "Simulator":
@@ -152,6 +156,18 @@ class Simulator(RuntimeCore):
     def _on_finished(self, operator: Operator, at: float) -> None:
         self._after_activity(operator, at=at)
 
+    def _on_paused(self, operator: Operator, at: float) -> None:
+        # The pause flushed the operator's open output pages; stamp them
+        # visible so consumers can drain to their low-water marks.
+        self._after_activity(operator, at=at)
+
+    def _on_resumed(self, operator: Operator, at: float) -> None:
+        pending = self._paused_source_pending.pop(operator.name, None)
+        if pending is not None:
+            self._push(at, _PRIO_SOURCE, "source", (operator, pending))
+        else:
+            self.schedule_work(operator)
+
     # ------------------------------------------------------------------ run
 
     def run(self) -> RunResult:
@@ -202,7 +218,15 @@ class Simulator(RuntimeCore):
     def _handle_source(self, payload: tuple[SourceOperator, Any]) -> None:
         source, element = payload
         if element is None:  # exhausted: close downstream
+            # Finishing is legal even while paused (rule 2): the queues
+            # close, consumers drain them, and the pause dies with the
+            # stream -- this is what keeps a paused-at-end plan live.
             self.finish_operator(source)
+            return
+        if self.is_paused(source):
+            # Honour the pause: stash the element and stop the event
+            # chain; _on_resumed replays it when relief arrives.
+            self._paused_source_pending[source.name] = element
             return
         self.dispatch_source_element(source, element)
         self._after_activity(source, at=self.clock.now())
@@ -217,7 +241,7 @@ class Simulator(RuntimeCore):
             return
         self.drain_control(operator)
         self._after_activity(operator)
-        if self._has_data_work(operator):
+        if not self.is_paused(operator) and self._has_data_work(operator):
             self.schedule_work(operator)
 
     # ---------------------------------------------------------------- work
@@ -286,6 +310,12 @@ class Simulator(RuntimeCore):
         if operator.finished:
             return
         self.drain_control(operator)
+        if self.is_paused(operator):
+            # Transitive pressure: a paused operator processes no data,
+            # so its own input queues fill and pause *its* producers.
+            # Exhausted inputs may still finish it (rule 2).
+            self.check_input_completion(operator)
+            return
         port = self._next_port_with_work(operator)
         if port is not None:
             page = port.queue.get_page()
@@ -304,6 +334,9 @@ class Simulator(RuntimeCore):
                 # Zero-cost operator: the virtual clock cannot move during
                 # the page, so the batch fast path is timing-exact.
                 operator.process_page(port.index, page)
+            self.check_relief(
+                operator, at=self._busy_until[operator.name]
+            )
         self.check_input_completion(operator)
         self._after_activity(operator, at=self._busy_until[operator.name])
         if not operator.finished and self._has_data_work(operator):
@@ -312,12 +345,13 @@ class Simulator(RuntimeCore):
     # -------------------------------------------------------------- plumbing
 
     def _after_activity(self, operator: Operator, at: float | None = None) -> None:
-        """Stamp freshly flushed pages and wake the consumers."""
+        """Stamp freshly flushed pages, wake consumers, check watermarks."""
         stamp_time = self.clock.now() if at is None else at
         for edge in operator.outputs:
             flushed = edge.queue.stamp_ready(stamp_time)
             if flushed or edge.queue.closed:
                 self.schedule_work(edge.consumer, at=stamp_time)
+        self.check_pressure(operator, at=stamp_time)
 
     def _earliest_ready(self, operator: Operator) -> float:
         """Earliest availability among the operator's pending pages."""

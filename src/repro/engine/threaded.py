@@ -26,6 +26,14 @@ thread joins.  Operators receive whole pages through
 :meth:`~repro.operators.base.Operator.process_page`, i.e. the batch fast
 path, since wall-clock time needs no per-element metering.
 
+Backpressure (``queue_capacity`` / bounded :class:`~repro.stream.queues.
+DataQueue`) is honoured cooperatively: a source thread sleeps between
+events while any of its output edges is paused, and an operator thread
+pulls no pages while paused -- both wake when the consumer's *resume*
+flow-control punctuation is drained.  See :mod:`repro.engine.runtime` for
+the shared watermark/signalling mechanism and ``docs/backpressure.md``
+for the deadlock-avoidance rules.
+
 Operators' ``now()`` reports wall-clock seconds since the run started, so
 sink arrival logs remain meaningful (if noisy).
 """
@@ -135,6 +143,14 @@ class ThreadedRuntime(RuntimeCore):
     def _on_finished(self, operator: Operator, at: float) -> None:
         self._wakeup.notify_all()
 
+    def _on_paused(self, operator: Operator, at: float) -> None:
+        # The pause flushed open output pages; wake consumers to drain
+        # them (that drain is what will eventually produce the resume).
+        self._wakeup.notify_all()
+
+    def _on_resumed(self, operator: Operator, at: float) -> None:
+        self._wakeup.notify_all()
+
     # -- thread bodies --------------------------------------------------------------
 
     def _wait_for_work(self, operator: Operator) -> None:
@@ -153,7 +169,13 @@ class ThreadedRuntime(RuntimeCore):
         for _arrival, element in source.events():
             with self._lock:
                 self.drain_control(source)
+                while self.is_paused(source):
+                    # Honour backpressure: sleep until the consumer's
+                    # resume arrives (every control send notifies).
+                    self._wait_for_work(source)
+                    self.drain_control(source)
                 self.dispatch_source_element(source, element)
+                self.check_pressure(source)
                 self._wakeup.notify_all()
         with self._lock:
             # Same rule as the simulator: arrived control is delivered,
@@ -171,6 +193,17 @@ class ThreadedRuntime(RuntimeCore):
                     # Feedback handling may have emitted (partial results,
                     # flushes); consumers must hear about it.
                     self._wakeup.notify_all()
+                if self.is_paused(operator):
+                    # Transitive pressure: while paused this operator
+                    # pulls no pages, so its own inputs back up and pause
+                    # its producers.  Exhausted inputs may still finish
+                    # it -- holding finish hostage to a resume could
+                    # deadlock the tail of the stream.
+                    self.check_input_completion(operator)
+                    if operator.finished:
+                        return
+                    self._wait_for_work(operator)
+                    continue
                 page, port = None, None
                 for candidate in operator.inputs:
                     if candidate is None:
@@ -188,6 +221,8 @@ class ThreadedRuntime(RuntimeCore):
                 operator.set_now(self.clock.now())
                 operator.process_page(port.index, page)
                 self.mark_done_ports(operator)
+                self.check_relief(operator)
+                self.check_pressure(operator)
                 self._wakeup.notify_all()
 
     # -- run -------------------------------------------------------------------------

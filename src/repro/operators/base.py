@@ -625,6 +625,50 @@ class Operator(abc.ABC):
             if port.producer is not None:
                 self.runtime.notify_control(port.producer, at=self.now())
 
+    # ---------------------------------------------- flow control (backpressure)
+
+    def on_pause(self, punct: Any, from_edge: "OutputEdge | None") -> None:
+        """Observer hook: the runtime paused this operator on one edge.
+
+        The engine already stops scheduling this operator's data work, so
+        most operators need nothing here.  Operators that buffer
+        internally (e.g. :class:`~repro.operators.buffer.PriorityBuffer`)
+        override it to absorb in-flight pages instead of emitting.
+        """
+
+    def on_resume(self, punct: Any, from_edge: "OutputEdge | None") -> None:
+        """Observer hook: the runtime lifted a pause on one edge."""
+
+    def forward_control(self, message: ControlMessage) -> None:
+        """Relay a control message this operator does not handle itself.
+
+        Unknown or unhandled control kinds must keep travelling in their
+        direction -- upstream messages to every input, downstream messages
+        to every output -- rather than being silently dropped at the first
+        operator that predates them.  The forwarded copy is re-stamped
+        (``sender``/``sent_at``), so per-hop ``control_latency`` applies
+        exactly as it does to relayed feedback.
+        """
+        self.metrics.control_forwarded += 1
+        copy = ControlMessage(
+            message.kind,
+            message.direction,
+            payload=message.payload,
+            sender=self.name,
+            sent_at=self.now(),
+        )
+        if message.direction is Direction.UPSTREAM:
+            for port in self.inputs:
+                if port is None:
+                    continue
+                port.control.send(copy)
+                if port.producer is not None:
+                    self.runtime.notify_control(port.producer, at=self.now())
+        else:
+            for edge in self.outputs:
+                edge.control.send(copy)
+                self.runtime.notify_control(edge.consumer, at=self.now())
+
     # -------------------------------------------------------- feedback: relay
 
     def relay_feedback(

@@ -10,7 +10,10 @@ falling back to arrival order.
 With no desired feedback the buffer is a FIFO delay line of depth
 ``capacity``; once a ``?[…]`` arrives, matching tuples overtake the
 backlog.  The operator also honours assumed feedback with the usual input
-guard (a prioritised subset can still later be abandoned).
+guard (a prioritised subset can still later be abandoned), and honours
+runtime *pause* flow control by absorbing arrivals into its backlog
+instead of releasing downstream -- the buffer is the natural shock
+absorber when a bounded downstream queue pushes back.
 
 Example 1 of the paper maps onto this operator: vehicle readings from
 highly-congested segments marked high-priority overtake readings from
@@ -56,6 +59,7 @@ class PriorityBuffer(Operator):
         self.max_desires = max_desires
         self._pending: deque[StreamTuple] = deque()
         self._desires: deque[Pattern] = deque()
+        self._held = False  # a downstream pause is in effect
         self.priority_releases = 0
 
     # -- data --------------------------------------------------------------------
@@ -63,7 +67,7 @@ class PriorityBuffer(Operator):
     def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
         self._pending.append(tup)
         self.metrics.grow_state()
-        while len(self._pending) >= self.capacity:
+        while not self._held and len(self._pending) >= self.capacity:
             self._release_one()
 
     def on_page(self, port_index: int, batch: list) -> None:
@@ -73,7 +77,7 @@ class PriorityBuffer(Operator):
         tuple later in the run must not overtake scans that per-element
         arrival would not have seen), so the per-element path is kept.
         """
-        if self._desires:
+        if self._desires or self._held:
             for tup in batch:
                 self.on_tuple(port_index, tup)
             return
@@ -122,6 +126,29 @@ class PriorityBuffer(Operator):
     def _emit_pending(self, tup: StreamTuple) -> None:
         self.metrics.shrink_state()
         self.emit(tup)
+
+    # -- flow control ------------------------------------------------------------
+
+    def on_pause(self, punct: Any, from_edge: Any) -> None:
+        """Absorb arrivals while downstream pushes back.
+
+        The engine stops delivering pages to a paused operator; this hook
+        additionally stops the *releases* an in-flight page would trigger,
+        so the buffer soaks up the tail instead of feeding the congested
+        queue.
+        """
+        self._held = True
+
+    def on_resume(self, punct: Any, from_edge: Any) -> None:
+        """Release the over-capacity backlog accumulated while held.
+
+        With several output edges the hold lasts until the *last* pause
+        is lifted (the runtime tracks the paused-edge set).
+        """
+        is_paused = getattr(self.runtime, "is_paused", None)
+        self._held = bool(is_paused(self)) if is_paused is not None else False
+        while not self._held and len(self._pending) >= self.capacity:
+            self._release_one()
 
     # -- feedback ---------------------------------------------------------------
 

@@ -5,6 +5,14 @@ those virtual times.  Because :class:`~repro.operators.base.SourceOperator`
 is feedback-aware, assumed feedback that propagates all the way to a source
 suppresses tuples before they enter the plan -- the best case of the
 paper's "avoidance of unnecessary work".
+
+Sources are also where backpressure terminates: when a bounded downstream
+queue signals *pause*, the engine stops replaying the source's timeline
+(the simulator stashes the in-flight event, the threaded runtime sleeps
+the source thread) until the matching *resume* arrives, so input is
+admitted no faster than the plan can absorb it.  Sources need no code for
+this -- the engines honour it on their behalf (see
+:mod:`repro.engine.runtime`).
 """
 
 from __future__ import annotations

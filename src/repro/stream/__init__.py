@@ -1,7 +1,10 @@
 """Stream substrate: schemas, tuples, pages, queues, control, clocks.
 
-This package is the foundation layer (system S1 in DESIGN.md): everything
-here is engine-agnostic and carries no query or feedback semantics of its
+This package is the foundation layer (system S1 in DESIGN.md): the
+inter-operator connection structure of the paper's Figure 3 -- page
+queues (section 5, now optionally watermark-bounded for backpressure)
+paired with bidirectional out-of-band control channels.  Everything here
+is engine-agnostic and carries no query or feedback semantics of its
 own.  Higher layers build on it:
 
 * :mod:`repro.punctuation` defines patterns and embedded punctuation;

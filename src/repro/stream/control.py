@@ -5,8 +5,9 @@ messages in *both* directions (paper Figure 3):
 
 * downstream (with the data flow): ``END_OF_STREAM``, ``SHUTDOWN``;
 * upstream (against the data flow): ``FEEDBACK`` (the paper's contribution),
-  ``SHUTDOWN`` and -- for Example 4's on-demand result production --
-  ``RESULT_REQUEST``.
+  ``FLOW_CONTROL`` (runtime-generated pause/resume backpressure over the
+  same channel), ``SHUTDOWN`` and -- for Example 4's on-demand result
+  production -- ``RESULT_REQUEST``.
 
 Control messages are out-of-band and high priority: engines always deliver
 pending control before pending data pages.  Feedback punctuation is *not*
@@ -43,6 +44,7 @@ class ControlMessageKind(enum.Enum):
     """The kinds of control message the runtime understands."""
 
     FEEDBACK = "feedback"              # upstream; payload: FeedbackPunctuation
+    FLOW_CONTROL = "flow_control"      # upstream; payload: FlowControlPunctuation
     RESULT_REQUEST = "result_request"  # upstream; payload: optional pattern
     END_OF_STREAM = "end_of_stream"    # downstream; payload: None
     SHUTDOWN = "shutdown"              # either direction; payload: reason str

@@ -1,10 +1,21 @@
-"""Inter-operator data queues.
+"""Inter-operator data queues, optionally bounded by watermarks.
 
 A :class:`DataQueue` connects a producer operator to a consumer operator and
 carries complete :class:`~repro.stream.pages.Page` objects.  The producer
 writes single elements; the queue maintains the producer's *open page* and
 moves it into the ready backlog when it completes (full, punctuation, or
 explicit flush).
+
+Queues are unbounded by default -- exactly the paper's NiagaraST setting,
+where inter-operator queues absorb whatever the producers emit.  Passing
+``capacity`` turns on occupancy accounting for backpressure: the queue
+tracks how many elements it buffers (ready pages plus the open page) and
+exposes a **high-water mark** (``capacity``) and a **low-water mark**
+(default ``capacity // 2``).  The queue itself never blocks or signals --
+it is pure bookkeeping; the runtime (:mod:`repro.engine.runtime`) watches
+the marks and steers the producer through *pause*/*resume* feedback
+punctuation on the control channel (the first runtime-generated use of the
+paper's feedback mechanism; see ``docs/backpressure.md``).
 
 This class is deliberately not thread-safe: the deterministic simulator
 drives all operators from one loop.  The threaded runtime
@@ -16,6 +27,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Iterator
 
+from repro.errors import EngineError
 from repro.stream.pages import DEFAULT_PAGE_SIZE, Page
 
 __all__ = ["DataQueue"]
@@ -25,14 +37,52 @@ class DataQueue:
     """FIFO of complete pages with a producer-side open page.
 
     ``name`` identifies the edge for diagnostics (``"select->average"``).
+
+    ``capacity`` (elements) is the high-water mark for backpressure;
+    ``low_water`` (default ``capacity // 2``) is the relief mark.  With
+    ``capacity=None`` (the default) the queue is unbounded and behaves
+    exactly as before watermarks existed.
     """
 
-    __slots__ = ("name", "page_size", "_open_page", "_ready", "_closed",
+    __slots__ = ("name", "page_size", "capacity", "low_water",
+                 "pressure_signalled", "peak_occupancy", "_occupancy",
+                 "_open_page", "_ready", "_closed",
                  "pages_flushed", "elements_enqueued")
 
-    def __init__(self, name: str = "", page_size: int = DEFAULT_PAGE_SIZE) -> None:
+    def __init__(
+        self,
+        name: str = "",
+        page_size: int = DEFAULT_PAGE_SIZE,
+        *,
+        capacity: int | None = None,
+        low_water: int | None = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise EngineError(
+                f"{name or 'queue'}: capacity must be >= 1, got {capacity}"
+            )
+        if low_water is None:
+            low_water = 0 if capacity is None else capacity // 2
+        elif capacity is None:
+            raise EngineError(
+                f"{name or 'queue'}: low_water requires a capacity"
+            )
+        elif not 0 <= low_water < capacity:
+            raise EngineError(
+                f"{name or 'queue'}: low_water must satisfy "
+                f"0 <= low_water < capacity, got {low_water} "
+                f"(capacity {capacity})"
+            )
         self.name = name
         self.page_size = page_size
+        self.capacity = capacity
+        self.low_water = low_water
+        #: True between the consumer signalling *pause* (occupancy crossed
+        #: the high-water mark) and *resume* (drained to the low-water
+        #: mark).  Maintained by the runtime, never by the queue.
+        self.pressure_signalled = False
+        self.peak_occupancy = 0
+        self._occupancy = 0
         self._open_page = Page(page_size)
         self._ready: deque[Page] = deque()
         self._closed = False
@@ -49,6 +99,9 @@ class DataQueue:
         without waiting for a full page.
         """
         self.elements_enqueued += 1
+        self._occupancy += 1
+        if self._occupancy > self.peak_occupancy:
+            self.peak_occupancy = self._occupancy
         completed = self._open_page.append(element)
         if completed:
             self._ready.append(self._open_page)
@@ -67,6 +120,9 @@ class DataQueue:
         """
         total = len(elements)
         self.elements_enqueued += total
+        self._occupancy += total
+        if self._occupancy > self.peak_occupancy:
+            self.peak_occupancy = self._occupancy
         completed = 0
         index = 0
         while index < total:
@@ -98,7 +154,9 @@ class DataQueue:
     def get_page(self) -> Page | None:
         """Pop the oldest ready page, or None when nothing is ready."""
         if self._ready:
-            return self._ready.popleft()
+            page = self._ready.popleft()
+            self._occupancy -= len(page)
+            return page
         return None
 
     def peek_page(self) -> Page | None:
@@ -139,7 +197,27 @@ class DataQueue:
 
     def pending_elements(self) -> int:
         """Elements buffered in ready pages plus the open page."""
-        return sum(len(p) for p in self._ready) + len(self._open_page)
+        return self._occupancy
+
+    @property
+    def occupancy(self) -> int:
+        """Current buffered elements (ready pages + open page), O(1)."""
+        return self._occupancy
+
+    @property
+    def bounded(self) -> bool:
+        """True when a capacity (high-water mark) is configured."""
+        return self.capacity is not None
+
+    @property
+    def above_high_water(self) -> bool:
+        """True when occupancy has reached/passed the high-water mark."""
+        return self.capacity is not None and self._occupancy >= self.capacity
+
+    @property
+    def below_low_water(self) -> bool:
+        """True when occupancy has drained to the low-water mark."""
+        return self._occupancy <= self.low_water
 
     @property
     def exhausted(self) -> bool:
@@ -147,7 +225,10 @@ class DataQueue:
         return self._closed and not self._ready and self._open_page.empty
 
     def __repr__(self) -> str:
+        bound = (
+            f", capacity={self.capacity}" if self.capacity is not None else ""
+        )
         return (
             f"DataQueue({self.name!r}, ready={len(self._ready)} pages, "
-            f"open={len(self._open_page)}, closed={self._closed})"
+            f"open={len(self._open_page)}, closed={self._closed}{bound})"
         )

@@ -7,7 +7,9 @@ which keeps the per-tuple cost low on large workloads.
 
 Stream elements are either tuples or punctuations; both expose an
 ``is_punctuation`` flag so pages and queues can dispatch without importing
-the punctuation package (which would create an import cycle).
+the punctuation package (which would create an import cycle).  This mixed
+stream -- data interleaved with assertions about the data (paper section
+3.1) -- is what lets punctuation flush pages and unblock operators.
 """
 
 from __future__ import annotations

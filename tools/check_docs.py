@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Docs checker: every fenced python snippet must run, every link resolve.
+
+The docs job in CI runs this over ``docs/*.md`` and ``README.md``:
+
+* every fenced ```` ```python ```` block is executed (doctest-style) in a
+  fresh namespace with ``src/`` importable; a raised exception fails the
+  build with the file, block index and traceback.  Blocks tagged
+  ```` ```python no-run ```` are skipped (none today);
+* every relative markdown link ``[text](path)`` must point at an existing
+  file (anchors and absolute URLs are ignored), and every wiki-style
+  ``[[name]]`` cross-reference must resolve to ``docs/name.md``.
+
+Usage: ``python tools/check_docs.py [files...]`` (defaults to README.md
+and docs/*.md from the repo root).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+FENCE = re.compile(
+    r"^```(?P<info>[^\n]*)\n(?P<body>.*?)^```\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+# [text](target) -- but not images ![...](...) nor in-page anchors.
+MD_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+WIKI_LINK = re.compile(r"\[\[([A-Za-z0-9._/-]+)\]\]")
+
+
+def default_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def snippets(text: str) -> list[tuple[int, str]]:
+    """(1-based line, source) for each runnable python fence."""
+    found = []
+    for match in FENCE.finditer(text):
+        info = match.group("info").strip().lower()
+        if not info.startswith("python"):
+            continue
+        if "no-run" in info:
+            continue
+        line = text.count("\n", 0, match.start("body")) + 1
+        found.append((line, match.group("body")))
+    return found
+
+
+def run_snippet(source: str, label: str) -> str | None:
+    """Execute one snippet in a fresh namespace; return an error or None."""
+    namespace: dict = {"__name__": "__docs__", "__file__": label}
+    try:
+        code = compile(source, label, "exec")
+        exec(code, namespace)  # noqa: S102 - that is the whole point
+    except BaseException:
+        return traceback.format_exc()
+    return None
+
+
+def check_links(path: Path, text: str) -> list[str]:
+    errors = []
+    base = path.parent
+    for target in MD_LINK.findall(text):
+        if target.startswith(("http://", "https://", "#", "mailto:")):
+            continue
+        resolved = (base / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.name}: broken link -> {target}")
+    for name in WIKI_LINK.findall(text):
+        # [[name]] resolves within docs/ (the memory-style cross-ref).
+        candidate = REPO / "docs" / f"{name}.md"
+        if not candidate.exists():
+            errors.append(f"{path.name}: broken [[{name}]] cross-reference")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    files = [Path(a).resolve() for a in argv] if argv else default_files()
+    failures: list[str] = []
+    ran = 0
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        failures.extend(check_links(path, text))
+        for line, source in snippets(text):
+            label = f"{path.relative_to(REPO)}:{line}"
+            error = run_snippet(source, label)
+            ran += 1
+            if error is None:
+                print(f"ok   {label}")
+            else:
+                print(f"FAIL {label}\n{error}")
+                failures.append(f"{label}: snippet raised")
+    print(f"\n{ran} snippet(s) across {len(files)} file(s); "
+          f"{len(failures)} failure(s)")
+    for failure in failures:
+        print(" -", failure)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
