@@ -10,8 +10,8 @@ essentially unchanged).
 The workload is the worst case for an unbounded queue: the source's whole
 timeline arrives at t=0 while the sink pays a per-tuple cost, so without
 flow control the head queue holds the entire stream.  The result is
-recorded in ``BENCH_backpressure.json`` at the repo root (set
-``REPRO_BENCH_RECORD=1`` to rewrite it).
+recorded in ``BENCH_backpressure.json`` at the repo root via the shared
+``record_artifact`` fixture (set ``REPRO_BENCH_RECORD=1`` to rewrite it).
 
 Scale knobs: ``REPRO_BENCH_BP_TUPLES`` (default 20000),
 ``REPRO_BENCH_BP_CAPACITY`` (default 64).
@@ -19,10 +19,8 @@ Scale knobs: ``REPRO_BENCH_BP_TUPLES`` (default 20000),
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 from repro.api import Flow
 from repro.stream import Schema, StreamTuple
@@ -32,7 +30,6 @@ N_TUPLES = int(os.environ.get("REPRO_BENCH_BP_TUPLES", "20000"))
 CAPACITY = int(os.environ.get("REPRO_BENCH_BP_CAPACITY", "64"))
 PAGE_SIZE = 16
 SINK_COST = 0.0005
-RECORD = os.environ.get("REPRO_BENCH_RECORD") == "1"
 
 
 def burst_flow() -> Flow:
@@ -58,7 +55,9 @@ def run_variant(queue_capacity: int | None):
 
 
 class TestBackpressureBoundedness:
-    def test_bounded_peak_and_unchanged_throughput(self, report):
+    def test_bounded_peak_and_unchanged_throughput(
+        self, report, record_artifact
+    ):
         unbounded_result, unbounded_head, unbounded_wall = run_variant(None)
         bounded_result, bounded_head, bounded_wall = run_variant(CAPACITY)
 
@@ -109,12 +108,7 @@ class TestBackpressureBoundedness:
             "unbounded_wall_s": round(unbounded_wall, 6),
             "bounded_wall_s": round(bounded_wall, 6),
         }
-        if RECORD:
-            out = (
-                Path(__file__).resolve().parents[1]
-                / "BENCH_backpressure.json"
-            )
-            out.write_text(json.dumps(record, indent=2) + "\n")
+        record_artifact("BENCH_backpressure.json", record)
 
         report.append(
             f"backpressure: peak occupancy {unbounded_head.peak_occupancy}"

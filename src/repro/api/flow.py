@@ -41,11 +41,13 @@ that are not constructor arguments, e.g. ``relay_enabled``).
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.api.aggregates import AggSpec
 from repro.engine.plan import (
     QueryPlan,
+    ShardGroup,
     edge_annotation,
     render_describe,
     render_dot,
@@ -59,6 +61,7 @@ from repro.operators.duplicate import Duplicate
 from repro.operators.join import SymmetricHashJoin
 from repro.operators.map import Map
 from repro.operators.pace import Pace
+from repro.operators.partition import Partition, ShardMerge
 from repro.operators.project import Project
 from repro.operators.select import Select
 from repro.operators.sink import CollectSink, OnDemandSink
@@ -420,6 +423,139 @@ class StreamHandle:
             StreamHandle(self.flow, handle._node) for _ in range(n)
         )
 
+    def shard(
+        self,
+        n: int,
+        *,
+        key: str | Sequence[str],
+        pipeline: Callable[..., "StreamHandle"],
+        name: str | None = None,
+        merge_name: str | None = None,
+        stash_limit: int = 256,
+        page_size: int | None = None,
+        queue_capacity: int | None = None,
+        configure: Callable[[Operator], None] | None = None,
+        **op_kwargs: Any,
+    ) -> "StreamHandle":
+        """Replicate a sub-pipeline ``n`` ways over a key-partitioned stream.
+
+        ``pipeline`` is a callable building one replica: it receives a
+        lane's :class:`StreamHandle` (and, if it takes a second
+        positional argument, the lane index) and returns the replica's
+        output handle.  The region compiles to a
+        :class:`~repro.operators.partition.Partition` hashing ``key``
+        across ``n`` lanes and a punctuation-aligning
+        :class:`~repro.operators.partition.ShardMerge` fanning back in::
+
+            (flow.source(schema, timeline)
+                 .punctuate(on="ts", every=10.0)
+                 .shard(4, key="sensor",
+                        pipeline=lambda lane: lane
+                            .where(expensive)
+                            .window(avg("v"), by="sensor",
+                                    on="ts", width=10.0))
+                 .collect("sink"))
+
+        With ``n=1`` the pipeline is applied inline -- no partition, no
+        merge -- so the degenerate shard compiles to a plan byte-identical
+        to the unsharded one.  For ``n>1`` the region is recorded as a
+        :class:`~repro.engine.plan.ShardGroup` in the compiled plan's IR
+        (rendered by ``describe()``/``to_dot()``, rolled up per lane by
+        the runtime's skew report).  Feedback, punctuation and pause/
+        resume flow control cross the region boundary as described in
+        ``docs/sharding.md``: broadcast (or key-routed) across all
+        replicas, with per-lane backpressure at the partitioner.
+        """
+        schema = self._require_schema("shard")
+        if n < 1:
+            raise FlowError(f"shard() needs n >= 1, got {n}")
+        if not callable(pipeline):
+            raise FlowError(
+                f"shard() needs a pipeline callable building one "
+                f"replica, got {pipeline!r}"
+            )
+        try:
+            positional = [
+                p for p in inspect.signature(pipeline).parameters.values()
+                if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+            ]
+            wants_index = len(positional) >= 2
+        except (TypeError, ValueError):  # builtins, odd callables
+            wants_index = False
+
+        def replicate(lane: "StreamHandle", index: int) -> "StreamHandle":
+            out = pipeline(lane, index) if wants_index else pipeline(lane)
+            if not isinstance(out, StreamHandle) or out.flow is not self.flow:
+                raise FlowError(
+                    "shard() pipeline must return a StreamHandle of "
+                    "this flow"
+                )
+            return out
+
+        if n == 1:
+            # Degenerate region: apply the pipeline inline.  The compiled
+            # plan is byte-identical to writing the stages unsharded.
+            return replicate(self, 0)
+        key_tuple = (key,) if isinstance(key, str) else tuple(key)
+        flow = self.flow
+        # shard() runs user code mid-construction; snapshot so a failing
+        # pipeline leaves the flow (and this handle) exactly as it was.
+        saved = (
+            list(flow._nodes), list(flow._edges), set(flow._names),
+            list(flow._shard_regions), self._spent, self._node.consumed,
+        )
+        try:
+            part = flow._derive(
+                lambda nm: Partition(
+                    nm, schema, key=key_tuple, fanout=n,
+                    stash_limit=stash_limit, **op_kwargs,
+                ),
+                name=name, base="shard", kind="shard", inputs=(self,),
+                page_size=page_size, queue_capacity=queue_capacity,
+                configure=configure, fanout_ok=True,
+            )
+            part_node = part._node
+            outs: list[StreamHandle] = []
+            lanes: list[tuple[str, ...]] = []
+            for index in range(n):
+                lane = StreamHandle(flow, part_node)
+                before = len(flow._nodes)
+                out = replicate(lane, index)
+                if out._node is part_node:
+                    raise FlowError(
+                        "shard() pipeline must add at least one stage "
+                        "per lane"
+                    )
+                lanes.append(
+                    tuple(node.name for node in flow._nodes[before:])
+                )
+                outs.append(out)
+            flow._check_same_schema("shard", outs)
+            merge = flow._derive(
+                lambda nm: ShardMerge(
+                    nm, outs[0]._node.schema, arity=n
+                ),
+                name=merge_name, base=f"{part_node.name}_merge",
+                kind="shard-merge", inputs=tuple(outs),
+                page_size=page_size, queue_capacity=queue_capacity,
+            )
+        except BaseException:
+            (flow._nodes, flow._edges, flow._names,
+             flow._shard_regions) = saved[:4]
+            self._spent, self._node.consumed = saved[4], saved[5]
+            raise
+        flow._shard_regions.append(
+            ShardGroup(
+                name=part_node.name,
+                partition=part_node.name,
+                merge=merge._node.name,
+                key=key_tuple,
+                n=n,
+                lanes=tuple(lanes),
+            )
+        )
+        return merge
+
     def union(
         self,
         *others: "StreamHandle",
@@ -614,6 +750,7 @@ class Flow:
         self._nodes: list[_Node] = []
         self._edges: list[_Edge] = []
         self._names: set[str] = set()
+        self._shard_regions: list[ShardGroup] = []
 
     # -- sources ------------------------------------------------------------------
 
@@ -705,6 +842,8 @@ class Flow:
                     else queue_capacity
                 ),
             )
+        for group in self._shard_regions:
+            plan.register_shard_group(group)
         plan.validate()
         return plan
 
@@ -730,6 +869,7 @@ class Flow:
                 )
                 for node in self._nodes
             ],
+            regions=self._shard_regions,
         )
 
     def to_dot(self) -> str:
@@ -755,6 +895,7 @@ class Flow:
                 for node in self._nodes
                 for edge in self._edges if edge.producer is node
             ],
+            regions=self._shard_regions,
         )
 
     # -- execution ----------------------------------------------------------------

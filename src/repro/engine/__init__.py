@@ -26,7 +26,7 @@ from repro.engine.metrics import (
     PlanMetrics,
     QueueMetrics,
 )
-from repro.engine.plan import QueryPlan
+from repro.engine.plan import QueryPlan, ShardGroup
 from repro.engine.registry import (
     available_engines,
     create_engine,
@@ -56,6 +56,7 @@ __all__ = [
     "QueueMetrics",
     "QueryPlan",
     "RunResult",
+    "ShardGroup",
     "RuntimeCore",
     "Simulator",
     "ThreadedRuntime",

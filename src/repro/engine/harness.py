@@ -82,6 +82,16 @@ class OperatorHarness:
     def push_punctuation(self, punct: Punctuation, *, port: int = 0) -> None:
         self.push(punct, port=port)
 
+    def push_page(self, elements: list, *, port: int = 0) -> None:
+        """Deliver a whole page at once (the engines' batch fast path).
+
+        Exercises :meth:`~repro.operators.base.Operator.process_page`
+        without a meter -- i.e. native ``on_page`` implementations -- so
+        batch/element equivalence is testable operator by operator.
+        """
+        self.tick(0.0)
+        self.operator.process_page(port, elements)
+
     def feedback(
         self,
         feedback: FeedbackPunctuation,

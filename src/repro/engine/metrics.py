@@ -25,6 +25,8 @@ __all__ = [
     "OutputLog",
     "PlanMetrics",
     "QueueMetrics",
+    "ShardGroupMetrics",
+    "ShardLaneMetrics",
 ]
 
 
@@ -147,6 +149,12 @@ class QueueMetrics:
     with a ``capacity`` set, the runtime's pause/resume signalling keeps
     it near the high-water mark instead of letting it grow with the
     producer/consumer speed gap.
+
+    Edges are identified structurally by ``(producer, consumer, port)``
+    -- the plan-wide rollup keys entries by exactly that triple (rendered
+    ``"producer->consumer[port]"``), so replicated shard edges and the
+    several inputs of a join or merge always report distinct metrics even
+    when the underlying queues carry hand-assigned (or colliding) names.
     """
 
     name: str
@@ -155,10 +163,21 @@ class QueueMetrics:
     peak_occupancy: int
     elements_enqueued: int
     pages_flushed: int
+    producer: str = ""
+    consumer: str = ""
+    port: int = 0
+
+    @property
+    def edge_key(self) -> str:
+        """The canonical ``producer->consumer[port]`` identifier."""
+        return f"{self.producer}->{self.consumer}[{self.port}]"
 
     def snapshot(self) -> dict[str, Any]:
         return {
             "name": self.name,
+            "producer": self.producer,
+            "consumer": self.consumer,
+            "port": self.port,
             "capacity": self.capacity,
             "low_water": self.low_water,
             "peak_occupancy": self.peak_occupancy,
@@ -167,12 +186,79 @@ class QueueMetrics:
         }
 
 
+@dataclass(frozen=True)
+class ShardLaneMetrics:
+    """Rollup over one lane (replica) of a shard group.
+
+    ``ingress`` counts every element the partitioner routed into the lane
+    (tuples plus broadcast punctuation) -- the load-balance gauge; the
+    remaining counters sum the lane's member-operator metrics.
+    """
+
+    lane: int
+    operators: tuple[str, ...]
+    ingress: int
+    tuples_in: int
+    tuples_out: int
+    busy_time: float
+    time_paused: float
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "lane": self.lane,
+            "operators": list(self.operators),
+            "ingress": self.ingress,
+            "tuples_in": self.tuples_in,
+            "tuples_out": self.tuples_out,
+            "busy_time": self.busy_time,
+            "time_paused": self.time_paused,
+        }
+
+
+@dataclass
+class ShardGroupMetrics:
+    """Per-shard-group rollup: one :class:`ShardLaneMetrics` per lane."""
+
+    name: str
+    key: tuple[str, ...]
+    n: int
+    lanes: list[ShardLaneMetrics] = field(default_factory=list)
+    regions_held: int = 0
+    regions_released: int = 0
+
+    def skew(self) -> float:
+        """Max-over-mean lane ingress: 1.0 is perfectly balanced.
+
+        The classic load-imbalance metric for key-partitioned
+        parallelism; a heavy hitter key drives it toward ``n``.
+        """
+        loads = [lane.ingress for lane in self.lanes]
+        if not loads or not sum(loads):
+            return 1.0
+        return max(loads) / (sum(loads) / len(loads))
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "key": list(self.key),
+            "n": self.n,
+            "skew": self.skew(),
+            "regions_held": self.regions_held,
+            "regions_released": self.regions_released,
+            "lanes": [lane.snapshot() for lane in self.lanes],
+        }
+
+
 @dataclass
 class PlanMetrics:
     """Aggregated view over a finished run."""
 
     operator_metrics: dict[str, OperatorMetrics] = field(default_factory=dict)
+    #: Per-edge rollups, keyed ``"producer->consumer[port]"`` (see
+    #: :attr:`QueueMetrics.edge_key`).
     queue_metrics: dict[str, QueueMetrics] = field(default_factory=dict)
+    #: Per-shard-group rollups, keyed by the group's region name.
+    shard_metrics: dict[str, ShardGroupMetrics] = field(default_factory=dict)
     makespan: float = 0.0
     total_work: float = 0.0
     events_processed: int = 0
@@ -183,6 +269,35 @@ class PlanMetrics:
             (q.peak_occupancy for q in self.queue_metrics.values()),
             default=0,
         )
+
+    def edge(self, producer: str, consumer: str, port: int = 0) -> QueueMetrics:
+        """Queue metrics for one edge, addressed structurally."""
+        return self.queue_metrics[f"{producer}->{consumer}[{port}]"]
+
+    def shard_report(self) -> str:
+        """Text table of per-lane load and skew for every shard group."""
+        if not self.shard_metrics:
+            return "(no shard groups)"
+        lines: list[str] = []
+        for group in self.shard_metrics.values():
+            lines.append(
+                f"shard {group.name!r} x{group.n} by "
+                f"({', '.join(group.key)}): skew={group.skew():.3f}, "
+                f"regions held/released="
+                f"{group.regions_held}/{group.regions_released}"
+            )
+            header = (
+                f"  {'lane':>4} {'ingress':>9} {'in':>9} {'out':>9} "
+                f"{'busy':>10} {'paused':>8}"
+            )
+            lines.append(header)
+            for lane in group.lanes:
+                lines.append(
+                    f"  {lane.lane:>4} {lane.ingress:>9} "
+                    f"{lane.tuples_in:>9} {lane.tuples_out:>9} "
+                    f"{lane.busy_time:>10.3f} {lane.time_paused:>8.3f}"
+                )
+        return "\n".join(lines)
 
     def work_of(self, *operators: str) -> float:
         """Summed busy time of the named operators."""

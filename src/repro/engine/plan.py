@@ -11,7 +11,8 @@ consume the same validated plan.
 
 from __future__ import annotations
 
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 from repro.errors import PlanError
 from repro.operators.base import Operator, OutputEdge, SourceOperator
@@ -19,16 +20,75 @@ from repro.stream.control import ControlChannel
 from repro.stream.pages import DEFAULT_PAGE_SIZE
 from repro.stream.queues import DataQueue
 
-__all__ = ["QueryPlan", "edge_annotation", "render_describe", "render_dot"]
+__all__ = [
+    "QueryPlan",
+    "ShardGroup",
+    "edge_annotation",
+    "render_describe",
+    "render_dot",
+]
+
+
+@dataclass(frozen=True)
+class ShardGroup:
+    """IR record of one shard region inside a plan.
+
+    A shard region is a subgraph replicated ``n`` ways between a
+    :class:`~repro.operators.partition.Partition` (``partition``) and a
+    :class:`~repro.operators.partition.ShardMerge` (``merge``), running
+    over a stream key-partitioned on ``key``.  ``lanes[i]`` names the
+    replica operators of lane ``i`` in topological order.  The record is
+    pure bookkeeping -- data and control flow entirely through the plan's
+    ordinary queues and channels -- but it is what lets the runtime roll
+    metrics up per lane (skew reports) and the renderers draw the region
+    as one unit.
+    """
+
+    name: str
+    partition: str
+    merge: str
+    key: tuple[str, ...]
+    n: int
+    lanes: tuple[tuple[str, ...], ...]
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        """Every replica operator name, across all lanes."""
+        return tuple(op for lane in self.lanes for op in lane)
+
+
+def describe_region_lines(
+    regions: Sequence[ShardGroup],
+) -> list[str]:
+    """The describe()-style trailer for a plan's shard regions.
+
+    Empty when there are none, so unsharded plans render byte-identically
+    to historical output.
+    """
+    lines: list[str] = []
+    for region in regions:
+        key = ", ".join(region.key)
+        lines.append(
+            f"  shard {region.name!r} x{region.n} by ({key}): "
+            f"{region.partition} -> {region.merge}"
+        )
+        for index, lane in enumerate(region.lanes):
+            lines.append(
+                f"    lane {index}: {', '.join(lane) or '(direct)'}"
+            )
+    return lines
 
 
 def render_describe(
-    name: str, stages: list[tuple[str, str, list[str]]]
+    name: str,
+    stages: list[tuple[str, str, list[str]]],
+    regions: Sequence[ShardGroup] = (),
 ) -> str:
     """Shared topology-text renderer.
 
     ``stages`` rows are ``(op_name, type_name, targets)`` where each
-    target is already formatted as ``consumer[port]``.  Used by both
+    target is already formatted as ``consumer[port]``; ``regions`` are
+    the plan's shard groups, rendered as a trailer.  Used by both
     :meth:`QueryPlan.describe` and ``Flow.describe`` so the two surfaces
     cannot drift.
     """
@@ -36,6 +96,7 @@ def render_describe(
     for op_name, type_name, targets in stages:
         rendered = ", ".join(targets) or "(sink)"
         lines.append(f"  {op_name} ({type_name}) -> {rendered}")
+    lines.extend(describe_region_lines(regions))
     return "\n".join(lines)
 
 
@@ -43,6 +104,7 @@ def render_dot(
     name: str,
     nodes: list[tuple[str, str, bool, bool]],
     edges: list[tuple[str, str, int, int | None]],
+    regions: Sequence[ShardGroup] = (),
 ) -> str:
     """Shared Graphviz (DOT) renderer.
 
@@ -51,27 +113,51 @@ def render_dot(
     are drawn as ellipses, sinks with doubled borders, everything else as
     boxes; edge labels carry the consumer port.  Backpressure-capable
     edges (``capacity`` set) additionally carry a ``cap=N`` label and a
-    tee arrowtail -- the queue can push back on its producer.  Paste into
-    ``dot -Tpng`` or any DOT viewer.  Used by both
-    :meth:`QueryPlan.to_dot` and ``Flow.to_dot``.
+    tee arrowtail -- the queue can push back on its producer.  Shard
+    ``regions`` render their replica operators inside a dashed cluster
+    labelled with the fanout and partition key.  Paste into ``dot
+    -Tpng`` or any DOT viewer.  Used by both :meth:`QueryPlan.to_dot`
+    and ``Flow.to_dot``.
     """
     def quote(text: str) -> str:
         # Escape quotes only: labels deliberately embed DOT's \n.
         return '"' + text.replace('"', '\\"') + '"'
 
-    lines = [
-        f"digraph {quote(name)} {{",
-        "  rankdir=LR;",
-        "  node [shape=box];",
-    ]
-    for op_name, type_name, is_source, is_sink in nodes:
+    def node_statement(row: tuple[str, str, bool, bool]) -> str:
+        op_name, type_name, is_source, is_sink = row
         label = f"{op_name}\\n{type_name}"
         attrs = [f"label={quote(label)}"]
         if is_source:
             attrs.append("shape=ellipse")
         elif is_sink:
             attrs.append("peripheries=2")
-        lines.append(f"  {quote(op_name)} [{', '.join(attrs)}];")
+        return f"{quote(op_name)} [{', '.join(attrs)}];"
+
+    member_of: dict[str, ShardGroup] = {}
+    for region in regions:
+        for member in region.members:
+            member_of[member] = region
+
+    lines = [
+        f"digraph {quote(name)} {{",
+        "  rankdir=LR;",
+        "  node [shape=box];",
+    ]
+    for row in nodes:
+        if row[0] not in member_of:
+            lines.append(f"  {node_statement(row)}")
+    for index, region in enumerate(regions):
+        members = set(region.members)
+        key = ", ".join(region.key)
+        lines.append(f"  subgraph cluster_shard_{index} {{")
+        lines.append(
+            f"    label={quote(f'shard {region.name} x{region.n} by ({key})')};"
+        )
+        lines.append("    style=dashed;")
+        for row in nodes:
+            if row[0] in members:
+                lines.append(f"    {node_statement(row)}")
+        lines.append("  }")
     for producer, consumer, port, capacity in edges:
         label = f"[{port}]"
         attrs = [f"label={quote(label)}"]
@@ -102,6 +188,7 @@ class QueryPlan:
         self.name = name
         self._operators: dict[str, Operator] = {}
         self._edges: list[OutputEdge] = []
+        self._shard_groups: list[ShardGroup] = []
 
     # -- construction ------------------------------------------------------------
 
@@ -169,6 +256,28 @@ class QueryPlan:
             self.connect(producer, consumer, page_size=page_size)
         return operators[-1]
 
+    def register_shard_group(self, group: ShardGroup) -> ShardGroup:
+        """Record a shard region over operators already in the plan.
+
+        Validates that the boundary operators and every lane member exist
+        and that the lane count matches the declared fanout.  The group
+        is IR metadata: it steers metrics rollups and rendering, never
+        execution (the wiring does that).
+        """
+        for op_name in (group.partition, group.merge, *group.members):
+            if op_name not in self._operators:
+                raise PlanError(
+                    f"plan {self.name!r}: shard group {group.name!r} "
+                    f"names unknown operator {op_name!r}"
+                )
+        if len(group.lanes) != group.n:
+            raise PlanError(
+                f"plan {self.name!r}: shard group {group.name!r} declares "
+                f"n={group.n} but has {len(group.lanes)} lane(s)"
+            )
+        self._shard_groups.append(group)
+        return group
+
     # -- access -------------------------------------------------------------------
 
     @property
@@ -178,6 +287,10 @@ class QueryPlan:
     @property
     def edges(self) -> list[OutputEdge]:
         return list(self._edges)
+
+    @property
+    def shard_groups(self) -> list[ShardGroup]:
+        return list(self._shard_groups)
 
     def operator(self, name: str) -> Operator:
         try:
@@ -249,6 +362,7 @@ class QueryPlan:
                 )
                 for op in self._operators.values()
             ],
+            regions=self._shard_groups,
         )
 
     def to_dot(self) -> str:
@@ -277,6 +391,7 @@ class QueryPlan:
                 for op in self._operators.values()
                 for edge in op.outputs
             ],
+            regions=self._shard_groups,
         )
 
     def __iter__(self) -> Iterator[Operator]:

@@ -54,6 +54,22 @@ three rules (see ``docs/backpressure.md``): pause flushes the producer's
 open pages (so the consumer can always drain to the low-water mark), a
 paused operator whose inputs are exhausted may still finish, and resume
 signals to already-finished producers are simply dropped.
+
+**Shard groups** (``docs/sharding.md``) add two pieces of bookkeeping on
+top.  First, *per-lane* flow control: a ``lane_flow_control`` operator
+(PARTITION) is not stalled by a pause on one output lane -- it absorbs
+that lane's traffic and keeps feeding the siblings -- so
+:meth:`RuntimeCore.is_paused` defers to the operator's
+``holding_pressure()`` while any lane is paused, and a lane resume that
+releases a full stall reschedules the operator even though other lanes
+remain paused.  Second, :meth:`RuntimeCore.collect_metrics` rolls
+operator and queue counters up per shard-group lane
+(:class:`~repro.engine.metrics.ShardGroupMetrics`, the skew report).
+Control *broadcast* across replicas needs no runtime special case: it
+falls out of the shared control protocol -- the merge's identity mapping
+relays feedback to every lane, the partition broadcasts punctuation and
+reconciles per-lane feedback (key-routed or by agreement), and unknown
+control kinds forward hop-by-hop through both boundary operators.
 """
 
 from __future__ import annotations
@@ -63,7 +79,13 @@ from typing import Any
 
 from repro.core.feedback import FeedbackPunctuation, FlowControlPunctuation
 from repro.core.roles import FeedbackLog
-from repro.engine.metrics import OutputLog, PlanMetrics, QueueMetrics
+from repro.engine.metrics import (
+    OutputLog,
+    PlanMetrics,
+    QueueMetrics,
+    ShardGroupMetrics,
+    ShardLaneMetrics,
+)
 from repro.engine.plan import QueryPlan
 from repro.errors import EngineError
 from repro.operators.base import Operator, OutputEdge, SourceOperator
@@ -258,8 +280,39 @@ class RuntimeCore:
     # -- flow control (backpressure) -----------------------------------------------
 
     def is_paused(self, operator: Operator) -> bool:
-        """True while any of ``operator``'s output edges has it paused."""
-        return bool(self._paused_outputs.get(operator.name))
+        """True while the operator must not be scheduled for data work.
+
+        For ordinary operators that is "any output edge has it paused".
+        Operators with ``lane_flow_control`` (PARTITION) steer each lane
+        independently: a paused lane redirects that lane's traffic into
+        the operator's stash while the siblings keep flowing, so the
+        operator stays schedulable until it reports
+        :meth:`~repro.operators.base.Operator.holding_pressure` -- at
+        which point the stall becomes transitive toward the source
+        exactly like an ordinary pause.
+        """
+        paused = self._paused_outputs.get(operator.name)
+        if not paused:
+            return False
+        if operator.lane_flow_control:
+            holding = operator.holding_pressure()
+            # Stall accounting for lane operators: they stall only while
+            # *holding*, and that transition happens mid-processing (a
+            # stash filling), so the paused clock starts and stops at the
+            # runtime's next observation here -- every engine consults
+            # is_paused before scheduling, which bounds the error to one
+            # scheduling step.
+            name = operator.name
+            if holding:
+                self._paused_since.setdefault(name, self.clock.now())
+            else:
+                since = self._paused_since.pop(name, None)
+                if since is not None:
+                    operator.metrics.time_paused += max(
+                        0.0, self.clock.now() - since
+                    )
+            return holding
+        return True
 
     def check_pressure(self, producer: Operator, at: float | None = None) -> None:
         """Signal *pause* on any of ``producer``'s queues over high water.
@@ -345,7 +398,9 @@ class RuntimeCore:
         at = self._activity_time(operator)
         if punct.is_pause:
             operator.metrics.pauses_received += 1
-            if not paused:
+            # Lane-flow-control operators are not stalled by a lane pause
+            # (they absorb and keep running), so no paused-time clock.
+            if not paused and not operator.lane_flow_control:
                 self._paused_since[operator.name] = at
             paused.add(punct.edge)
             # Flush open output pages: the consumer must be able to drain
@@ -363,6 +418,10 @@ class RuntimeCore:
                 since = self._paused_since.pop(operator.name, None)
                 if since is not None:
                     operator.metrics.time_paused += max(0.0, at - since)
+                self._on_resumed(operator, at)
+            elif operator.lane_flow_control and not self.is_paused(operator):
+                # Other lanes are still paused, but flushing this lane's
+                # stash may have released the full stall: reschedule.
                 self._on_resumed(operator, at)
 
     # -- input completion and finish ---------------------------------------------
@@ -426,18 +485,59 @@ class RuntimeCore:
         for op in self.plan:
             metrics.operator_metrics[op.name] = op.metrics
             metrics.total_work += op.metrics.busy_time
-        for edge in self.plan.edges:
-            queue = edge.queue
-            metrics.queue_metrics[queue.name] = QueueMetrics(
-                name=queue.name,
-                capacity=queue.capacity,
-                low_water=queue.low_water,
-                peak_occupancy=queue.peak_occupancy,
-                elements_enqueued=queue.elements_enqueued,
-                pages_flushed=queue.pages_flushed,
-            )
+        for op in self.plan:
+            # Keyed by (producer, consumer, port) -- the structural edge
+            # identity -- rather than the queue's display name, so the
+            # replicated edges of a shard region and the several inputs
+            # of a join/merge can never collapse into one entry.
+            for edge in op.outputs:
+                queue = edge.queue
+                entry = QueueMetrics(
+                    name=queue.name,
+                    producer=op.name,
+                    consumer=edge.consumer.name,
+                    port=edge.consumer_port,
+                    capacity=queue.capacity,
+                    low_water=queue.low_water,
+                    peak_occupancy=queue.peak_occupancy,
+                    elements_enqueued=queue.elements_enqueued,
+                    pages_flushed=queue.pages_flushed,
+                )
+                metrics.queue_metrics[entry.edge_key] = entry
+        self._collect_shard_metrics(metrics)
         metrics.makespan = self.clock.now()
         return metrics
+
+    def _collect_shard_metrics(self, metrics: PlanMetrics) -> None:
+        """Roll operator counters up per shard-group lane (skew report)."""
+        for group in self.plan.shard_groups:
+            partition = self.plan.operator(group.partition)
+            merge = self.plan.operator(group.merge)
+            rollup = ShardGroupMetrics(
+                name=group.name,
+                key=group.key,
+                n=group.n,
+                regions_held=getattr(merge, "regions_held", 0),
+                regions_released=getattr(merge, "regions_released", 0),
+            )
+            for index, lane in enumerate(group.lanes):
+                members = [self.plan.operator(name).metrics for name in lane]
+                ingress = (
+                    partition.outputs[index].queue.elements_enqueued
+                    if index < len(partition.outputs) else 0
+                )
+                rollup.lanes.append(
+                    ShardLaneMetrics(
+                        lane=index,
+                        operators=lane,
+                        ingress=ingress,
+                        tuples_in=sum(m.tuples_in for m in members),
+                        tuples_out=sum(m.tuples_out for m in members),
+                        busy_time=sum(m.busy_time for m in members),
+                        time_paused=sum(m.time_paused for m in members),
+                    )
+                )
+            metrics.shard_metrics[group.name] = rollup
 
     def build_result(self, metrics: PlanMetrics) -> RunResult:
         return RunResult(

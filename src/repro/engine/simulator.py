@@ -17,7 +17,12 @@ clock**:
 Determinism: events are ordered by ``(time, priority, seq)`` where ``seq``
 is a global counter, so runs are exactly reproducible.  This engine is the
 substitution for the paper's 2.8 GHz Pentium 4 testbed (see DESIGN.md):
-cost *ratios* are preserved while removing host-machine noise.
+cost *ratios* are preserved while removing host-machine noise.  Because
+every operator advances its own ``busy_until`` horizon, the virtual clock
+models one CPU *per operator* (NiagaraST's thread-per-operator
+architecture) -- so a sharded plan's makespan shrinks near-linearly with
+the fanout on CPU-bound pipelines (``BENCH_shard.json``), and a
+``Partition``'s stable hash keeps replica runs byte-reproducible.
 
 Architecturally the simulator is a *policy* layer over
 :class:`~repro.engine.runtime.RuntimeCore` (see DESIGN.md section 3): the

@@ -6,12 +6,23 @@ operator has an object that it sleeps on when it has no work to do.  An
 operator is awakened when a new data page or control message is sent to
 it."
 
-Processing is serialised by a single plan lock (CPython's GIL would
-serialise compute anyway), which keeps the unmodified single-threaded
-operator code safe while preserving the structure: threads, queues, wake on
-arrival, control before data.  Timing-sensitive experiments use the
-simulator; this runtime exists to show the feedback framework is not
-simulator-bound and to exercise real concurrency in tests.
+Scheduling state (control draining, completion, pause bookkeeping, page
+hand-off) is serialised by a single plan lock, but **page processing runs
+outside it**: each operator thread pulls a page under the lock, releases
+it, processes the page -- emitting into per-queue-mutex-guarded
+:class:`~repro.stream.queues.DataQueue`\\ s (see
+``DataQueue.enable_thread_safety``) -- and re-acquires the lock only for
+the completion/watermark bookkeeping.  Operators on disjoint data
+therefore execute concurrently; with GIL-releasing work (hashing, C
+extensions) or ``emulate_costs`` sleeps, the plan scales across the shard
+replicas of a ``Partition``/``ShardMerge`` region (see
+``BENCH_shard.json``).  Per-operator structures (guards, hash tables,
+window state) need no locks: every mutation happens on the owning
+operator's thread -- feedback is drained by the receiver's own thread,
+and a queue has exactly one producer and one consumer thread.
+Timing-sensitive experiments use the simulator; this runtime exists to
+show the feedback framework is not simulator-bound and to exercise real
+concurrency.
 
 Like the simulator, this engine is a *policy* layer over
 :class:`~repro.engine.runtime.RuntimeCore` (see DESIGN.md section 3): the
@@ -41,6 +52,7 @@ sink arrival logs remain meaningful (if noisy).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable
 
 from repro.engine.plan import QueryPlan
@@ -65,6 +77,16 @@ class ThreadedRuntime(RuntimeCore):
         Wall-clock seconds between sending a control message and its
         arrival, mirroring the simulator's feedback propagation delay
         (default 0: messages are visible immediately).
+    emulate_costs:
+        Charge each operator's cost model (``tuple_cost`` and friends)
+        on the wall clock: the summed admission cost of a page is slept
+        *outside* the plan lock before the page is processed (sources
+        sleep per element).  This carries the repo's methodology -- cost
+        models replace the paper's fixed testbed hardware -- onto the
+        threaded engine: modeled CPU cost then parallelises across
+        operator threads exactly as NiagaraST's real per-operator CPU
+        time would, independent of the host's core count.  Slept cost is
+        recorded as ``busy_time``.
     """
 
     def __init__(
@@ -73,11 +95,13 @@ class ThreadedRuntime(RuntimeCore):
         *,
         timeout: float = 60.0,
         control_latency: float = 0.0,
+        emulate_costs: bool = False,
     ) -> None:
         super().__init__(
             plan, WallClock(), control_latency=control_latency
         )
         self.timeout = timeout
+        self.emulate_costs = emulate_costs
         self._lock = threading.RLock()
         self._wakeup = threading.Condition(self._lock)
         #: Earliest pending-but-unarrived control arrival per operator;
@@ -167,6 +191,11 @@ class ThreadedRuntime(RuntimeCore):
 
     def _source_body(self, source: SourceOperator) -> None:
         for _arrival, element in source.events():
+            if self.emulate_costs:
+                cost = source.cost_of(element)
+                if cost > 0.0:
+                    time.sleep(cost)  # outside the lock: sources overlap
+                    source.metrics.busy_time += cost
             with self._lock:
                 self.drain_control(source)
                 while self.is_paused(source):
@@ -191,7 +220,10 @@ class ThreadedRuntime(RuntimeCore):
             with self._wakeup:
                 if self.drain_control(operator):
                     # Feedback handling may have emitted (partial results,
-                    # flushes); consumers must hear about it.
+                    # flushes, a lane-stash replay); consumers must hear
+                    # about it, and a replayed stash may refill a lane
+                    # queue past its high-water mark.
+                    self.check_pressure(operator)
                     self._wakeup.notify_all()
                 if self.is_paused(operator):
                     # Transitive pressure: while paused this operator
@@ -219,7 +251,22 @@ class ThreadedRuntime(RuntimeCore):
                     self._wait_for_work(operator)
                     continue
                 operator.set_now(self.clock.now())
-                operator.process_page(port.index, page)
+            # Page processing runs OUTSIDE the plan lock: emission goes
+            # into mutex-guarded queues, per-operator state is only ever
+            # touched by this thread, and control for this operator waits
+            # until the next loop turn (control-before-data is preserved
+            # per page, exactly as before).  This is what lets shard
+            # replicas -- and any operators on disjoint data -- execute
+            # concurrently instead of serialising on the plan lock.
+            if self.emulate_costs and operator.needs_metering:
+                cost = 0.0
+                for element in page:
+                    cost += operator.admission_cost(port.index, element)
+                if cost > 0.0:
+                    time.sleep(cost)
+                    operator.metrics.busy_time += cost
+            operator.process_page(port.index, page)
+            with self._wakeup:
                 self.mark_done_ports(operator)
                 self.check_relief(operator)
                 self.check_pressure(operator)
@@ -229,6 +276,11 @@ class ThreadedRuntime(RuntimeCore):
 
     def run(self) -> RunResult:
         self._begin()
+        for op in self.plan:
+            # Producers emit outside the plan lock; serialise each
+            # queue's open-page/backlog hand-off with its own mutex.
+            for edge in op.outputs:
+                edge.queue.enable_thread_safety()
         self._start_operators()
         threads: list[threading.Thread] = []
         for op in self.plan:

@@ -3,7 +3,9 @@
 Stateless operators (Select, Project, Duplicate, Union) and stateful ones
 (PACE, Impute, the join family, windowed aggregates, PriorityBuffer) built
 on the :class:`~repro.operators.base.Operator` framework with its guard,
-punctuation and feedback machinery.
+punctuation and feedback machinery.  The shard boundary pair
+(Partition / ShardMerge) turns a replicated subgraph into a key-partitioned
+parallel region (see ``docs/sharding.md``).
 """
 
 from repro.operators.aggregate import AggregateKind, WindowAggregate
@@ -15,6 +17,7 @@ from repro.operators.impute import ArchiveDB, Impute
 from repro.operators.join import SymmetricHashJoin
 from repro.operators.map import Map
 from repro.operators.pace import Pace
+from repro.operators.partition import Partition, ShardMerge
 from repro.operators.passthrough import PassThrough
 from repro.operators.project import Project
 from repro.operators.router import Router
@@ -39,6 +42,7 @@ __all__ = [
     "Operator",
     "OutputEdge",
     "Pace",
+    "Partition",
     "PassThrough",
     "PriorityBuffer",
     "Project",
@@ -46,6 +50,7 @@ __all__ = [
     "QualityFilter",
     "Router",
     "Select",
+    "ShardMerge",
     "SourceOperator",
     "SymmetricHashJoin",
     "ThriftyJoin",

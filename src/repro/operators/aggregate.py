@@ -195,7 +195,8 @@ class WindowAggregate(Operator):
         self._window_guards: list[Pattern] = []
         self.windows_skipped = 0
         self._result_buffer: list[StreamTuple] = []
-        self._closed_watermark: float | None = None
+        # Highest window id already asserted complete downstream.
+        self._last_punct_window: int | None = None
 
     # -------------------------------------------------------------- windows
 
@@ -284,6 +285,46 @@ class WindowAggregate(Operator):
                 self.metrics.grow_state()
             state.add(None if value is None else float(value))
 
+    def on_page(self, port_index: int, batch: list) -> None:
+        """Batch path: accumulate a run of tuples with hoisted lookups.
+
+        Pure state accumulation (windows emit on punctuation or finish,
+        never here), so bulk processing is trivially order-safe; the win
+        over per-element dispatch is hoisting the attribute-index,
+        state-dict and guard lookups out of the loop.  Window guards can
+        only change via control (feedback) or punctuation, both of which
+        are delivered outside a batch run, so the hoisted guard check is
+        exact.  Subclasses overriding :meth:`on_tuple` keep element-wise
+        dispatch.
+        """
+        if type(self).on_tuple is not WindowAggregate.on_tuple:
+            for tup in batch:
+                self.on_tuple(port_index, tup)
+            return
+        ts_index = self._ts_index
+        value_index = self._value_index
+        group_indices = self._group_indices
+        state = self._state
+        metrics = self.metrics
+        window_ids = self.window_ids
+        guarded = self._window_guarded if self._window_guards else None
+        for tup in batch:
+            values = tup.values
+            timestamp = float(values[ts_index])
+            group = tuple(values[i] for i in group_indices)
+            value = None if value_index is None else values[value_index]
+            for window_id in window_ids(timestamp):
+                if guarded is not None and guarded(window_id, group):
+                    self.windows_skipped += 1
+                    continue
+                key = (window_id, group)
+                window_state = state.get(key)
+                if window_state is None:
+                    window_state = _WindowState()
+                    state[key] = window_state
+                    metrics.grow_state()
+                window_state.add(None if value is None else float(value))
+
     def _window_guarded(self, window_id: int, group: tuple) -> bool:
         if not self._window_guards:
             return False
@@ -331,30 +372,41 @@ class WindowAggregate(Operator):
         return None
 
     def _close_windows_before(self, bound: float) -> None:
-        """Emit and purge every window whose end lies at or before bound."""
+        """Emit and purge every window whose end lies at or before bound.
+
+        Progress punctuation ``[window <= k]`` is emitted whenever the
+        closed-window bound *advances*, even when no state closed: the
+        input watermark guarantees no tuple below ``bound`` is still
+        coming, so the assertion is sound either way.  (Emitting only on
+        actual closes would starve a shard replica that happens to own
+        no group in the region -- its :class:`~repro.operators.partition.
+        ShardMerge` siblings would wait forever; see ``docs/sharding.md``.)
+        """
         closable = [
             key for key in self._state
             if self.window_bounds(key[0])[1] <= bound
         ]
         for key in sorted(closable):
             self._emit_window(key)
-        if closable or self._closed_watermark is None:
-            self._closed_watermark = bound
-            last_closed = math.floor(
-                (bound - self.origin - self.width) / self.slide
-            )
-            if last_closed >= 0:
-                self._expire_window_guards(int(last_closed))
-                self.emit_punctuation(
-                    Punctuation(
-                        Pattern.single(
-                            self.output_schema,
-                            self.window_name,
-                            AtMost(int(last_closed)),
-                        ),
-                        source=self.name,
-                    )
+        last_closed = math.floor(
+            (bound - self.origin - self.width) / self.slide
+        )
+        if last_closed >= 0 and (
+            self._last_punct_window is None
+            or last_closed > self._last_punct_window
+        ):
+            self._last_punct_window = int(last_closed)
+            self._expire_window_guards(int(last_closed))
+            self.emit_punctuation(
+                Punctuation(
+                    Pattern.single(
+                        self.output_schema,
+                        self.window_name,
+                        AtMost(int(last_closed)),
+                    ),
+                    source=self.name,
                 )
+            )
 
     def _expire_window_guards(self, last_closed: int) -> None:
         """Drop internal window guards that can never fire again.

@@ -437,6 +437,32 @@ class Operator(abc.ABC):
             edge.queue.put_many(kept)
         return len(kept)
 
+    def emit_many_to(
+        self, output_index: int, tuples: Sequence[StreamTuple]
+    ) -> int:
+        """Send a batch of result tuples on a single output edge.
+
+        The single-edge counterpart of :meth:`emit_many`, used by
+        multi-output operators with native batch paths (PARTITION's
+        per-lane routing): one guard pass, one
+        :meth:`~repro.stream.queues.DataQueue.put_many`.
+        """
+        if len(self.output_guards):
+            kept = []
+            blocks = self.output_guards.blocks
+            for tup in tuples:
+                if blocks(tup):
+                    self.metrics.output_guard_drops += 1
+                else:
+                    kept.append(tup)
+        else:
+            kept = list(tuples)
+        if not kept:
+            return 0
+        self.metrics.tuples_out += len(kept)
+        self.outputs[output_index].queue.put_many(kept)
+        return len(kept)
+
     def emit_punctuation(self, punct: Punctuation) -> None:
         """Send an embedded punctuation downstream (flushes pages).
 
@@ -626,6 +652,23 @@ class Operator(abc.ABC):
                 self.runtime.notify_control(port.producer, at=self.now())
 
     # ---------------------------------------------- flow control (backpressure)
+
+    #: Operators that steer each output edge independently (PARTITION's
+    #: per-lane routing) opt in: a *pause* on one output edge then stalls
+    #: only that lane's emission -- the runtime keeps scheduling the
+    #: operator while :meth:`holding_pressure` stays False, instead of
+    #: freezing every lane because one replica's queue filled up.
+    lane_flow_control: bool = False
+
+    def holding_pressure(self) -> bool:
+        """For ``lane_flow_control`` operators: is a full stall required?
+
+        Consulted by :meth:`~repro.engine.runtime.RuntimeCore.is_paused`
+        while any output edge is paused.  Return True once the operator
+        can no longer absorb traffic for its paused lanes (its stash is
+        full), making the pause transitive toward the source.
+        """
+        return False
 
     def on_pause(self, punct: Any, from_edge: "OutputEdge | None") -> None:
         """Observer hook: the runtime paused this operator on one edge.

@@ -49,6 +49,28 @@ class ImpatientJoin(SymmetricHashJoin):
                 self._request_priority(key)
         super().on_tuple(port_index, tup)
 
+    def on_page(self, port_index: int, batch: list) -> None:
+        """Batch path: request new keys for the run, then join it in bulk.
+
+        Desired feedback for every fresh key in the run is issued before
+        the run is joined (rather than interleaved per tuple); desired
+        feedback never changes the result -- only production timing -- so
+        this stays element-wise equivalent in content while keeping the
+        parent's :meth:`~repro.operators.join.SymmetricHashJoin.
+        _join_batch` fast path.
+        """
+        if type(self).on_tuple is not ImpatientJoin.on_tuple:
+            for tup in batch:
+                self.on_tuple(port_index, tup)
+            return
+        if port_index == self.eager_input:
+            for tup in batch:
+                key = self._key_of(port_index, tup)
+                if key not in self._requested_keys:
+                    self._requested_keys.add(key)
+                    self._request_priority(key)
+        self._join_batch(port_index, batch)
+
     def _request_priority(self, key: tuple) -> None:
         """Send ``?[key...]`` to the opposite (dense) input."""
         other = 1 - self.eager_input

@@ -189,6 +189,64 @@ class SymmetricHashJoin(Operator):
             # never find a partner, so its padded result is due now.
             self._maybe_pad(stored, key)
 
+    def on_page(self, port_index: int, batch: list) -> None:
+        """Batch path: build/probe the run in one pass, bulk emission.
+
+        Subclasses that override :meth:`on_tuple` (IMPATIENT JOIN wraps
+        it with per-key feedback) keep element-wise dispatch unless they
+        provide their own batch hook over :meth:`_join_batch`.
+        """
+        if type(self).on_tuple is not SymmetricHashJoin.on_tuple:
+            for tup in batch:
+                self.on_tuple(port_index, tup)
+            return
+        self._join_batch(port_index, batch)
+
+    def _join_batch(self, port_index: int, batch: list) -> None:
+        """One build+probe pass over a run of same-port tuples.
+
+        Element-wise equivalent to :meth:`on_tuple` -- results (joins and
+        any due outer padding) accumulate in arrival order and ship via
+        one :meth:`~repro.operators.base.Operator.emit_many`; hash-table
+        mutations and ``matched`` flags are applied tuple by tuple, so a
+        batch joining against itself behaves exactly as the per-element
+        path does.
+        """
+        other = 1 - port_index
+        other_port = self.inputs[other]
+        other_done = other_port is not None and other_port.done
+        table = self._tables[port_index]
+        other_table = self._tables[other]
+        condition = self._condition
+        is_left = port_index == self.LEFT
+        pad_due = other_done and is_left and self.how == "left_outer"
+        out: list[StreamTuple] = []
+        parked = 0
+        for tup in batch:
+            key = self._key_of(port_index, tup)
+            stored = _StoredTuple(tup)
+            if not other_done:
+                table.setdefault(key, []).append(stored)
+                parked += 1
+            for partner in other_table.get(key, ()):
+                left_stored, right_stored = (
+                    (stored, partner) if is_left else (partner, stored)
+                )
+                left, right = left_stored.tup, right_stored.tup
+                if condition is not None and not condition(left, right):
+                    continue
+                left_stored.matched = True
+                right_stored.matched = True
+                out.append(self._join_values(left, right))
+            if pad_due:
+                padded = self._padded_result(stored, key)
+                if padded is not None:
+                    out.append(padded)
+        if parked:
+            self.metrics.grow_state(parked)
+        if out:
+            self.emit_many(out)
+
     # ------------------------------------------------------------ punctuation
 
     def on_punctuation(self, port_index: int, punct: Punctuation) -> None:
@@ -212,12 +270,20 @@ class SymmetricHashJoin(Operator):
             self.metrics.shrink_state(len(table[k]))
             del table[k]
 
-    def _maybe_pad(self, stored: _StoredTuple, key: JoinKey) -> None:
+    def _padded_result(
+        self, stored: _StoredTuple, key: JoinKey
+    ) -> StreamTuple | None:
+        """The null-padded result due for ``stored``, or None."""
         if stored.matched:
-            return
+            return None
         if any(p.matches(key) for p in self._suppressed_key_patterns):
-            return  # feedback purged potential partners; padding unsafe
-        self.emit(self._padded_values(stored.tup))
+            return None  # feedback purged potential partners; padding unsafe
+        return self._padded_values(stored.tup)
+
+    def _maybe_pad(self, stored: _StoredTuple, key: JoinKey) -> None:
+        padded = self._padded_result(stored, key)
+        if padded is not None:
+            self.emit(padded)
 
     def _advance_key_frontier(self, port_index: int, key_pattern: Pattern) -> None:
         frontier = self._key_frontiers[port_index]

@@ -1,0 +1,444 @@
+"""PARTITION / SHARD MERGE: key-partitioned replica execution.
+
+Data-parallel operator replication over a key-partitioned stream is the
+standard scaling move in stream engines (Röger & Mayer's parallelization
+survey calls it *data parallelism with key-based splitting*); AsterixDB's
+data feeds apply the same shape to partitioned ingestion with
+per-partition flow control.  This module supplies the two boundary
+operators of a *shard region*:
+
+* :class:`Partition` -- one input, N output lanes.  Each tuple routes to
+  the lane chosen by a **stable** hash of its key attributes (stable
+  across processes, so simulator runs stay exactly reproducible and lane
+  assignment is testable).  Punctuation is broadcast to every lane: a
+  completed subset of the input is complete on every partition of it.
+* :class:`ShardMerge` -- N same-schema inputs, one output.  Tuples
+  interleave order-tolerantly; a region punctuation passes downstream
+  only once **every** replica has declared it (otherwise a late tuple
+  from a sibling replica could violate the emitted punctuation).
+
+Control semantics across the shard boundary:
+
+* **feedback broadcast** -- feedback arriving at the merge relays to all
+  replicas (every output attribute originates in every input, so the
+  identity mapping is safe on each); feedback arriving at the partition
+  from one replica is enacted immediately when its pattern pins the
+  partition key to values routed to that replica (**key routing**), and
+  otherwise only once every replica has declared a covering region
+  (**agreement**, exactly DUPLICATE's reconciliation rule -- the other
+  replicas' subsets are disjoint but their consumers are the same merged
+  downstream, so a lone replica's feedback proves nothing about them);
+* **per-lane flow control** -- a pause from one congested replica stalls
+  only that lane: the partition stashes traffic routed to the paused
+  lane (bounded by ``stash_limit``) and keeps feeding the siblings,
+  becoming fully paused -- and therefore transitively pausing the source
+  -- only when a stash fills up.  See
+  :meth:`~repro.engine.runtime.RuntimeCore.is_paused`;
+* **unknown control kinds** forward hop-by-hop through both operators
+  via :meth:`~repro.operators.base.Operator.forward_control`, so a
+  control message the shard boundary predates still crosses it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+from zlib import crc32
+
+from repro.core.feedback import FeedbackIntent, FeedbackPunctuation
+from repro.core.roles import ExploitAction
+from repro.errors import PlanError
+from repro.operators.base import Operator, OutputEdge
+from repro.operators.union import Union
+from repro.punctuation.atoms import Equals, InSet
+from repro.punctuation.embedded import Punctuation
+from repro.punctuation.patterns import Pattern
+from repro.stream.schema import Schema, SchemaMapping
+from repro.stream.tuples import StreamTuple
+
+__all__ = ["Partition", "ShardMerge"]
+
+#: Give up key-routing when a pattern's key atoms expand to more combos.
+_MAX_KEY_COMBOS = 64
+
+
+def _canonical_key_value(value: Any) -> Any:
+    """Collapse numeric types that compare equal onto one routing form.
+
+    Python's value equality makes ``1 == 1.0 == True`` -- an unsharded
+    group-by treats them as one group -- so routing must too, or a mixed
+    int/float key column would split one logical group across replicas
+    and the merged output would carry two partial aggregates for it.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+class Partition(Operator):
+    """Route each tuple to one of ``fanout`` lanes by key hash.
+
+    Parameters
+    ----------
+    key:
+        Attribute name (or sequence of names) hashed to choose the lane.
+    fanout:
+        Number of output lanes; must match the number of connected
+        outputs at start-up.
+    stash_limit:
+        Per-lane bound on elements absorbed while that lane is paused;
+        at the bound the partition reports :meth:`holding_pressure` and
+        the pause becomes transitive toward the source.
+    """
+
+    feedback_aware = True
+    lane_flow_control = True
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        *,
+        key: str | Sequence[str],
+        fanout: int,
+        stash_limit: int = 256,
+        **kwargs: Any,
+    ) -> None:
+        if fanout < 1:
+            raise PlanError(f"{name}: fanout must be >= 1, got {fanout}")
+        if stash_limit < 1:
+            raise PlanError(
+                f"{name}: stash_limit must be >= 1, got {stash_limit}"
+            )
+        key_tuple = (key,) if isinstance(key, str) else tuple(key)
+        if not key_tuple:
+            raise PlanError(f"{name}: partition key must name an attribute")
+        super().__init__(
+            name, schema, mapping=SchemaMapping.identity(schema), **kwargs
+        )
+        self.key = key_tuple
+        self.fanout = int(fanout)
+        self.stash_limit = int(stash_limit)
+        self._key_indices = tuple(schema.index_of(k) for k in key_tuple)
+        self._paused_lanes: set[int] = set()
+        self._stash: dict[int, list] = {}
+        # Assumed patterns declared per output edge (agreement protocol).
+        self._declared: dict[int, list[Pattern]] = {}
+        self._relay_pending: Pattern | None = None
+        self.tuples_stashed = 0
+        self.lane_pauses = 0
+        self.key_routed_feedback = 0
+
+    # ------------------------------------------------------------------ lanes
+
+    def lane_of_key(self, *key_values: Any) -> int:
+        """Stable lane for concrete key values (crc32, not ``hash``).
+
+        ``hash`` is salted per process (``PYTHONHASHSEED``); crc32 over
+        the canonicalised values' reprs keeps routing identical across
+        runs and hosts, which the deterministic simulator's
+        reproducibility promise -- and every test pinning a tuple to a
+        lane -- relies on.  Numerically equal keys route identically
+        (``1``/``1.0``/``True``); key values must have value-based reprs
+        (str, numbers, tuples of those) -- an address-based default repr
+        would route nondeterministically across processes.
+        """
+        digest = 0
+        for value in key_values:
+            digest = crc32(
+                repr(_canonical_key_value(value)).encode("utf-8"), digest
+            )
+        return digest % self.fanout
+
+    def lane_of(self, tup: StreamTuple) -> int:
+        """The lane ``tup`` routes to."""
+        values = tup.values
+        return self.lane_of_key(*(values[i] for i in self._key_indices))
+
+    def on_start(self) -> None:
+        if len(self.outputs) != self.fanout:
+            raise PlanError(
+                f"{self.name}: fanout is {self.fanout} but "
+                f"{len(self.outputs)} output(s) are connected"
+            )
+
+    # ------------------------------------------------------------------ data
+
+    def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
+        lane = self.lane_of(tup)
+        if lane not in self._paused_lanes:
+            self.emit_to(lane, tup)
+            return
+        if self.output_guards.blocks(tup):
+            self.metrics.output_guard_drops += 1
+            return
+        self.metrics.tuples_out += 1
+        self._stash.setdefault(lane, []).append(tup)
+        self.tuples_stashed += 1
+
+    def on_page(self, port_index: int, batch: list) -> None:
+        """Batch path: bucket the run by lane, one bulk emit per lane.
+
+        Subclasses overriding :meth:`on_tuple` fall back to element-wise
+        dispatch -- the shortcut is only valid for plain hash routing.
+        """
+        if type(self).on_tuple is not Partition.on_tuple:
+            for tup in batch:
+                self.on_tuple(port_index, tup)
+            return
+        buckets: dict[int, list] = {}
+        for tup in batch:
+            buckets.setdefault(self.lane_of(tup), []).append(tup)
+        blocks = (
+            self.output_guards.blocks if len(self.output_guards) else None
+        )
+        for lane, routed in buckets.items():
+            if lane not in self._paused_lanes:
+                self.emit_many_to(lane, routed)
+                continue
+            if blocks is not None:
+                kept = []
+                for tup in routed:
+                    if blocks(tup):
+                        self.metrics.output_guard_drops += 1
+                    else:
+                        kept.append(tup)
+                routed = kept
+            if routed:
+                self.metrics.tuples_out += len(routed)
+                self._stash.setdefault(lane, []).extend(routed)
+                self.tuples_stashed += len(routed)
+
+    def on_punctuation(self, port_index: int, punct: Punctuation) -> None:
+        """Broadcast punctuation to every lane, respecting paused stashes.
+
+        A completed input subset is complete on every partition of it, so
+        each lane gets the punctuation.  A paused lane's copy joins that
+        lane's stash *behind* the stashed tuples -- emitting it directly
+        would let the punctuation overtake earlier tuples it covers,
+        which is exactly the disorder punctuation forbids.
+        """
+        self.output_guards.expire_with(punct)
+        self.metrics.punctuations_out += 1
+        for lane, edge in enumerate(self.outputs):
+            if lane in self._paused_lanes:
+                self._stash.setdefault(lane, []).append(punct)
+            else:
+                edge.queue.put(punct)
+
+    def on_finish(self) -> None:
+        # The stream is over: ship every stash (the queues close right
+        # after this hook, and the consumers will drain them) so no
+        # element is stranded behind a pause that can no longer lift.
+        for lane in list(self._stash):
+            self._flush_stash(lane)
+
+    # -------------------------------------------------- per-lane flow control
+
+    def holding_pressure(self) -> bool:
+        return any(
+            len(stash) >= self.stash_limit
+            for stash in self._stash.values()
+        )
+
+    def _lane_of_edge(
+        self, punct: Any, from_edge: OutputEdge | None
+    ) -> int | None:
+        if from_edge is not None and from_edge in self.outputs:
+            return self.outputs.index(from_edge)
+        edge_name = getattr(punct, "edge", None)
+        for index, edge in enumerate(self.outputs):
+            if edge.queue.name == edge_name:
+                return index
+        return None
+
+    def on_pause(self, punct: Any, from_edge: OutputEdge | None) -> None:
+        lane = self._lane_of_edge(punct, from_edge)
+        if lane is not None:
+            self._paused_lanes.add(lane)
+            self.lane_pauses += 1
+
+    def on_resume(self, punct: Any, from_edge: OutputEdge | None) -> None:
+        lane = self._lane_of_edge(punct, from_edge)
+        if lane is None:
+            return
+        self._paused_lanes.discard(lane)
+        self._flush_stash(lane)
+
+    def _flush_stash(self, lane: int) -> None:
+        pending = self._stash.pop(lane, None)
+        if not pending:
+            return
+        queue = self.outputs[lane].queue
+        for element in pending:  # guards/counters applied at stash time
+            queue.put(element)
+
+    # -------------------------------------------------------------- feedback
+
+    def _lanes_for_pattern(self, pattern: Pattern) -> set[int] | None:
+        """Lanes a pattern's tuples can route to, or None when unbounded.
+
+        Bounded only when every key attribute is pinned to finitely many
+        values (the payload carries the partition key); a wildcard or
+        range atom on any key attribute routes everywhere.
+        """
+        combos: list[tuple] = [()]
+        for index in self._key_indices:
+            atom = pattern.atoms[index]
+            if isinstance(atom, InSet):
+                members: tuple = tuple(atom.values)
+            elif isinstance(atom, Equals):
+                members = (atom.value,)
+            elif not atom.is_wildcard and atom.is_point:
+                members = (atom.point_value(),)
+            else:
+                return None
+            combos = [c + (v,) for c in combos for v in members]
+            if len(combos) > _MAX_KEY_COMBOS:
+                return None
+        return {self.lane_of_key(*combo) for combo in combos}
+
+    def _agreed_patterns(
+        self, pattern: Pattern, from_edge: OutputEdge | None
+    ) -> list[Pattern]:
+        """DUPLICATE-style reconciliation across all lanes.
+
+        Returns the non-empty intersections of ``pattern`` with regions
+        every *other* lane has declared -- the subsets no replica's
+        consumer needs.  (The merged downstream consumer is shared, so a
+        broadcast feedback reaches every lane and agreement converges.)
+
+        Declarations are kept *frontier-style* (UNION's rule): a new
+        pattern drops the declarations it subsumes and is skipped when
+        already covered, so a long-running plan's periodic feedback keeps
+        the per-lane lists -- and the intersection scan -- bounded by the
+        number of maximal regions, not the number of feedback events.
+        """
+        if len(self.outputs) <= 1:
+            return [pattern]
+        if from_edge is None:
+            return []  # unknown origin: be conservative
+        declared = self._declared.setdefault(id(from_edge), [])
+        if not any(seen.subsumes(pattern) for seen in declared):
+            declared[:] = [p for p in declared if not pattern.subsumes(p)]
+            declared.append(pattern)
+        agreed = [pattern]
+        for edge in self.outputs:
+            if edge is from_edge:
+                continue
+            other_declared = self._declared.get(id(edge), [])
+            narrowed: list[Pattern] = []
+            for candidate in agreed:
+                for other in other_declared:
+                    joint = candidate.intersect(other)
+                    if joint is not None:
+                        narrowed.append(joint)
+            agreed = narrowed
+            if not agreed:
+                return []
+        return agreed
+
+    def on_assumed(self, feedback: FeedbackPunctuation) -> list[ExploitAction]:
+        edge = self.feedback_source_edge
+        lane = (
+            self.outputs.index(edge)
+            if edge is not None and edge in self.outputs else None
+        )
+        routed = self._lanes_for_pattern(feedback.pattern)
+        if routed is not None and lane is not None and routed <= {lane}:
+            # Key-routed: the pattern's tuples only ever reach the issuing
+            # replica, so its feedback alone licenses full exploitation.
+            self.key_routed_feedback += 1
+            self.input_port(0).guards.install(
+                feedback.pattern, origin=feedback, at=self.now()
+            )
+            self.output_guards.install(
+                feedback.pattern, origin=feedback, at=self.now()
+            )
+            self._relay_pending = feedback.pattern
+            return [ExploitAction.GUARD_INPUT, ExploitAction.GUARD_OUTPUT]
+        agreed = self._agreed_patterns(feedback.pattern, edge)
+        if not agreed:
+            return []  # null response until all replicas agree
+        actions: list[ExploitAction] = []
+        for pattern in agreed:
+            if self.output_guards.install(
+                pattern, origin=feedback, at=self.now()
+            ):
+                actions.append(ExploitAction.GUARD_OUTPUT)
+            self.input_port(0).guards.install(
+                pattern, origin=feedback, at=self.now()
+            )
+            actions.append(ExploitAction.GUARD_INPUT)
+        # relay_feedback carries one pattern; additional agreed regions
+        # propagate directly (the aggregate's state-dependent propagation
+        # precedent), so the source stops producing *all* of them.
+        if self.relay_enabled:
+            for pattern in agreed[1:]:
+                self.metrics.feedback_relayed += 1
+                self._send_upstream(
+                    0,
+                    feedback.propagated(
+                        pattern.with_schema(self.output_schema)
+                        if self.output_schema is not None else pattern,
+                        relayer=self.name,
+                        at=self.now(),
+                    ),
+                )
+        self._relay_pending = agreed[0]
+        return actions
+
+    def relay_feedback(
+        self, feedback: FeedbackPunctuation
+    ) -> dict[int, FeedbackPunctuation]:
+        """Relay assumed feedback only once key-routed or agreed.
+
+        Desired/demanded feedback is a pure production hint (it never
+        changes the final result), so it relays upstream directly via the
+        identity mapping.
+        """
+        if feedback.intent is not FeedbackIntent.ASSUMED:
+            return super().relay_feedback(feedback)
+        pending, self._relay_pending = self._relay_pending, None
+        if pending is None:
+            return {}
+        return {
+            0: feedback.propagated(
+                pending.with_schema(self.output_schema)
+                if self.output_schema is not None else pending,
+                relayer=self.name,
+                at=self.now(),
+            )
+        }
+
+
+class ShardMerge(Union):
+    """Order-tolerant fan-in closing a shard region.
+
+    Inherits UNION's data path (interleave; batch forwarding) and its
+    feedback broadcast (the identity mapping relays feedback to *every*
+    replica).  The punctuation rule is UNION's alignment specialised to
+    replicas: a region punctuation is **held** until every lane has
+    declared a covering region and then emitted exactly once downstream
+    -- the lane whose declaration completes the region carries it out.
+    ``regions_held`` / ``regions_released`` count both halves for the
+    shard metrics rollup.
+    """
+
+    def __init__(
+        self, name: str, schema: Schema, *, arity: int, **kwargs: Any
+    ) -> None:
+        if arity < 1:
+            raise PlanError(f"{name}: merge arity must be >= 1, got {arity}")
+        super().__init__(name, schema, arity=arity, **kwargs)
+        self.regions_held = 0
+        self.regions_released = 0
+
+    def on_punctuation(self, port_index: int, punct: Punctuation) -> None:
+        self._advance_frontier(port_index, punct.pattern)
+        if self._covered_everywhere(punct.pattern, exclude=port_index):
+            self.regions_released += 1
+            self.emit_punctuation(punct)
+        else:
+            self.regions_held += 1

@@ -17,13 +17,18 @@ the marks and steers the producer through *pause*/*resume* feedback
 punctuation on the control channel (the first runtime-generated use of the
 paper's feedback mechanism; see ``docs/backpressure.md``).
 
-This class is deliberately not thread-safe: the deterministic simulator
+This class is single-threaded by default: the deterministic simulator
 drives all operators from one loop.  The threaded runtime
-(:mod:`repro.engine.threaded`) wraps it with locking and blocking semantics.
+(:mod:`repro.engine.threaded`) calls :meth:`DataQueue.enable_thread_safety`
+on every queue before starting threads -- producers then emit whole pages
+*outside* the engine's plan lock (that is what lets shard replicas run
+concurrently), so the producer/consumer critical sections here are guarded
+by a per-queue mutex instead.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Any, Iterator
 
@@ -46,7 +51,7 @@ class DataQueue:
 
     __slots__ = ("name", "page_size", "capacity", "low_water",
                  "pressure_signalled", "peak_occupancy", "_occupancy",
-                 "_open_page", "_ready", "_closed",
+                 "_open_page", "_ready", "_closed", "_mutex",
                  "pages_flushed", "elements_enqueued")
 
     def __init__(
@@ -86,8 +91,22 @@ class DataQueue:
         self._open_page = Page(page_size)
         self._ready: deque[Page] = deque()
         self._closed = False
+        #: Optional per-queue mutex (threaded runtime only); None keeps
+        #: the single-threaded fast path completely lock-free.
+        self._mutex: threading.Lock | None = None
         self.pages_flushed = 0
         self.elements_enqueued = 0
+
+    def enable_thread_safety(self) -> None:
+        """Guard producer/consumer critical sections with a mutex.
+
+        Called by the threaded runtime before any operator thread starts:
+        the producer appends elements outside the engine's plan lock while
+        the consumer pops ready pages, so the open-page/backlog hand-off
+        must be serialised here.
+        """
+        if self._mutex is None:
+            self._mutex = threading.Lock()
 
     # -- producer side -----------------------------------------------------------
 
@@ -98,6 +117,12 @@ class DataQueue:
         punctuation), so downstream operators observe stream progress
         without waiting for a full page.
         """
+        if self._mutex is not None:
+            with self._mutex:
+                return self._put(element)
+        return self._put(element)
+
+    def _put(self, element: Any) -> bool:
         self.elements_enqueued += 1
         self._occupancy += 1
         if self._occupancy > self.peak_occupancy:
@@ -118,6 +143,12 @@ class DataQueue:
         :meth:`put` (it completes the open page); callers hand this method
         runs of plain tuples between punctuations.
         """
+        if self._mutex is not None:
+            with self._mutex:
+                return self._put_many(elements)
+        return self._put_many(elements)
+
+    def _put_many(self, elements: list) -> int:
         total = len(elements)
         self.elements_enqueued += total
         self._occupancy += total
@@ -136,6 +167,12 @@ class DataQueue:
 
     def flush(self) -> bool:
         """Seal and enqueue the open page if it holds anything."""
+        if self._mutex is not None:
+            with self._mutex:
+                return self._flush()
+        return self._flush()
+
+    def _flush(self) -> bool:
         if self._open_page.empty:
             return False
         self._open_page.seal()
@@ -153,6 +190,12 @@ class DataQueue:
 
     def get_page(self) -> Page | None:
         """Pop the oldest ready page, or None when nothing is ready."""
+        if self._mutex is not None:
+            with self._mutex:
+                return self._get_page()
+        return self._get_page()
+
+    def _get_page(self) -> Page | None:
         if self._ready:
             page = self._ready.popleft()
             self._occupancy -= len(page)
