@@ -17,7 +17,7 @@ Quickstart -- the fluent surface (``repro.api``)::
                  [(t, StreamTuple(schema, (t, t * 10))) for t in range(5)])
          .where(lambda t: t["value"] % 20 == 0, name="keep_even")
          .collect("out"))
-    result = flow.run(engine="simulated")   # or engine="threaded"
+    result = flow.run(engine="simulated")   # or "threaded" / "asyncio"
     print([t.values for t in result.sink("out").results])
 
 Flows compile to :class:`QueryPlan` (the stable IR -- hand-wiring via
@@ -42,6 +42,7 @@ from repro.core import (
     sum_characterization,
 )
 from repro.engine import (
+    AsyncioEngine,
     PlanMetrics,
     QueryPlan,
     RunResult,
@@ -54,6 +55,8 @@ from repro.engine import (
 from repro.operators import (
     AggregateKind,
     ArchiveDB,
+    AsyncIterableSource,
+    AwaitableSink,
     CollectSink,
     Duplicate,
     GeneratorSource,
@@ -103,9 +106,12 @@ __version__ = "1.0.0"
 __all__ = [
     "AggregateKind",
     "ArchiveDB",
+    "AsyncIterableSource",
+    "AsyncioEngine",
     "AtLeast",
     "AtMost",
     "Attribute",
+    "AwaitableSink",
     "Characterization",
     "CollectSink",
     "Duplicate",

@@ -64,8 +64,9 @@ from repro.operators.pace import Pace
 from repro.operators.partition import Partition, ShardMerge
 from repro.operators.project import Project
 from repro.operators.select import Select
-from repro.operators.sink import CollectSink, OnDemandSink
+from repro.operators.sink import AwaitableSink, CollectSink, OnDemandSink
 from repro.operators.source import (
+    AsyncIterableSource,
     GeneratorSource,
     ListSource,
     PunctuatedSource,
@@ -689,6 +690,35 @@ class StreamHandle:
         )
         return self.flow
 
+    def collect_awaitable(
+        self,
+        name: str = "sink",
+        *,
+        keep_punctuation: bool = False,
+        page_size: int | None = None,
+        queue_capacity: int | None = None,
+        configure: Callable[[Operator], None] | None = None,
+        **op_kwargs: Any,
+    ) -> "Flow":
+        """Terminate in an :class:`AwaitableSink` named ``name``.
+
+        Like :meth:`collect`, but the built sink's results can be
+        ``await``-ed by client coroutines running alongside an
+        ``AsyncioEngine.arun()`` (``await plan.operator(name)``); after a
+        synchronous run the await resolves immediately.
+        """
+        schema = self.schema
+        self.flow._derive(
+            lambda name: AwaitableSink(
+                name, schema, keep_punctuation=keep_punctuation,
+                **op_kwargs,
+            ),
+            name=name, base="sink", kind="collect-awaitable",
+            inputs=(self,), page_size=page_size,
+            queue_capacity=queue_capacity, configure=configure,
+        )
+        return self.flow
+
     def on_demand(
         self,
         name: str = "client",
@@ -794,6 +824,36 @@ class Flow:
             ),
             schema,
             type_name="GeneratorSource", is_source=True,
+        )
+        self._commit_node(node)
+        return StreamHandle(self, node)
+
+    def from_async_iterable(
+        self,
+        schema: Schema,
+        events_factory: Callable[[], Any],
+        *,
+        name: str | None = None,
+        **op_kwargs: Any,
+    ) -> StreamHandle:
+        """Add a source fed by an async iterable (network-shaped input).
+
+        ``events_factory`` is a zero-argument callable returning an
+        async iterable of ``(arrival_time, element)`` pairs -- typically
+        an async generator wrapping a websocket, HTTP feed or broker
+        subscription.  On ``engine="asyncio"`` the iterable is awaited
+        natively (one parked coroutine per feed); the simulated and
+        threaded engines pump it through a private event loop, so the
+        same flow runs on every backend.  See ``docs/engines.md``.
+        """
+        stage_name = self._next_name(name, "source")
+        node = _Node(
+            stage_name, "async-source",
+            lambda: AsyncIterableSource(
+                stage_name, schema, events_factory, **op_kwargs
+            ),
+            schema,
+            type_name="AsyncIterableSource", is_source=True,
         )
         self._commit_node(node)
         return StreamHandle(self, node)

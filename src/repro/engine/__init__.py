@@ -11,12 +11,15 @@ scheduling policy per engine over a shared mechanism core.
   time (used by all experiments);
 * :class:`ThreadedRuntime` -- thread-per-operator runtime mirroring
   NiagaraST's architecture;
+* :class:`AsyncioEngine` -- coroutine-per-operator runtime on one event
+  loop, for network-facing sources and sinks (``docs/engines.md``);
 * the engine registry -- engines addressable by name
   (``register_engine`` / ``create_engine``), the pluggable backend
   surface behind ``repro.api.Flow.run``;
-* metrics containers shared by both.
+* metrics containers shared by all of them.
 """
 
+from repro.engine.async_engine import AsyncioEngine
 from repro.engine.audit import QuiescenceReport, audit_quiescence
 from repro.engine.harness import OperatorHarness
 from repro.engine.metrics import (
@@ -40,6 +43,7 @@ from repro.engine.simulator import Simulator
 from repro.engine.threaded import ThreadedRuntime
 
 __all__ = [
+    "AsyncioEngine",
     "OperatorHarness",
     "available_engines",
     "create_engine",

@@ -1,0 +1,98 @@
+"""Notification-driven policy half shared by the concurrent engines.
+
+The threaded runtime and the asyncio engine implement the same scheduling
+*shape* -- one worker per operator sleeping on a condition, woken by
+notifications, with timed waits only for the arrival deadline of an
+in-flight ``control_latency`` message -- over two different condition
+primitives.  :class:`NotificationPolicy` is the half of that policy which
+is primitive-agnostic, written once against the
+:class:`~repro.stream.waiters.Waiter` seam:
+
+* every :class:`~repro.engine.runtime.RuntimeCore` wake-up hook
+  (``notify_control`` / ``notify_data`` / ``_on_finished`` /
+  ``_on_paused`` / ``_on_resumed``) becomes ``waiter.notify_all()``;
+* deferred control messages (sent but not yet *arrived* under
+  ``control_latency``) are folded into a per-operator wake-up deadline,
+  recomputed from scratch on every drain, which bounds that operator's
+  next wait so delivery is never missed;
+* :meth:`wait_timeout` turns the deadline into the engine's next wait
+  bound (None = sleep until notified -- the no-polling guarantee).
+
+Engines mix this in ahead of ``RuntimeCore`` and keep only what is
+genuinely primitive-specific: thread bodies vs. coroutine bodies, and how
+a worker parks on the waiter (``Condition.wait`` vs. awaited
+``asyncio.Condition.wait``).
+"""
+
+from __future__ import annotations
+
+from repro.operators.base import Operator
+from repro.stream.waiters import Waiter
+
+__all__ = ["NotificationPolicy"]
+
+
+class NotificationPolicy:
+    """Waiter-backed implementations of RuntimeCore's policy hooks.
+
+    Mix in *before* :class:`~repro.engine.runtime.RuntimeCore` and call
+    :meth:`_init_notifications` with the engine's waiter during
+    ``__init__``.
+    """
+
+    _waiter: Waiter
+
+    def _init_notifications(self, waiter: Waiter) -> None:
+        self._waiter = waiter
+        #: Earliest pending-but-unarrived control arrival per operator;
+        #: bounds that operator's next wait so delivery is not missed.
+        self._control_deadline: dict[str, float] = {}
+
+    # -- runtime surface seen by operators ----------------------------------------
+
+    def notify_control(
+        self, operator: Operator, at: float | None = None
+    ) -> None:
+        # ``at`` is a virtual-time hint only the simulator needs; arrival
+        # gating happens in the core's drain via ``control_latency``.
+        self._waiter.notify_all()
+
+    def notify_data(self, operator: Operator) -> None:
+        self._waiter.notify_all()
+
+    # -- RuntimeCore policy hooks --------------------------------------------------
+
+    def drain_control(self, operator: Operator) -> bool:
+        # Deadlines are recomputed from scratch on every drain: the core
+        # re-defers whatever is still in flight.
+        self._control_deadline.pop(operator.name, None)
+        return super().drain_control(operator)  # type: ignore[misc]
+
+    def _defer_control(self, operator: Operator, arrival: float) -> None:
+        deadline = self._control_deadline.get(operator.name)
+        if deadline is None or arrival < deadline:
+            self._control_deadline[operator.name] = arrival
+
+    def _on_finished(self, operator: Operator, at: float) -> None:
+        self._waiter.notify_all()
+
+    def _on_paused(self, operator: Operator, at: float) -> None:
+        # The pause flushed open output pages; wake consumers to drain
+        # them (that drain is what will eventually produce the resume).
+        self._waiter.notify_all()
+
+    def _on_resumed(self, operator: Operator, at: float) -> None:
+        self._waiter.notify_all()
+
+    # -- wait bounds ---------------------------------------------------------------
+
+    def wait_timeout(self, operator: Operator) -> float | None:
+        """Bound for the operator's next sleep, or None for "until notified".
+
+        The only timed wait in a notification-driven engine: the arrival
+        deadline of an in-flight (deferred) control message.
+        """
+        deadline = self._control_deadline.get(operator.name)
+        if deadline is None:
+            return None
+        return max(0.0, deadline - self.clock.now())  # type: ignore[attr-defined]

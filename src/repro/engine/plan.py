@@ -1,12 +1,18 @@
 """Query plans: DAGs of operators connected by queues and control channels.
 
-A :class:`QueryPlan` owns the operators and the wiring between them.  Each
-``connect`` call creates one data queue (downstream pages) plus one control
-channel (bidirectional out-of-band messages) -- the inter-operator
-connection structure of the paper's Figure 3.
+Paper cross-reference: Figure 3 (section 3.1) draws the inter-operator
+connection structure this module materialises -- a data queue carrying
+pages of tuples and embedded punctuation downstream, paired with a
+bidirectional out-of-band control channel for feedback punctuation --
+and section 5 describes the NiagaraST deployment of it (operators as
+schedulable units joined by queues).  Each ``connect`` call creates
+exactly that pair: one :class:`~repro.stream.queues.DataQueue` plus one
+:class:`~repro.stream.control.ControlChannel`.
 
-Plans are engine-agnostic: the simulator and the threaded runtime both
-consume the same validated plan.
+Plans are engine-agnostic: the simulator, the threaded runtime and the
+asyncio engine all consume the same validated plan (the registry in
+:mod:`repro.engine.registry` resolves engines by name; see
+``docs/engines.md``).
 """
 
 from __future__ import annotations

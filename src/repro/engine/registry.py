@@ -24,6 +24,7 @@ Built-in registrations:
 ========== ==============================================
 simulated  :class:`~repro.engine.simulator.Simulator`
 threaded   :class:`~repro.engine.threaded.ThreadedRuntime`
+asyncio    :class:`~repro.engine.async_engine.AsyncioEngine`
 ========== ==============================================
 """
 
@@ -31,6 +32,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.engine.async_engine import AsyncioEngine
 from repro.engine.plan import QueryPlan
 from repro.engine.runtime import RunResult
 from repro.engine.simulator import Simulator
@@ -117,3 +119,4 @@ def run_plan(
 
 register_engine("simulated", Simulator)
 register_engine("threaded", ThreadedRuntime)
+register_engine("asyncio", AsyncioEngine)

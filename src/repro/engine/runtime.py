@@ -201,6 +201,23 @@ class RuntimeCore:
             op.set_now(0.0)
             op.on_start()
 
+    def _notify_run_aborted(self, error: BaseException) -> None:
+        """Tell every unfinished operator the run died under it.
+
+        Engines call this from their failure paths so operators holding
+        external parties (an :class:`~repro.operators.sink.AwaitableSink`
+        with parked client coroutines) fail fast instead of waiting on an
+        ``on_finish`` that will never come.  Operator hooks must not mask
+        the original error, so their own exceptions are swallowed here.
+        """
+        for op in self.plan:
+            if op.finished:
+                continue
+            try:
+                op.on_run_aborted(error)
+            except BaseException:  # noqa: BLE001 - the run error wins
+                pass
+
     # -- control draining ------------------------------------------------------------
 
     def _next_arrived_control(

@@ -1,7 +1,11 @@
 """Deterministic discrete-event simulator: the primary execution engine.
 
-The simulator models NiagaraST's runtime (one thread per operator, pages
-between operators, out-of-band control with priority) on a **virtual
+Paper cross-reference: section 5 ("Implementation") fixes NiagaraST's
+runtime as one thread per operator connected by page queues, with
+control messages "given high priority and processed before pending
+tuples"; sections 3-4 define the feedback semantics whose timing
+(Figures 5-6, the PACE divergence bounds of section 3.2) the
+experiments measure.  The simulator models that runtime on a **virtual
 clock**:
 
 * every operator has a ``busy_until`` horizon; processing an element
@@ -177,6 +181,15 @@ class Simulator(RuntimeCore):
 
     def run(self) -> RunResult:
         self._begin()
+        try:
+            return self._run()
+        except BaseException as error:
+            # Fail anyone parked on an unfinished operator (an
+            # AwaitableSink awaited concurrently from another thread).
+            self._notify_run_aborted(error)
+            raise
+
+    def _run(self) -> RunResult:
         for op in self.plan:
             self._busy_until[op.name] = 0.0
             self._work_scheduled[op.name] = False

@@ -28,14 +28,18 @@ Like the simulator, this engine is a *policy* layer over
 :class:`~repro.engine.runtime.RuntimeCore` (see DESIGN.md section 3): the
 core owns control draining (including ``control_latency`` arrival
 semantics, which this runtime honours on the wall clock), completion
-bookkeeping and operator finish; this module owns the threads and the
-condition-variable wake-ups.  Waits are purely notification-driven --
-every state change (page flushed, queue closed, control sent) happens
-under the plan lock and is followed by a ``notify_all`` -- so idle
-operators consume no CPU; the run-level ``timeout`` is only a watchdog on
-thread joins.  Operators receive whole pages through
-:meth:`~repro.operators.base.Operator.process_page`, i.e. the batch fast
-path, since wall-clock time needs no per-element metering.
+bookkeeping and operator finish; this module owns the threads.  The
+wake-up half of the policy -- notify hooks, deferred-control deadlines --
+is the shared :class:`~repro.engine.notify.NotificationPolicy`, bound to
+a :class:`~repro.stream.waiters.ThreadConditionWaiter` here and to an
+``asyncio.Condition`` in the asyncio engine.  Waits are purely
+notification-driven -- every state change (page flushed, queue closed,
+control sent) is followed by a ``notify_all``, with page-ready and close
+events announced by the :class:`~repro.stream.queues.DataQueue` waiter
+seam itself -- so idle operators consume no CPU; the run-level
+``timeout`` is only a watchdog on thread joins.  Operators receive whole
+pages through :meth:`~repro.operators.base.Operator.process_page`, i.e.
+the batch fast path, since wall-clock time needs no per-element metering.
 
 Backpressure (``queue_capacity`` / bounded :class:`~repro.stream.queues.
 DataQueue`) is honoured cooperatively: a source thread sleeps between
@@ -55,16 +59,18 @@ import threading
 import time
 from typing import Callable
 
+from repro.engine.notify import NotificationPolicy
 from repro.engine.plan import QueryPlan
 from repro.engine.runtime import RunResult, RuntimeCore
 from repro.errors import EngineError
 from repro.operators.base import Operator, SourceOperator
 from repro.stream.clock import WallClock
+from repro.stream.waiters import ThreadConditionWaiter
 
 __all__ = ["ThreadedRuntime"]
 
 
-class ThreadedRuntime(RuntimeCore):
+class ThreadedRuntime(NotificationPolicy, RuntimeCore):
     """Run a plan with one thread per operator and wake-up signalling.
 
     Parameters
@@ -104,9 +110,7 @@ class ThreadedRuntime(RuntimeCore):
         self.emulate_costs = emulate_costs
         self._lock = threading.RLock()
         self._wakeup = threading.Condition(self._lock)
-        #: Earliest pending-but-unarrived control arrival per operator;
-        #: bounds that operator's next wait so delivery is not missed.
-        self._control_deadline: dict[str, float] = {}
+        self._init_notifications(ThreadConditionWaiter(self._wakeup))
         self._actions: list[tuple[float, Callable[[], None]]] = []
         self._action_errors: list[BaseException] = []
 
@@ -137,43 +141,9 @@ class ThreadedRuntime(RuntimeCore):
                 self._action_errors.append(error)
                 self._wakeup.notify_all()
 
-    # -- runtime surface seen by operators ----------------------------------------
-
-    def notify_control(
-        self, operator: Operator, at: float | None = None
-    ) -> None:
-        # ``at`` is a virtual-time hint only the simulator needs; arrival
-        # gating happens in the core's drain via ``control_latency``.
-        with self._lock:
-            self._wakeup.notify_all()
-
-    def notify_data(self, operator: Operator) -> None:
-        with self._lock:
-            self._wakeup.notify_all()
-
-    # -- RuntimeCore policy hooks --------------------------------------------------
-
-    def drain_control(self, operator: Operator) -> bool:
-        # Deadlines are recomputed from scratch on every drain: the core
-        # re-defers whatever is still in flight.
-        self._control_deadline.pop(operator.name, None)
-        return super().drain_control(operator)
-
-    def _defer_control(self, operator: Operator, arrival: float) -> None:
-        deadline = self._control_deadline.get(operator.name)
-        if deadline is None or arrival < deadline:
-            self._control_deadline[operator.name] = arrival
-
-    def _on_finished(self, operator: Operator, at: float) -> None:
-        self._wakeup.notify_all()
-
-    def _on_paused(self, operator: Operator, at: float) -> None:
-        # The pause flushed open output pages; wake consumers to drain
-        # them (that drain is what will eventually produce the resume).
-        self._wakeup.notify_all()
-
-    def _on_resumed(self, operator: Operator, at: float) -> None:
-        self._wakeup.notify_all()
+    # The wake-up hooks (notify_control/notify_data, deferred-control
+    # deadlines, _on_finished/_on_paused/_on_resumed) come from
+    # NotificationPolicy, shared with the asyncio engine.
 
     # -- thread bodies --------------------------------------------------------------
 
@@ -183,11 +153,7 @@ class ThreadedRuntime(RuntimeCore):
         Purely notification-driven; the only timed wait is the arrival
         deadline of an in-flight (deferred) control message.
         """
-        deadline = self._control_deadline.get(operator.name)
-        if deadline is None:
-            self._wakeup.wait()
-        else:
-            self._wakeup.wait(timeout=max(0.0, deadline - self.clock.now()))
+        self._wakeup.wait(timeout=self.wait_timeout(operator))
 
     def _source_body(self, source: SourceOperator) -> None:
         for _arrival, element in source.events():
@@ -276,11 +242,24 @@ class ThreadedRuntime(RuntimeCore):
 
     def run(self) -> RunResult:
         self._begin()
+        try:
+            return self._run()
+        except BaseException as error:
+            # Fail anyone parked on an unfinished operator (an
+            # AwaitableSink's waiting client coroutines).
+            self._notify_run_aborted(error)
+            raise
+
+    def _run(self) -> RunResult:
         for op in self.plan:
             # Producers emit outside the plan lock; serialise each
-            # queue's open-page/backlog hand-off with its own mutex.
+            # queue's open-page/backlog hand-off with its own mutex, and
+            # let the queue itself wake consumers when a page lands (the
+            # shared waiter seam -- notified outside the mutex, so the
+            # lock order is always waiter-after-queue, never inverted).
             for edge in op.outputs:
                 edge.queue.enable_thread_safety()
+                edge.queue.attach_waiter(self._waiter)
         self._start_operators()
         threads: list[threading.Thread] = []
         for op in self.plan:

@@ -22,14 +22,21 @@ from repro.operators.passthrough import PassThrough
 from repro.operators.project import Project
 from repro.operators.router import Router
 from repro.operators.select import QualityFilter, Select
-from repro.operators.sink import CollectSink, OnDemandSink
-from repro.operators.source import GeneratorSource, ListSource, PunctuatedSource
+from repro.operators.sink import AwaitableSink, CollectSink, OnDemandSink
+from repro.operators.source import (
+    AsyncIterableSource,
+    GeneratorSource,
+    ListSource,
+    PunctuatedSource,
+)
 from repro.operators.thrifty_join import ThriftyJoin
 from repro.operators.union import Union
 
 __all__ = [
     "AggregateKind",
     "ArchiveDB",
+    "AsyncIterableSource",
+    "AwaitableSink",
     "CollectSink",
     "Duplicate",
     "GeneratorSource",

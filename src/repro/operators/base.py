@@ -272,6 +272,16 @@ class Operator(abc.ABC):
     def on_finish(self) -> None:
         """Called when all inputs are done; emit any final results here."""
 
+    def on_run_aborted(self, error: BaseException) -> None:
+        """Called when the run fails before this operator finished.
+
+        Engines invoke this on every unfinished operator when a run
+        raises (watchdog timeout, action error, operator exception), so
+        operators holding external parties -- e.g. client coroutines
+        awaiting an :class:`~repro.operators.sink.AwaitableSink` -- can
+        fail them instead of leaving them parked forever.  Default: no-op.
+        """
+
     # --------------------------------------------------------- data handling
 
     def process_element(self, port_index: int, element: Any) -> None:

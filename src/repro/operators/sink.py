@@ -10,20 +10,27 @@ produced only when the application asks.  ``poll()`` sends a
 back down), and ``demand(pattern)`` issues demanded feedback ``![…]`` that
 makes blocking operators emit partial results immediately (the
 financial-speculator scenario of section 3.4).
+
+:class:`AwaitableSink` is the async-native client adapter: a collect sink
+whose completed results can be ``await``-ed from coroutine code running
+alongside an :meth:`~repro.engine.async_engine.AsyncioEngine.arun`.
 """
 
 from __future__ import annotations
 
+import asyncio
+import threading
 from typing import Any
 
 from repro.core.feedback import FeedbackPunctuation
+from repro.errors import EngineError
 from repro.operators.base import Operator
 from repro.punctuation.embedded import Punctuation
 from repro.punctuation.patterns import Pattern
 from repro.stream.schema import Schema
 from repro.stream.tuples import StreamTuple
 
-__all__ = ["CollectSink", "OnDemandSink"]
+__all__ = ["AwaitableSink", "CollectSink", "OnDemandSink"]
 
 
 class CollectSink(Operator):
@@ -60,6 +67,92 @@ class CollectSink(Operator):
 
     def __len__(self) -> int:
         return len(self.results)
+
+
+class AwaitableSink(CollectSink):
+    """A collect sink whose finished results are awaitable.
+
+    Client coroutines call :meth:`results_async` (or simply ``await
+    sink``) to receive the collected tuples once the sink's inputs have
+    drained -- the natural shape for serving results out of an
+    :class:`~repro.engine.async_engine.AsyncioEngine` run that is itself
+    a coroutine on the same loop::
+
+        plan = flow.build()
+        engine = create_engine("asyncio", plan)
+        run = asyncio.ensure_future(engine.arun())
+        rows = await plan.operator("sink")   # resolves at end of stream
+        result = await run
+
+    Works on every engine: with the threaded runtime the completion is
+    handed to the waiting loop via ``call_soon_threadsafe``, and after a
+    synchronous run (any engine) the await resolves immediately.  A run
+    that *fails* before this sink finishes (watchdog timeout, action
+    error) fails the waiters too -- :meth:`results_async` raises instead
+    of hanging on an ``on_finish`` that will never come.
+    """
+
+    def __init__(self, name: str, schema: Schema | None = None, **kwargs: Any) -> None:
+        super().__init__(name, schema, **kwargs)
+        self._completed = False
+        self._run_error: BaseException | None = None
+        #: Waiting client coroutines, each on its own loop: the threaded
+        #: runtime finishes this sink on an operator thread.
+        self._done_waiters: list[
+            tuple[asyncio.AbstractEventLoop, asyncio.Event]
+        ] = []
+        self._guard = threading.Lock()
+
+    def _settle(self) -> None:
+        """Wake every waiter (completion and abort share this path)."""
+        with self._guard:
+            waiters, self._done_waiters = self._done_waiters, []
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        for loop, event in waiters:
+            if loop is running:
+                event.set()
+            else:
+                loop.call_soon_threadsafe(event.set)
+
+    def on_finish(self) -> None:
+        with self._guard:
+            self._completed = True
+        self._settle()
+
+    def on_run_aborted(self, error: BaseException) -> None:
+        with self._guard:
+            if self._completed:
+                return
+            self._run_error = error
+        self._settle()
+
+    def _outcome(self) -> list[StreamTuple]:
+        if self._run_error is not None:
+            raise EngineError(
+                f"{self.name}: the run aborted before end of stream"
+            ) from self._run_error
+        return list(self.results)
+
+    async def results_async(self) -> list[StreamTuple]:
+        """The collected tuples, available once the stream has drained.
+
+        Raises :class:`~repro.errors.EngineError` (chaining the original
+        failure) when the run died before this sink finished.
+        """
+        with self._guard:
+            if self._completed or self._run_error is not None:
+                return self._outcome()
+            loop = asyncio.get_running_loop()
+            event = asyncio.Event()
+            self._done_waiters.append((loop, event))
+        await event.wait()
+        return self._outcome()
+
+    def __await__(self):
+        return self.results_async().__await__()
 
 
 class OnDemandSink(CollectSink):

@@ -1,4 +1,4 @@
-"""Stream sources: replayed, generated and punctuated inputs.
+"""Stream sources: replayed, generated, punctuated and async inputs.
 
 Sources yield ``(arrival_time, element)`` pairs that the engine replays at
 those virtual times.  Because :class:`~repro.operators.base.SourceOperator`
@@ -17,7 +17,8 @@ this -- the engines honour it on their behalf (see
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Sequence
+import asyncio
+from typing import Any, AsyncIterable, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import WorkloadError
 from repro.operators.base import SourceOperator
@@ -25,7 +26,12 @@ from repro.punctuation.schemes import ProgressPunctuator
 from repro.stream.schema import Schema
 from repro.stream.tuples import StreamTuple
 
-__all__ = ["ListSource", "GeneratorSource", "PunctuatedSource"]
+__all__ = [
+    "AsyncIterableSource",
+    "GeneratorSource",
+    "ListSource",
+    "PunctuatedSource",
+]
 
 
 class ListSource(SourceOperator):
@@ -75,6 +81,74 @@ class GeneratorSource(SourceOperator):
 
     def events(self) -> Iterator[tuple[float, Any]]:
         return iter(self._factory())
+
+
+class AsyncIterableSource(SourceOperator):
+    """Wraps an async iterable of ``(arrival_time, element)`` pairs.
+
+    The async-native ingestion adapter for network-shaped inputs
+    (websockets, HTTP feeds, message brokers): the factory is invoked
+    lazily at engine start and must return an async iterable (typically
+    an async generator).  On the asyncio engine
+    (:class:`~repro.engine.async_engine.AsyncioEngine`) the iterable is
+    consumed through :meth:`aevents` natively -- each ``await`` between
+    elements parks only this source's coroutine, so thousands of slow
+    feeds share one event loop.
+
+    The synchronous :meth:`events` bridge keeps the source runnable on
+    the simulator and the threaded runtime: it pumps a private event
+    loop one element at a time.  That private loop cannot be nested
+    inside an already-running one, so from async client code, drive
+    these sources with the asyncio engine.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        output_schema: Schema,
+        factory: Callable[[], AsyncIterable[tuple[float, Any]]],
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(name, output_schema, **kwargs)
+        if not callable(factory):
+            raise WorkloadError(
+                f"{name}: AsyncIterableSource takes a zero-argument "
+                f"factory returning an async iterable, got {factory!r}"
+            )
+        self._factory = factory
+
+    def aevents(self) -> AsyncIterable[tuple[float, Any]]:
+        """The async iterator of events (consumed by the asyncio engine)."""
+        iterable = self._factory()
+        if not hasattr(iterable, "__aiter__"):
+            raise WorkloadError(
+                f"{self.name}: factory returned {iterable!r}, which is "
+                f"not an async iterable"
+            )
+        return iterable
+
+    def events(self) -> Iterator[tuple[float, Any]]:
+        """Synchronous bridge: pump the async iterable on a private loop."""
+        loop = asyncio.new_event_loop()
+        iterator = self.aevents().__aiter__()
+        try:
+            while True:
+                try:
+                    yield loop.run_until_complete(iterator.__anext__())
+                except StopAsyncIteration:
+                    break
+        finally:
+            # Runs on early abandonment too (GeneratorExit at the yield
+            # when an engine aborts mid-stream): an async generator whose
+            # cleanup awaits (``await ws.close()``) must get its aclose()
+            # driven, or the connection leaks with "async generator
+            # ignored GeneratorExit".
+            aclose = getattr(iterator, "aclose", None)
+            try:
+                if aclose is not None:
+                    loop.run_until_complete(aclose())
+            finally:
+                loop.close()
 
 
 class PunctuatedSource(SourceOperator):

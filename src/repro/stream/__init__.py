@@ -24,8 +24,14 @@ from repro.stream.pages import DEFAULT_PAGE_SIZE, Page
 from repro.stream.queues import DataQueue
 from repro.stream.schema import Attribute, AttributeOrigin, Schema, SchemaMapping
 from repro.stream.tuples import StreamTuple
+from repro.stream.waiters import (
+    AsyncioConditionWaiter,
+    ThreadConditionWaiter,
+    Waiter,
+)
 
 __all__ = [
+    "AsyncioConditionWaiter",
     "Attribute",
     "AttributeOrigin",
     "Clock",
@@ -39,6 +45,8 @@ __all__ = [
     "Schema",
     "SchemaMapping",
     "StreamTuple",
+    "ThreadConditionWaiter",
     "VirtualClock",
+    "Waiter",
     "WallClock",
 ]

@@ -24,6 +24,16 @@ on every queue before starting threads -- producers then emit whole pages
 *outside* the engine's plan lock (that is what lets shard replicas run
 concurrently), so the producer/consumer critical sections here are guarded
 by a per-queue mutex instead.
+
+Concurrent engines additionally :meth:`attach_waiter` a wake-up primitive
+(the :class:`~repro.stream.waiters.Waiter` seam): whenever a page becomes
+ready -- or the queue closes -- the queue notifies the waiter itself, so
+"new data wakes the consumer" is one code path shared by the threaded
+runtime (``threading.Condition``) and the asyncio engine
+(``asyncio.Condition``) instead of per-engine wake-up plumbing.  The
+notification always fires *after* the per-queue mutex is released, so a
+waiter that takes the engine lock can never deadlock against a consumer
+holding that lock while popping pages.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from typing import Any, Iterator
 
 from repro.errors import EngineError
 from repro.stream.pages import DEFAULT_PAGE_SIZE, Page
+from repro.stream.waiters import Waiter
 
 __all__ = ["DataQueue"]
 
@@ -51,7 +62,7 @@ class DataQueue:
 
     __slots__ = ("name", "page_size", "capacity", "low_water",
                  "pressure_signalled", "peak_occupancy", "_occupancy",
-                 "_open_page", "_ready", "_closed", "_mutex",
+                 "_open_page", "_ready", "_closed", "_mutex", "_waiter",
                  "pages_flushed", "elements_enqueued")
 
     def __init__(
@@ -94,6 +105,10 @@ class DataQueue:
         #: Optional per-queue mutex (threaded runtime only); None keeps
         #: the single-threaded fast path completely lock-free.
         self._mutex: threading.Lock | None = None
+        #: Optional wake-up primitive (concurrent engines); notified --
+        #: outside the mutex -- when a page becomes ready or the queue
+        #: closes, so consumers sleeping on the engine's condition wake.
+        self._waiter: Waiter | None = None
         self.pages_flushed = 0
         self.elements_enqueued = 0
 
@@ -108,6 +123,17 @@ class DataQueue:
         if self._mutex is None:
             self._mutex = threading.Lock()
 
+    def attach_waiter(self, waiter: Waiter | None) -> None:
+        """Install the engine's wake-up primitive (the waiter seam).
+
+        Concurrent engines attach their condition adapter
+        (:class:`~repro.stream.waiters.ThreadConditionWaiter` or
+        :class:`~repro.stream.waiters.AsyncioConditionWaiter`) before the
+        run starts; the queue then announces page-ready and close events
+        itself, one shared code path for both primitives.
+        """
+        self._waiter = waiter
+
     # -- producer side -----------------------------------------------------------
 
     def put(self, element: Any) -> bool:
@@ -119,8 +145,12 @@ class DataQueue:
         """
         if self._mutex is not None:
             with self._mutex:
-                return self._put(element)
-        return self._put(element)
+                completed = self._put(element)
+        else:
+            completed = self._put(element)
+        if completed and self._waiter is not None:
+            self._waiter.notify_all()
+        return completed
 
     def _put(self, element: Any) -> bool:
         self.elements_enqueued += 1
@@ -145,8 +175,12 @@ class DataQueue:
         """
         if self._mutex is not None:
             with self._mutex:
-                return self._put_many(elements)
-        return self._put_many(elements)
+                completed = self._put_many(elements)
+        else:
+            completed = self._put_many(elements)
+        if completed and self._waiter is not None:
+            self._waiter.notify_all()
+        return completed
 
     def _put_many(self, elements: list) -> int:
         total = len(elements)
@@ -169,8 +203,12 @@ class DataQueue:
         """Seal and enqueue the open page if it holds anything."""
         if self._mutex is not None:
             with self._mutex:
-                return self._flush()
-        return self._flush()
+                flushed = self._flush()
+        else:
+            flushed = self._flush()
+        if flushed and self._waiter is not None:
+            self._waiter.notify_all()
+        return flushed
 
     def _flush(self) -> bool:
         if self._open_page.empty:
@@ -185,6 +223,8 @@ class DataQueue:
         """Flush any residue and mark the queue closed (end of stream)."""
         self.flush()
         self._closed = True
+        if self._waiter is not None:
+            self._waiter.notify_all()  # consumers must observe exhaustion
 
     # -- consumer side ---------------------------------------------------------
 

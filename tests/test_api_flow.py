@@ -289,11 +289,20 @@ class TestBuilderManualEquivalence:
         result = self.builder_flow().run(engine="threaded")
         assert sink_values(result) == expected
 
+    def test_same_tuples_asyncio(self):
+        manual = self.manual_plan()
+        Simulator(manual).run()
+        expected = [t.values for t in manual.operator("sink").results]
+        result = self.builder_flow().run(engine="asyncio")
+        assert sink_values(result) == expected
+
     def test_engines_agree_through_the_builder(self):
         flow = pipeline_flow()
         simulated = flow.run(engine="simulated")
         threaded = flow.run(engine="threaded")
+        aio = flow.run(engine="asyncio")
         assert sink_values(simulated) == sink_values(threaded)
+        assert sink_values(simulated) == sink_values(aio)
 
     def test_engine_options_pass_through(self):
         flow = pipeline_flow()

@@ -237,6 +237,11 @@ class TestEngineParity:
         for engine, options in (
             ("simulated", {"queue_capacity": 16}),
             ("threaded", {"queue_capacity": 16, "timeout": 30.0}),
+            # The asyncio leg emulates the consumer's cost: cooperative
+            # scheduling alone drains too evenly to cross the high-water
+            # mark, but a modeled-slow consumer must trigger real pauses.
+            ("asyncio", {"queue_capacity": 16, "timeout": 30.0,
+                         "emulate_costs": True}),
         ):
             flow = linear_flow(200, page_size=4, sink_cost=0.002)
             result = flow.run(engine, **options)
@@ -246,13 +251,16 @@ class TestEngineParity:
                 tuple(t.values) for t in result.sink("sink").results
             ]
         assert runs["simulated"] == runs["threaded"]
+        assert runs["simulated"] == runs["asyncio"]
 
-    def test_threaded_matches_unbounded_content(self):
+    @pytest.mark.parametrize("engine,options", [
+        ("threaded", {"timeout": 30.0}),
+        ("asyncio", {"timeout": 30.0}),
+    ])
+    def test_bounded_matches_unbounded_content(self, engine, options):
         flow = linear_flow(200, page_size=4)
-        bounded = flow.run("threaded", queue_capacity=16, timeout=30.0)
-        unbounded = linear_flow(200, page_size=4).run(
-            "threaded", timeout=30.0
-        )
+        bounded = flow.run(engine, queue_capacity=16, **options)
+        unbounded = linear_flow(200, page_size=4).run(engine, **options)
         assert (
             [tuple(t.values) for t in bounded.sink("sink").results]
             == [tuple(t.values) for t in unbounded.sink("sink").results]
@@ -266,6 +274,7 @@ class TestTerminationWhilePaused:
     @pytest.mark.parametrize("engine,options", [
         ("simulated", {}),
         ("threaded", {"timeout": 15.0}),
+        ("asyncio", {"timeout": 15.0, "emulate_costs": True}),
     ])
     def test_source_finishing_while_paused_terminates(self, engine, options):
         """A source that runs dry under an active pause must still close.

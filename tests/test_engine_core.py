@@ -1,10 +1,11 @@
-"""Engine-core parity: both engines run the shared RuntimeCore mechanism.
+"""Engine-core parity: every engine runs the shared RuntimeCore mechanism.
 
-The same small plans run on the Simulator (event heap + virtual clock) and
-the ThreadedRuntime (threads + condition waits); per-operator tuple,
-punctuation and feedback counts must be identical -- the scheduling policy
-may reorder work, but the mechanism (control before data, guards,
-completion, finish) decides every count.
+The same small plans run on the Simulator (event heap + virtual clock),
+the ThreadedRuntime (threads + condition waits) and the AsyncioEngine
+(coroutines + asyncio.Condition waits); per-operator tuple, punctuation
+and feedback counts must be identical -- the scheduling policy may
+reorder work, but the mechanism (control before data, guards, completion,
+finish) decides every count.
 
 Plans are built so counts are schedule-independent: feedback is injected
 before any data flows (sink ``on_start``) and relaying is disabled at the
@@ -19,7 +20,7 @@ import time
 import pytest
 
 from repro.core import FeedbackPunctuation
-from repro.engine import QueryPlan, Simulator, ThreadedRuntime
+from repro.engine import AsyncioEngine, QueryPlan, Simulator, ThreadedRuntime
 from repro.operators import (
     CollectSink,
     ListSource,
@@ -38,6 +39,9 @@ ENGINES = [
     pytest.param(lambda plan: Simulator(plan), id="simulator"),
     pytest.param(
         lambda plan: ThreadedRuntime(plan, timeout=30.0), id="threaded"
+    ),
+    pytest.param(
+        lambda plan: AsyncioEngine(plan, timeout=30.0), id="asyncio"
     ),
 ]
 
@@ -179,7 +183,10 @@ class TestEngineParity:
         Simulator(plan_sim).run()
         plan_thr = build()
         ThreadedRuntime(plan_thr, timeout=30.0).run()
+        plan_aio = build()
+        AsyncioEngine(plan_aio, timeout=30.0).run()
         assert counts(plan_sim) == counts(plan_thr)
+        assert counts(plan_sim) == counts(plan_aio)
 
     @pytest.mark.parametrize("make_engine", ENGINES)
     def test_guarded_chain_exploits_feedback(self, make_engine):
@@ -224,12 +231,13 @@ class TestThreadedControlLatency:
             Pattern.from_mapping(SCHEMA, {"seg": 1})
         )
 
-    def test_in_flight_feedback_to_exhausted_source_drops_on_both_engines(self):
+    def test_in_flight_feedback_to_exhausted_source_drops_on_all_engines(self):
         """Messages that have not arrived when the target finishes are
-        dropped -- the same rule on both engines (the stream is over)."""
+        dropped -- the same rule on every engine (the stream is over)."""
         for make in (
             lambda p: Simulator(p, control_latency=60.0),
             lambda p: ThreadedRuntime(p, timeout=30.0, control_latency=60.0),
+            lambda p: AsyncioEngine(p, timeout=30.0, control_latency=60.0),
         ):
             plan = QueryPlan("latency-drop")
             source = ListSource(

@@ -36,12 +36,16 @@ def tiny_plan():
 
 class TestBuiltins:
     def test_builtin_engines_registered(self):
+        assert "asyncio" in available_engines()
         assert "simulated" in available_engines()
         assert "threaded" in available_engines()
 
     def test_factories_resolve_to_engine_classes(self):
+        from repro.engine import AsyncioEngine
+
         assert engine_factory("simulated") is Simulator
         assert engine_factory("threaded") is ThreadedRuntime
+        assert engine_factory("asyncio") is AsyncioEngine
 
     def test_create_engine_builds_over_plan(self):
         engine = create_engine("simulated", tiny_plan())
@@ -54,6 +58,41 @@ class TestBuiltins:
         assert engine.control_latency == 0.5
         assert engine.max_events == 123
 
+    def test_create_engine_forwards_asyncio_policy_options(self):
+        from repro.engine import AsyncioEngine
+
+        engine = create_engine(
+            "asyncio", tiny_plan(),
+            control_latency=0.25, timeout=7.5, emulate_costs=True,
+        )
+        assert isinstance(engine, AsyncioEngine)
+        assert engine.control_latency == 0.25
+        assert engine.timeout == 7.5
+        assert engine.emulate_costs is True
+
+    def test_create_engine_forwards_kwargs_to_custom_policy(self):
+        """A registered policy subclass receives create_engine kwargs
+        verbatim through its constructor."""
+
+        class KnobbedSimulator(Simulator):
+            def __init__(self, plan, *, knob="default", **options):
+                super().__init__(plan, **options)
+                self.knob = knob
+
+        register_engine("knobbed", KnobbedSimulator)
+        try:
+            engine = create_engine(
+                "knobbed", tiny_plan(), knob="tuned", control_latency=0.5
+            )
+            assert engine.knob == "tuned"
+            assert engine.control_latency == 0.5
+            # Unknown kwargs surface as the constructor's TypeError, not
+            # a silent drop.
+            with pytest.raises(TypeError):
+                create_engine("knobbed", tiny_plan(), bogus_option=1)
+        finally:
+            unregister_engine("knobbed")
+
     def test_run_plan_convenience(self):
         result = run_plan(tiny_plan(), engine="simulated")
         assert len(result.sink("out").results) == 5
@@ -63,6 +102,17 @@ class TestErrorPaths:
     def test_unknown_engine_lists_known_names(self):
         with pytest.raises(EngineError, match="simulated"):
             engine_factory("warp-drive")
+
+    def test_unknown_engine_error_lists_every_registered_name(self):
+        """The message enumerates the full registry, sorted -- the user's
+        next command is in the error text."""
+        with pytest.raises(EngineError) as caught:
+            engine_factory("warp-drive")
+        message = str(caught.value)
+        for name in available_engines():
+            assert name in message
+        listed = message.split("registered engines: ", 1)[1]
+        assert listed == ", ".join(sorted(available_engines()))
 
     def test_unknown_engine_on_create(self):
         with pytest.raises(EngineError, match="unknown engine"):

@@ -92,7 +92,7 @@ def lanes_by_key(fanout, keys=range(100)):
 
 class TestShardedEquivalence:
     @pytest.mark.parametrize("n", [2, 4, 8])
-    @pytest.mark.parametrize("engine", ["simulated", "threaded"])
+    @pytest.mark.parametrize("engine", ["simulated", "threaded", "asyncio"])
     def test_sharded_matches_unsharded_multiset(self, n, engine):
         base = shard_flow(1).run("simulated")
         sharded = shard_flow(n).run(engine)
@@ -414,7 +414,7 @@ class TestPerLaneBackpressure:
             shard_flow(2, tuples=300).run("simulated")
         )
 
-    @pytest.mark.parametrize("engine", ["simulated", "threaded"])
+    @pytest.mark.parametrize("engine", ["simulated", "threaded", "asyncio"])
     def test_bounded_sharded_run_completes_on_both_engines(self, engine):
         flow = shard_flow(
             2, tuples=200, spacing=0.0,

@@ -4,12 +4,19 @@
 The docs job in CI runs this over ``docs/*.md`` and ``README.md``:
 
 * every fenced ```` ```python ```` block is executed (doctest-style) in a
-  fresh namespace with ``src/`` importable; a raised exception fails the
-  build with the file, block index and traceback.  Blocks tagged
-  ```` ```python no-run ```` are skipped (none today);
+  fresh namespace with ``src/`` importable.  A raised exception is
+  reported with the file, 1-based snippet line and traceback -- and the
+  checker keeps going, so one broken snippet never hides the others: the
+  summary lists *every* failing ``file:line`` across all files.  Blocks
+  tagged ```` ```python no-run ```` are skipped (none today);
 * every relative markdown link ``[text](path)`` must point at an existing
-  file (anchors and absolute URLs are ignored), and every wiki-style
-  ``[[name]]`` cross-reference must resolve to ``docs/name.md``.
+  file (absolute URLs are ignored), and every wiki-style ``[[name]]``
+  cross-reference must resolve to ``docs/name.md``;
+* anchors are checked too: an in-page link ``[text](#section)`` must
+  match a heading in the same file, and a cross-file link
+  ``[text](other.md#section)`` must match a heading in the target file
+  (GitHub-style slugs: lowercased, punctuation stripped, spaces to
+  hyphens, ``-N`` suffixes for duplicates).
 
 Usage: ``python tools/check_docs.py [files...]`` (defaults to README.md
 and docs/*.md from the repo root).
@@ -28,9 +35,10 @@ FENCE = re.compile(
     r"^```(?P<info>[^\n]*)\n(?P<body>.*?)^```\s*$",
     re.MULTILINE | re.DOTALL,
 )
-# [text](target) -- but not images ![...](...) nor in-page anchors.
+# [text](target) -- but not images ![...](...).
 MD_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 WIKI_LINK = re.compile(r"\[\[([A-Za-z0-9._/-]+)\]\]")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$", re.MULTILINE)
 
 
 def default_files() -> list[Path]:
@@ -54,7 +62,11 @@ def snippets(text: str) -> list[tuple[int, str]]:
 
 
 def run_snippet(source: str, label: str) -> str | None:
-    """Execute one snippet in a fresh namespace; return an error or None."""
+    """Execute one snippet in a fresh namespace; return an error or None.
+
+    The namespace is fresh per snippet, so a failure cannot poison the
+    snippets after it -- every block stands (or falls) on its own.
+    """
     namespace: dict = {"__name__": "__docs__", "__file__": label}
     try:
         code = compile(source, label, "exec")
@@ -64,16 +76,75 @@ def run_snippet(source: str, label: str) -> str | None:
     return None
 
 
+def github_slug(title: str) -> str:
+    """A heading's anchor slug, GitHub-style (before -N dedup suffixes)."""
+    slug = title.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)          # inline markup markers
+    slug = re.sub(r"[^\w\- ]", "", slug)       # punctuation
+    return slug.replace(" ", "-")
+
+
+def anchors_of(text: str) -> set[str]:
+    """Every anchor the file's headings define (with duplicate suffixes)."""
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    # Callers pass fence-stripped text: '# comment' in ``` is no heading.
+    for match in HEADING.finditer(text):
+        slug = github_slug(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def strip_fences(text: str) -> str:
+    """Remove fenced code blocks (their contents are not headings/links)."""
+    return FENCE.sub("", text)
+
+
+#: Per-file anchor sets, so N links into one target parse it once.
+_anchor_cache: dict[Path, set[str]] = {}
+
+
+def anchors_of_file(path: Path) -> set[str]:
+    try:
+        return _anchor_cache[path]
+    except KeyError:
+        anchors = anchors_of(
+            strip_fences(path.read_text(encoding="utf-8"))
+        )
+        _anchor_cache[path] = anchors
+        return anchors
+
+
 def check_links(path: Path, text: str) -> list[str]:
     errors = []
     base = path.parent
-    for target in MD_LINK.findall(text):
-        if target.startswith(("http://", "https://", "#", "mailto:")):
+    prose = strip_fences(text)
+    own_anchors = anchors_of(prose)
+    for target in MD_LINK.findall(prose):
+        if target.startswith(("http://", "https://", "mailto:")):
             continue
-        resolved = (base / target.split("#", 1)[0]).resolve()
+        if target.startswith("#"):
+            # In-page anchor: must match one of this file's headings.
+            if target[1:] not in own_anchors:
+                errors.append(
+                    f"{path.name}: broken anchor -> {target} "
+                    f"(no such heading)"
+                )
+            continue
+        file_part, _, fragment = target.partition("#")
+        resolved = (base / file_part).resolve()
         if not resolved.exists():
             errors.append(f"{path.name}: broken link -> {target}")
-    for name in WIKI_LINK.findall(text):
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of_file(resolved):
+                errors.append(
+                    f"{path.name}: broken anchor -> {target} "
+                    f"(no such heading in {resolved.name})"
+                )
+    for name in WIKI_LINK.findall(prose):
         # [[name]] resolves within docs/ (the memory-style cross-ref).
         candidate = REPO / "docs" / f"{name}.md"
         if not candidate.exists():
@@ -89,13 +160,19 @@ def main(argv: list[str]) -> int:
     for path in files:
         text = path.read_text(encoding="utf-8")
         failures.extend(check_links(path, text))
+        try:
+            short = path.relative_to(REPO)
+        except ValueError:  # explicit files outside the repo root
+            short = path
         for line, source in snippets(text):
-            label = f"{path.relative_to(REPO)}:{line}"
+            label = f"{short}:{line}"
             error = run_snippet(source, label)
             ran += 1
             if error is None:
                 print(f"ok   {label}")
             else:
+                # Keep going: every failing snippet in every file is
+                # executed and lands in the summary below.
                 print(f"FAIL {label}\n{error}")
                 failures.append(f"{label}: snippet raised")
     print(f"\n{ran} snippet(s) across {len(files)} file(s); "
