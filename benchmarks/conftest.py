@@ -25,11 +25,22 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 from pathlib import Path
 
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _environment_stamp() -> dict:
+    """The hardware/interpreter facts a timing number is meaningless
+    without: logical CPU count and the exact Python version."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
 
 
 def record_bench(filename: str, payload: dict) -> bool:
@@ -39,11 +50,17 @@ def record_bench(filename: str, payload: dict) -> bool:
     rewrites the artifact at the repo root; otherwise the payload is
     computed (and asserted on) but nothing on disk changes.  Returns
     whether the file was written.
+
+    Every recorded payload is stamped with the recording environment
+    (``environment``: cpu_count, python version) -- parallel-speedup
+    artifacts especially cannot be interpreted without it.
     """
     if os.environ.get("REPRO_BENCH_RECORD") != "1":
         return False
     out = REPO_ROOT / filename
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    stamped = dict(payload)
+    stamped["environment"] = _environment_stamp()
+    out.write_text(json.dumps(stamped, indent=2) + "\n")
     return True
 
 

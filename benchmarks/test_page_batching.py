@@ -16,10 +16,8 @@ Scale knob: ``REPRO_BENCH_TUPLES`` (default 10000).
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 from repro.engine import QueryPlan
 from repro.operators import CollectSink, Select
@@ -32,10 +30,6 @@ from repro.stream.queues import DataQueue
 SCHEMA = Schema([("ts", "timestamp", True), ("seg", "int"), ("v", "float")])
 N_TUPLES = int(os.environ.get("REPRO_BENCH_TUPLES", "10000"))
 REPEATS = 5
-#: Opt-in: rewrite the committed BENCH_page_batch.json artifact.  Off by
-#: default so routine test runs never dirty the working tree with
-#: machine-local timings.
-RECORD = os.environ.get("REPRO_BENCH_RECORD") == "1"
 
 
 def build_input_pages() -> list[Page]:
@@ -122,7 +116,7 @@ def best_of(fn, pages) -> float:
 
 
 class TestPageBatchingThroughput:
-    def test_batch_path_beats_per_element_path(self, report):
+    def test_batch_path_beats_per_element_path(self, report, record_artifact):
         pages = build_input_pages()
 
         # Correctness first: both paths must agree tuple-for-tuple.
@@ -158,9 +152,7 @@ class TestPageBatchingThroughput:
             "speedup": round(speedup, 3),
             "batched_ns_per_input_tuple": round(per_tuple_ns, 1),
         }
-        if RECORD:
-            out = Path(__file__).resolve().parents[1] / "BENCH_page_batch.json"
-            out.write_text(json.dumps(record, indent=2) + "\n")
+        record_artifact("BENCH_page_batch.json", record)
 
         report.append(
             f"page batching: per-element {element_s * 1e3:.1f} ms, "

@@ -20,7 +20,13 @@ Three measurements per fanout N in {1, 2, 4, 8}:
 * **threaded, real hash work** -- wall clock with a genuinely CPU-bound
   predicate (sha256 over a 32 KiB payload releases the GIL), recorded
   together with ``cpu_count``: on a multi-core host this shows real
-  parallel speedup; on a single core it honestly records ~1x.
+  parallel speedup; on a single core it honestly records ~1x;
+* **multiprocess, real hash work** -- the same CPU-bound predicate on
+  the multiprocess engine, where each shard lane is its own worker
+  *process*: parallelism does not depend on the predicate releasing the
+  GIL.  Recorded, never asserted -- the speedup is bounded by the host's
+  ``cpu_count`` (a single-core container honestly records ~1x plus
+  serialization overhead).
 
 Scale knobs: ``REPRO_BENCH_SHARD_TUPLES`` (default 2400; below the
 default the timing assertions are skipped -- the CI ``bench-smoke`` job
@@ -36,6 +42,7 @@ import os
 import time
 
 from repro.api import Flow, avg
+from repro.engine import fork_available
 from repro.stream import Schema, StreamTuple
 
 SCHEMA = Schema([("ts", "timestamp", True), ("k", "int"), ("v", "float")])
@@ -85,10 +92,13 @@ def sink_multiset(result):
     return sorted(tuple(t.values) for t in result.sink("sink").results)
 
 
-def wall_run(n, *, engine_options=None, predicate=None, tuple_cost=0.0):
+def wall_run(
+    n, *, engine="threaded", engine_options=None, predicate=None,
+    tuple_cost=0.0,
+):
     flow = shard_flow(n, predicate=predicate, tuple_cost=tuple_cost)
     start = time.perf_counter()
-    result = flow.run("threaded", timeout=300.0, **(engine_options or {}))
+    result = flow.run(engine, timeout=300.0, **(engine_options or {}))
     return result, time.perf_counter() - start
 
 
@@ -103,6 +113,7 @@ class TestShardSpeedup:
         simulated: dict[int, dict] = {}
         model: dict[int, dict] = {}
         hashed: dict[int, dict] = {}
+        multiproc: dict[int, dict] = {}
         skew: dict[int, float] = {}
         punct_ok = True
         for n in FANOUTS:
@@ -134,10 +145,18 @@ class TestShardSpeedup:
             assert sink_multiset(real) == base_multiset
             hashed[n] = {"wall_s": round(real_wall, 6)}
 
+            if fork_available():
+                mp_run, mp_wall = wall_run(
+                    n, engine="multiprocess", predicate=_hash_work
+                )
+                assert sink_multiset(mp_run) == base_multiset
+                multiproc[n] = {"wall_s": round(mp_wall, 6)}
+
         for series, field in (
             (simulated, "makespan_s"),
             (model, "wall_s"),
             (hashed, "wall_s"),
+            *(((multiproc, "wall_s"),) if multiproc else ()),
         ):
             for n in FANOUTS:
                 series[n]["speedup"] = round(
@@ -184,6 +203,9 @@ class TestShardSpeedup:
             },
             "threaded_modeled_cost": {str(n): model[n] for n in FANOUTS},
             "threaded_real_hash": {str(n): hashed[n] for n in FANOUTS},
+            "multiprocess_real_hash": {
+                str(n): multiproc[n] for n in sorted(multiproc)
+            },
             "partition_skew": {str(n): skew[n] for n in sorted(skew)},
             "correctness": {
                 "multiset_equal_all_fanouts": True,
@@ -194,13 +216,19 @@ class TestShardSpeedup:
         record_artifact("BENCH_shard.json", payload)
 
         for n in FANOUTS:
-            report.append(
+            line = (
                 f"  n={n}: simulated {simulated[n]['makespan_s']:.3f}s "
                 f"({simulated[n]['speedup']:.2f}x), threaded modeled "
                 f"{model[n]['wall_s']:.3f}s ({model[n]['speedup']:.2f}x), "
                 f"threaded hash {hashed[n]['wall_s']:.3f}s "
                 f"({hashed[n]['speedup']:.2f}x)"
             )
+            if n in multiproc:
+                line += (
+                    f", multiprocess hash {multiproc[n]['wall_s']:.3f}s "
+                    f"({multiproc[n]['speedup']:.2f}x)"
+                )
+            report.append(line)
         report.append(
             f"  skew: {skew}; cpus={os.cpu_count()}; "
             f"full_scale={FULL_SCALE}"

@@ -977,14 +977,21 @@ class Flow:
         ``inject_feedback``'s the punctuation, which then flows upstream
         like any other feedback.  ``actions`` are ``(time, callable)``
         pairs for anything richer (polls, demands); the callable receives
-        the built plan.  ``queue_capacity`` bounds every edge without its
+        the built plan.  An entry may append a third element naming an
+        *owner* operator -- ``(time, callable, "sink")`` -- which
+        owner-aware engines (multiprocess) use to run the action in the
+        worker process holding that operator; other engines ignore it.
+        ``queue_capacity`` bounds every edge without its
         own per-verb capacity, enabling runtime backpressure (see
         ``docs/backpressure.md``).  ``engine_options`` pass to the engine
         factory (``control_latency=...``, ...).
         """
         plan = self.build(queue_capacity=queue_capacity)
         runner = create_engine(engine, plan, **engine_options)
-        schedule: list[tuple[float, Callable[[], None]]] = []
+        # (time, thunk, owner): the owner names the operator the thunk
+        # targets, letting owner-aware engines (multiprocess) route the
+        # action to the worker holding that operator's plan copy.
+        schedule: list[tuple[float, Callable[[], None], str | None]] = []
         for entry in feedback:
             try:
                 when, target, punct = entry
@@ -996,30 +1003,45 @@ class Flow:
             operator = plan.operator(target)
             schedule.append(
                 (float(when),
-                 lambda op=operator, fb=punct: op.inject_feedback(fb))
+                 lambda op=operator, fb=punct: op.inject_feedback(fb),
+                 target)
             )
         for entry in actions:
             try:
-                when, action = entry
+                if len(entry) == 3:
+                    when, action, owner = entry
+                else:
+                    when, action = entry
+                    owner = None
             except (TypeError, ValueError):
                 raise FlowError(
-                    "actions entries are (time, callable) pairs; the "
-                    "callable receives the built plan"
+                    "actions entries are (time, callable) pairs or "
+                    "(time, callable, owner) triples; the callable "
+                    "receives the built plan"
                 ) from None
             if not callable(action):
                 raise FlowError(
                     f"action at t={when} is not callable: {action!r}"
                 )
+            if owner is not None:
+                plan.operator(owner)  # unknown owner: fail fast
             schedule.append(
-                (float(when), lambda act=action: act(plan))
+                (float(when), lambda act=action: act(plan), owner)
             )
         if schedule and not hasattr(runner, "at"):
             raise EngineError(
                 f"engine {engine!r} does not support scheduled actions "
                 f"(no at() hook); cannot inject feedback declaratively"
             )
-        for when, thunk in schedule:
-            runner.at(when, thunk)
+        if schedule:
+            supports_owner = (
+                "owner" in inspect.signature(runner.at).parameters
+            )
+            for when, thunk, owner in schedule:
+                if supports_owner:
+                    runner.at(when, thunk, owner=owner)
+                else:
+                    runner.at(when, thunk)
         return runner.run()
 
     # -- internals ----------------------------------------------------------------

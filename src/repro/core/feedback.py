@@ -115,6 +115,17 @@ class FeedbackPunctuation:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("FeedbackPunctuation is immutable")
 
+    # Immutability blocks the default slot-state unpickling (it applies
+    # state via ``setattr``); restore the slots explicitly -- feedback
+    # crosses process boundaries as a pickled control payload in the
+    # multiprocess engine, and provenance (issuer/seq/hops) must survive.
+    def __getstate__(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+
     # -- constructors -----------------------------------------------------------
 
     @classmethod
@@ -246,6 +257,15 @@ class FlowControlPunctuation:
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("FlowControlPunctuation is immutable")
+
+    # Same explicit slot restore as FeedbackPunctuation: pause/resume
+    # signals travel between worker processes in the multiprocess engine.
+    def __getstate__(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
 
     # -- constructors -----------------------------------------------------------
 

@@ -108,6 +108,54 @@ class GuardSet:
         """Like :meth:`blocks` but without touching the counters."""
         return any(g.blocks(element) for g in self._guards)
 
+    def filter_batch(self, batch: list) -> tuple[list, list]:
+        """Split a run of data tuples into ``(kept, dropped)`` in one pass.
+
+        The batch counterpart of :meth:`blocks`, used by the page-batched
+        operator path: each guard's non-wildcard atoms (its constrained
+        *columns*, see :meth:`~repro.punctuation.patterns.Pattern.
+        constrained`) are hoisted once per batch, then evaluated
+        positionally against each tuple's value array.  That skips the
+        per-element ``Pattern.matches`` machinery -- arity check,
+        wildcard-atom sweeps, generator dispatch -- which dominates the
+        guard-heavy profile.  Semantics match :meth:`blocks` exactly: the
+        first matching guard (in installation order) takes the drop and
+        its counter.
+        """
+        guards = self._guards
+        if not guards:
+            return batch, []
+        specs = [
+            (g, tuple((i, a.matches) for i, a in g.pattern.constrained()),
+             g.pattern.arity)
+            for g in guards if not g.released
+        ]
+        if not specs:
+            return batch, []
+        kept: list = []
+        dropped: list = []
+        keep = kept.append
+        drop = dropped.append
+        for element in batch:
+            values = element.values
+            n = len(values)
+            for guard, spec, arity in specs:
+                if n != arity:
+                    # Preserve blocks()'s error behaviour (via matches()).
+                    guard.pattern.matches(element)
+                    continue
+                for index, matches in spec:
+                    if not matches(values[index]):
+                        break
+                else:
+                    guard.drops += 1
+                    drop(element)
+                    break
+            else:
+                keep(element)
+        self.total_drops += len(dropped)
+        return kept, dropped
+
     # -- expiration -----------------------------------------------------------------
 
     def expire_with(self, punctuation: Punctuation) -> list[Guard]:

@@ -13,6 +13,9 @@ scheduling policy per engine over a shared mechanism core.
   NiagaraST's architecture;
 * :class:`AsyncioEngine` -- coroutine-per-operator runtime on one event
   loop, for network-facing sources and sinks (``docs/engines.md``);
+* :class:`MultiprocessEngine` -- worker-process-per-operator-group
+  runtime with columnar page serialization at the process boundaries,
+  for real CPU parallelism past the GIL (``docs/engines.md``);
 * the engine registry -- engines addressable by name
   (``register_engine`` / ``create_engine``), the pluggable backend
   surface behind ``repro.api.Flow.run``;
@@ -22,6 +25,7 @@ scheduling policy per engine over a shared mechanism core.
 from repro.engine.async_engine import AsyncioEngine
 from repro.engine.audit import QuiescenceReport, audit_quiescence
 from repro.engine.harness import OperatorHarness
+from repro.engine.multiprocess import MultiprocessEngine, fork_available
 from repro.engine.metrics import (
     OperatorMetrics,
     OutputLog,
@@ -44,6 +48,8 @@ from repro.engine.threaded import ThreadedRuntime
 
 __all__ = [
     "AsyncioEngine",
+    "MultiprocessEngine",
+    "fork_available",
     "OperatorHarness",
     "available_engines",
     "create_engine",

@@ -124,6 +124,18 @@ class OutputLog:
     ) -> None:
         self._records.append(OutputRecord(time, element, sink, tag))
 
+    def record_many(
+        self, time: float, elements: Any, *, sink: str = "", tag: str = ""
+    ) -> None:
+        """Bulk :meth:`record` for a batch arriving at one time stamp."""
+        self._records.extend(
+            OutputRecord(time, element, sink, tag) for element in elements
+        )
+
+    def extend(self, records: Any) -> None:
+        """Append pre-built records (merging worker logs at run end)."""
+        self._records.extend(records)
+
     def __iter__(self) -> Iterator[OutputRecord]:
         return iter(self._records)
 

@@ -21,11 +21,12 @@ injection rides on.
 
 Built-in registrations:
 
-========== ==============================================
-simulated  :class:`~repro.engine.simulator.Simulator`
-threaded   :class:`~repro.engine.threaded.ThreadedRuntime`
-asyncio    :class:`~repro.engine.async_engine.AsyncioEngine`
-========== ==============================================
+============ ==================================================
+simulated    :class:`~repro.engine.simulator.Simulator`
+threaded     :class:`~repro.engine.threaded.ThreadedRuntime`
+asyncio      :class:`~repro.engine.async_engine.AsyncioEngine`
+multiprocess :class:`~repro.engine.multiprocess.MultiprocessEngine`
+============ ==================================================
 """
 
 from __future__ import annotations
@@ -33,6 +34,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.engine.async_engine import AsyncioEngine
+from repro.engine.multiprocess import MultiprocessEngine
 from repro.engine.plan import QueryPlan
 from repro.engine.runtime import RunResult
 from repro.engine.simulator import Simulator
@@ -120,3 +122,4 @@ def run_plan(
 register_engine("simulated", Simulator)
 register_engine("threaded", ThreadedRuntime)
 register_engine("asyncio", AsyncioEngine)
+register_engine("multiprocess", MultiprocessEngine)

@@ -102,9 +102,14 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
         timeout: float = 60.0,
         control_latency: float = 0.0,
         emulate_costs: bool = False,
+        clock: WallClock | None = None,
     ) -> None:
+        # ``clock`` lets a coordinating engine share one wall-clock epoch
+        # across several runtimes (the multiprocess engine constructs it
+        # before forking, so every worker's timestamps are comparable).
         super().__init__(
-            plan, WallClock(), control_latency=control_latency
+            plan, clock if clock is not None else WallClock(),
+            control_latency=control_latency,
         )
         self.timeout = timeout
         self.emulate_costs = emulate_costs
@@ -114,7 +119,13 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
         self._actions: list[tuple[float, Callable[[], None]]] = []
         self._action_errors: list[BaseException] = []
 
-    def at(self, time: float, action: Callable[[], None]) -> None:
+    def at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        owner: str | None = None,
+    ) -> None:
         """Schedule a client-side action at ``time`` wall-clock seconds.
 
         Mirrors :meth:`Simulator.at` so callers (``Flow.run``'s feedback
@@ -123,6 +134,11 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
         run start; an action whose time falls after the plan has already
         drained never fires -- the same "the stream is over" rule both
         engines apply to in-flight feedback.
+
+        ``owner`` optionally names the operator the action targets.  A
+        single-process runtime ignores it (every operator is local); the
+        multiprocess engine uses it to route the action to the worker
+        owning that operator.
         """
         if self._started:
             raise EngineError("schedule actions before calling run()")
@@ -240,6 +256,14 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
 
     # -- run -------------------------------------------------------------------------
 
+    def _executed_operators(self) -> list[Operator]:
+        """The operators this runtime starts threads for.
+
+        The whole plan by default; a multiprocess worker restricts this to
+        its owned group (remote operators run in their owning workers).
+        """
+        return list(self.plan)
+
     def run(self) -> RunResult:
         self._begin()
         try:
@@ -251,18 +275,26 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
             raise
 
     def _run(self) -> RunResult:
-        for op in self.plan:
+        executed = self._executed_operators()
+        for op in executed:
             # Producers emit outside the plan lock; serialise each
             # queue's open-page/backlog hand-off with its own mutex, and
             # let the queue itself wake consumers when a page lands (the
             # shared waiter seam -- notified outside the mutex, so the
             # lock order is always waiter-after-queue, never inverted).
+            # Input queues are prepared too: in a multiprocess worker a
+            # consumer's input queue may be fed by a receiver thread
+            # rather than a local producer thread.
             for edge in op.outputs:
                 edge.queue.enable_thread_safety()
                 edge.queue.attach_waiter(self._waiter)
+            for port in op.inputs:
+                if port is not None:
+                    port.queue.enable_thread_safety()
+                    port.queue.attach_waiter(self._waiter)
         self._start_operators()
         threads: list[threading.Thread] = []
-        for op in self.plan:
+        for op in executed:
             if isinstance(op, SourceOperator):
                 body, args = self._source_body, (op,)
             else:

@@ -46,6 +46,7 @@ from repro.stream.control import (
     ControlMessageKind,
     Direction,
 )
+from repro.stream.pages import Page
 from repro.stream.queues import DataQueue
 from repro.stream.schema import Schema, SchemaMapping
 from repro.stream.tuples import StreamTuple
@@ -282,6 +283,22 @@ class Operator(abc.ABC):
         fail them instead of leaving them parked forever.  Default: no-op.
         """
 
+    def snapshot_state(self) -> dict[str, Any]:
+        """Client-visible state to ship back from a worker process.
+
+        The multiprocess engine runs each operator in one worker; after
+        the run it merges every worker's snapshots onto the coordinator's
+        plan copy (via :meth:`restore_state`) so call sites that inspect
+        operators on the returned ``RunResult`` -- a sink's ``results``,
+        a merge's region counters -- see the worker's final state.
+        Operators with such state override both hooks; the default is
+        stateless.  Entries must be picklable.
+        """
+        return {}
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Apply a :meth:`snapshot_state` dict onto this instance."""
+
     # --------------------------------------------------------- data handling
 
     def process_element(self, port_index: int, element: Any) -> None:
@@ -338,33 +355,55 @@ class Operator(abc.ABC):
             return
 
         metrics.pages_batched += 1
-        # Hoisted guard check: pages are overwhelmingly guard-free, and
-        # punctuation is the only thing that can change the guard set
-        # mid-page (installs arrive via control, drained before the page).
-        blocks = guards.blocks if len(guards) else None
+        # Zero-copy fast path: a punctuation-free page hands its own
+        # element list straight to the run dispatcher -- no re-buffering.
+        # (Queue-built pages can only carry a punctuation at the tail,
+        # but hand-built and codec-decoded pages may interleave them, so
+        # the split below stays fully general.)
+        elements = page.elements if isinstance(page, Page) else list(page)
+        if not any(e.is_punctuation for e in elements):
+            if elements:
+                self._dispatch_batch(port_index, guards, elements)
+            return
         batch: list = []
-        for element in page:
+        for element in elements:
             if element.is_punctuation:
                 if batch:
-                    metrics.tuples_in += len(batch)
-                    self.on_page(port_index, batch)
+                    self._dispatch_batch(port_index, guards, batch)
                     batch = []
                 metrics.punctuations_in += 1
                 released = guards.expire_with(element)
                 if released:
                     self.on_guards_expired(port_index, element, released)
                 self.on_punctuation(port_index, element)
-                blocks = guards.blocks if len(guards) else None
-                continue
-            if blocks is not None and blocks(element):
-                metrics.tuples_in += 1
-                metrics.input_guard_drops += 1
-                self.on_guarded_drop(port_index, element)
                 continue
             batch.append(element)
         if batch:
-            metrics.tuples_in += len(batch)
-            self.on_page(port_index, batch)
+            self._dispatch_batch(port_index, guards, batch)
+
+    def _dispatch_batch(
+        self, port_index: int, guards: GuardSet, batch: list
+    ) -> None:
+        """Guard-filter one run of data tuples and hand survivors to
+        :meth:`on_page`.
+
+        Guard evaluation is batched (:meth:`~repro.core.guards.GuardSet.
+        filter_batch`): the constrained columns of each guard pattern are
+        hoisted once per run instead of re-dispatching ``Pattern.matches``
+        per element -- the single largest cost on guard-heavy chains.
+        """
+        metrics = self.metrics
+        metrics.tuples_in += len(batch)
+        if len(guards):
+            kept, dropped = guards.filter_batch(batch)
+            if dropped:
+                metrics.input_guard_drops += len(dropped)
+                for element in dropped:
+                    self.on_guarded_drop(port_index, element)
+        else:
+            kept = batch
+        if kept:
+            self.on_page(port_index, kept)
 
     def on_page(self, port_index: int, batch: list) -> None:
         """Batch hook: process a run of guard-surviving data tuples.
@@ -373,7 +412,9 @@ class Operator(abc.ABC):
         operator; stateless operators override it with a native batch
         implementation (one pass, bulk emission) for throughput.
         Overrides must be element-wise equivalent to :meth:`on_tuple` --
-        the page boundary carries no semantics.
+        the page boundary carries no semantics.  ``batch`` may be the
+        page's own element buffer (the zero-copy fast path): treat it as
+        read-only.
         """
         for tup in batch:
             self.on_tuple(port_index, tup)

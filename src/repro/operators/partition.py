@@ -130,6 +130,18 @@ class Partition(Operator):
         self.lane_pauses = 0
         self.key_routed_feedback = 0
 
+    def snapshot_state(self) -> dict[str, Any]:
+        return {
+            "tuples_stashed": self.tuples_stashed,
+            "lane_pauses": self.lane_pauses,
+            "key_routed_feedback": self.key_routed_feedback,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self.tuples_stashed = state["tuples_stashed"]
+        self.lane_pauses = state["lane_pauses"]
+        self.key_routed_feedback = state["key_routed_feedback"]
+
     # ------------------------------------------------------------------ lanes
 
     def lane_of_key(self, *key_values: Any) -> int:
@@ -434,6 +446,16 @@ class ShardMerge(Union):
         super().__init__(name, schema, arity=arity, **kwargs)
         self.regions_held = 0
         self.regions_released = 0
+
+    def snapshot_state(self) -> dict[str, Any]:
+        return {
+            "regions_held": self.regions_held,
+            "regions_released": self.regions_released,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self.regions_held = state["regions_held"]
+        self.regions_released = state["regions_released"]
 
     def on_punctuation(self, port_index: int, punct: Punctuation) -> None:
         self._advance_frontier(port_index, punct.pattern)

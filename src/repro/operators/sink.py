@@ -61,9 +61,35 @@ class CollectSink(Operator):
             self.now(), tup, sink=self.name, tag=self.tag
         )
 
+    def on_page(self, port_index: int, batch: list) -> None:
+        """Batch path: record a whole run of arrivals in bulk.
+
+        Element-wise equivalent to :meth:`on_tuple` -- a batch is
+        delivered at one engine step, so every element of it carries the
+        same arrival time on either path.
+        """
+        now = self.now()
+        self.results.extend(batch)
+        self.arrivals.extend((now, tup) for tup in batch)
+        self.runtime.output_log.record_many(
+            now, batch, sink=self.name, tag=self.tag
+        )
+
     def on_punctuation(self, port_index: int, punct: Punctuation) -> None:
         if self.keep_punctuation:
             self.punctuations.append(punct)
+
+    def snapshot_state(self) -> dict[str, Any]:
+        return {
+            "results": self.results,
+            "arrivals": self.arrivals,
+            "punctuations": self.punctuations,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self.results = state["results"]
+        self.arrivals = state["arrivals"]
+        self.punctuations = state["punctuations"]
 
     def __len__(self) -> int:
         return len(self.results)
@@ -166,6 +192,17 @@ class OnDemandSink(CollectSink):
         super().__init__(name, schema, **kwargs)
         self.polls = 0
         self.demands = 0
+
+    def snapshot_state(self) -> dict[str, Any]:
+        state = super().snapshot_state()
+        state["polls"] = self.polls
+        state["demands"] = self.demands
+        return state
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        super().restore_state(state)
+        self.polls = state["polls"]
+        self.demands = state["demands"]
 
     def poll(self, pattern: Pattern | None = None) -> None:
         """Ask upstream operators to release buffered results."""

@@ -51,12 +51,21 @@ class _NegInf:
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return "-inf"
 
+    def __reduce__(self) -> str:
+        # Pickle by reference: atoms compare bounds with ``is NEG_INF``,
+        # so unpickling (pages crossing a process boundary) must resolve
+        # to this module's singleton, never construct a fresh instance.
+        return "NEG_INF"
+
 
 class _PosInf:
     """Sentinel above every value (used for open upper bounds)."""
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return "+inf"
+
+    def __reduce__(self) -> str:
+        return "POS_INF"
 
 
 NEG_INF = _NegInf()

@@ -43,6 +43,17 @@ class Punctuation:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Punctuation is immutable")
 
+    # Immutability blocks the default slot-state unpickling (it applies
+    # state via ``setattr``); restore the slots explicitly so punctuation
+    # survives the columnar-page serialization boundary intact
+    # (flush-on-punctuation must hold across processes).
+    def __getstate__(self) -> tuple:
+        return (self.pattern, self.source)
+
+    def __setstate__(self, state: tuple) -> None:
+        object.__setattr__(self, "pattern", state[0])
+        object.__setattr__(self, "source", state[1])
+
     # -- constructors -----------------------------------------------------------
 
     @classmethod

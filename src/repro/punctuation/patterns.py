@@ -53,6 +53,19 @@ class Pattern:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Pattern is immutable")
 
+    # Immutability blocks the default slot-state unpickling (it goes
+    # through ``setattr``), so patterns restore their slots explicitly --
+    # they must cross process boundaries inside serialized feedback and
+    # punctuation (see repro.engine.multiprocess).
+    def __getstate__(self) -> tuple:
+        return (self.atoms, self.schema)
+
+    def __setstate__(self, state: tuple) -> None:
+        atoms, schema = state
+        object.__setattr__(self, "atoms", atoms)
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "_hash", hash(atoms))
+
     # -- construction ----------------------------------------------------------
 
     @classmethod
@@ -120,6 +133,19 @@ class Pattern:
     def constrained_indices(self) -> tuple[int, ...]:
         """Positions whose atom is not the wildcard."""
         return tuple(i for i, a in enumerate(self.atoms) if not a.is_wildcard)
+
+    def constrained(self) -> tuple[tuple[int, Atom], ...]:
+        """The non-wildcard atoms with their positions.
+
+        This is the column view of a pattern: each entry names one value
+        column and the atom constraining it.  Batch evaluators (the guard
+        batch filter, the columnar page codec's consumers) hoist this once
+        and then test only the constrained columns per element, skipping
+        the wildcard sweeps :meth:`matches` performs.
+        """
+        return tuple(
+            (i, a) for i, a in enumerate(self.atoms) if not a.is_wildcard
+        )
 
     def constrained_names(self) -> tuple[str, ...]:
         """Names of constrained attributes (requires a bound schema)."""

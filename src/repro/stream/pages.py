@@ -9,6 +9,19 @@ is appended.
 
 Pages are also flushed by explicit ``flush()`` (end of stream) so no element
 is ever stranded.
+
+**Columnar serialization.**  Inside one process a page travels by
+reference -- that *is* the zero-copy fast path every engine uses.  At a
+process boundary (the multiprocess engine), a page is re-encoded once into
+a compact columnar form: a **schema table** describing each distinct
+schema exactly once, plus **segments** that are either a run of same-schema
+tuples stored as value *columns* (one tuple-of-values per attribute) or a
+single interleaved punctuation.  Encoding a page therefore costs one
+schema description plus one transpose, instead of pickling a schema-bound
+object per tuple; decoding interns schemas per process so every
+reconstructed tuple of a signature shares one :class:`~repro.stream.
+schema.Schema` instance.  ``available_at`` and completion survive the
+round trip, so flush-on-punctuation holds across the boundary.
 """
 
 from __future__ import annotations
@@ -17,9 +30,13 @@ from typing import Any, Iterator, List
 
 from repro.errors import EngineError
 
-__all__ = ["Page", "DEFAULT_PAGE_SIZE"]
+__all__ = ["Page", "DEFAULT_PAGE_SIZE", "encode_page", "decode_page"]
 
 DEFAULT_PAGE_SIZE = 64
+
+#: Format tag of the columnar encoding; bump on layout changes so a
+#: mixed-version worker fleet fails loudly instead of misdecoding.
+_CODEC_VERSION = "colpage/1"
 
 
 class Page:
@@ -100,9 +117,137 @@ class Page:
         """Number of embedded punctuations on the page."""
         return sum(1 for e in self.elements if e.is_punctuation)
 
+    # -- columnar serialization ----------------------------------------------
+
+    def encode(self) -> tuple:
+        """Columnar wire form of this page (see :func:`encode_page`)."""
+        return encode_page(self)
+
+    @classmethod
+    def decode(cls, encoded: tuple) -> "Page":
+        """Rebuild a page from its columnar wire form (:func:`decode_page`)."""
+        return decode_page(encoded)
+
     def __repr__(self) -> str:
         state = "complete" if self._complete else "open"
         return (
             f"Page({len(self.elements)}/{self.capacity} elements, "
             f"{self.punctuation_count()} puncts, {state})"
         )
+
+
+def _schema_signature(schema: Any) -> tuple:
+    """Structural identity of a schema: ``(name, kind, progressing)`` rows."""
+    return tuple((a.name, a.kind, a.progressing) for a in schema)
+
+
+#: Per-process intern table: schema signature -> the one Schema instance
+#: every decoded tuple of that signature shares.  Decoding N pages of one
+#: stream therefore rebuilds the schema once, not once per page.
+_schema_intern: dict[tuple, Any] = {}
+
+
+def _intern_schema(signature: tuple) -> Any:
+    schema = _schema_intern.get(signature)
+    if schema is None:
+        from repro.stream.schema import Schema
+
+        schema = Schema(signature)
+        _schema_intern[signature] = schema
+    return schema
+
+
+def encode_page(page: Page) -> tuple:
+    """Encode ``page`` into a compact, pickle-friendly columnar structure.
+
+    The result is built from tuples/lists of primitives (plus embedded
+    punctuation objects, which carry their own explicit pickle support):
+
+    ``(version, capacity, available_at, complete, schema_table, segments)``
+
+    * ``schema_table`` -- one ``(name, kind, progressing)`` row list per
+      distinct tuple schema on the page, in first-appearance order;
+    * ``segments`` -- ``("t", schema_index, row_count, columns)`` for a
+      run of same-schema tuples transposed into per-attribute value
+      columns, or ``("p", punctuation)`` for one interleaved punctuation.
+
+    The page's tuple/punctuation interleaving, ``available_at`` stamp and
+    completion state are preserved exactly, so flush-on-punctuation
+    survives the process boundary.
+    """
+    schema_table: list[tuple] = []
+    schema_index: dict[int, int] = {}  # id(schema) -> table position
+    segments: list[tuple] = []
+    run_schema: Any = None
+    run_rows: list[tuple] = []
+
+    def close_run() -> None:
+        nonlocal run_schema
+        if run_rows:
+            index = schema_index.get(id(run_schema))
+            if index is None:
+                index = len(schema_table)
+                schema_index[id(run_schema)] = index
+                schema_table.append(_schema_signature(run_schema))
+            columns = tuple(zip(*run_rows))
+            segments.append(("t", index, len(run_rows), columns))
+            run_rows.clear()
+        run_schema = None
+
+    for element in page.elements:
+        if element.is_punctuation:
+            close_run()
+            segments.append(("p", element))
+            continue
+        schema = element.schema
+        if schema is not run_schema:
+            close_run()
+            run_schema = schema
+        run_rows.append(element.values)
+    close_run()
+    return (
+        _CODEC_VERSION,
+        page.capacity,
+        page.available_at,
+        page._complete,
+        tuple(schema_table),
+        tuple(segments),
+    )
+
+
+def decode_page(encoded: tuple) -> Page:
+    """Rebuild a :class:`Page` from :func:`encode_page`'s wire form.
+
+    Schemas are interned per process: all tuples decoded anywhere in this
+    process that share a signature share one ``Schema`` instance.
+    """
+    from repro.stream.tuples import StreamTuple
+
+    version, capacity, available_at, complete, schema_table, segments = encoded
+    if version != _CODEC_VERSION:
+        raise EngineError(
+            f"cannot decode page: codec {version!r}, expected "
+            f"{_CODEC_VERSION!r}"
+        )
+    page = Page(capacity)
+    elements = page.elements
+    unchecked = StreamTuple.unchecked
+    for segment in segments:
+        kind = segment[0]
+        if kind == "t":
+            _, index, count, columns = segment
+            schema = _intern_schema(schema_table[index])
+            rows = list(zip(*columns)) if columns else [()] * count
+            if len(rows) != count:
+                raise EngineError(
+                    f"corrupt page segment: {count} rows declared, "
+                    f"{len(rows)} decoded"
+                )
+            elements.extend(unchecked(schema, row) for row in rows)
+        elif kind == "p":
+            elements.append(segment[1])
+        else:
+            raise EngineError(f"unknown page segment kind {kind!r}")
+    page._complete = bool(complete)
+    page.available_at = available_at
+    return page

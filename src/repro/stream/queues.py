@@ -199,6 +199,39 @@ class DataQueue:
                 completed += 1
         return completed
 
+    def put_page(self, page: Page) -> None:
+        """Inject one complete page directly into the ready backlog.
+
+        The receiving end of a process boundary: the multiprocess
+        engine's receiver thread decodes a columnar page (see
+        :func:`~repro.stream.pages.decode_page`) and lands it here as-is
+        -- bypassing the open page, preserving the producer-side batch
+        boundaries (and thus flush-on-punctuation) exactly.  Occupancy
+        and counters account the page like locally produced ones, so
+        watermark backpressure sees injected traffic too.
+        """
+        if not page.complete:
+            raise EngineError(
+                f"{self.name or 'queue'}: only complete pages may be "
+                f"injected"
+            )
+        if self._mutex is not None:
+            with self._mutex:
+                self._put_page(page)
+        else:
+            self._put_page(page)
+        if self._waiter is not None:
+            self._waiter.notify_all()
+
+    def _put_page(self, page: Page) -> None:
+        count = len(page)
+        self.elements_enqueued += count
+        self._occupancy += count
+        if self._occupancy > self.peak_occupancy:
+            self.peak_occupancy = self._occupancy
+        self._ready.append(page)
+        self.pages_flushed += 1
+
     def flush(self) -> bool:
         """Seal and enqueue the open page if it holds anything."""
         if self._mutex is not None:

@@ -43,6 +43,18 @@ class StreamTuple:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("StreamTuple is immutable")
 
+    # Immutability blocks the default slot-state unpickling (it applies
+    # state via ``setattr``), so restore the slots explicitly.  Tuples
+    # normally cross process boundaries in columnar-page form (see
+    # :mod:`repro.stream.pages`); this covers the stragglers riding
+    # inside pickled control payloads and test fixtures.
+    def __getstate__(self) -> tuple:
+        return (self.schema, self.values)
+
+    def __setstate__(self, state: tuple) -> None:
+        object.__setattr__(self, "schema", state[0])
+        object.__setattr__(self, "values", state[1])
+
     # -- construction ----------------------------------------------------------
 
     @classmethod
@@ -53,6 +65,21 @@ class StreamTuple:
         except KeyError as exc:
             raise SchemaError(f"missing value for attribute {exc.args[0]!r}") from None
         return cls(schema, values)
+
+    @classmethod
+    def unchecked(cls, schema: Schema, values: tuple) -> "StreamTuple":
+        """Trusted fast path: bind pre-validated ``values`` to ``schema``.
+
+        Skips the arity check and the defensive copy of ``__init__``;
+        ``values`` must already be a tuple of the right arity.  Used by
+        the columnar page decoder, which materialises whole columns at
+        once and has already proven the arity against the page's schema
+        table.
+        """
+        tup = object.__new__(cls)
+        object.__setattr__(tup, "schema", schema)
+        object.__setattr__(tup, "values", values)
+        return tup
 
     # -- access ------------------------------------------------------------------
 

@@ -19,7 +19,8 @@ from repro import (
 )
 from repro.api import AggSpec, avg, count
 from repro.core import FeedbackPunctuation
-from repro.errors import FlowError, PlanError
+from repro.engine import fork_available
+from repro.errors import EngineError, FlowError, PlanError
 from repro.operators.passthrough import PassThrough
 from repro.punctuation import InSet, Pattern
 
@@ -296,6 +297,16 @@ class TestBuilderManualEquivalence:
         result = self.builder_flow().run(engine="asyncio")
         assert sink_values(result) == expected
 
+    @pytest.mark.skipif(
+        not fork_available(), reason="fork start method unavailable"
+    )
+    def test_same_tuples_multiprocess(self):
+        manual = self.manual_plan()
+        Simulator(manual).run()
+        expected = [t.values for t in manual.operator("sink").results]
+        result = self.builder_flow().run(engine="multiprocess")
+        assert sink_values(result) == expected
+
     def test_engines_agree_through_the_builder(self):
         flow = pipeline_flow()
         simulated = flow.run(engine="simulated")
@@ -303,6 +314,9 @@ class TestBuilderManualEquivalence:
         aio = flow.run(engine="asyncio")
         assert sink_values(simulated) == sink_values(threaded)
         assert sink_values(simulated) == sink_values(aio)
+        if fork_available():
+            mp = flow.run(engine="multiprocess")
+            assert sink_values(simulated) == sink_values(mp)
 
     def test_engine_options_pass_through(self):
         flow = pipeline_flow()
@@ -465,6 +479,57 @@ class TestDeclarativeRun:
         with pytest.raises(RuntimeError, match="injection failed"):
             flow.run(engine="threaded", actions=[(0.05, boom)])
 
+    @pytest.mark.skipif(
+        not fork_available(), reason="fork start method unavailable"
+    )
+    def test_feedback_injection_multiprocess(self):
+        """Declarative feedback crosses the process boundary.
+
+        ``feedback=`` entries name their target sink, so ``Flow.run``
+        hands the multiprocess engine an owner and the injection fires
+        inside the worker that owns the sink; the assumed pattern then
+        relays upstream over a control frame to the source's worker.
+        The source gates mid-stream on a fork-shared event (released by
+        an owner-routed action *in the source's worker*), so the guard
+        provably lands before the second half of the stream.
+        """
+        import threading
+
+        gate = threading.Event()
+        data = rows(60)
+
+        def events():
+            yield from data[:10]
+            gate.wait(10.0)
+            yield from data[10:]
+
+        flow = Flow("mp-feedback")
+        flow.generate(SCHEMA, events, name="source").collect("sink")
+        fb = self.feedback_for(SCHEMA)
+        run = flow.run(
+            engine="multiprocess",
+            feedback=[(0.05, "sink", fb)],
+            actions=[(0.4, lambda plan: gate.set(), "source")],
+        )
+        source = run.metrics.operator_metrics["source"]
+        assert source.feedback_received == 1
+        assert source.output_guard_drops > 0
+        # Everything after the gate (ts >= 1.0) had the guard applied.
+        kept = run.sink("sink").results
+        assert not [t for t in kept if t["sensor"] == 1 and t["ts"] >= 1.0]
+        assert [t for t in kept if t["ts"] >= 1.0]  # stream did resume
+
+    @pytest.mark.skipif(
+        not fork_available(), reason="fork start method unavailable"
+    )
+    def test_multiprocess_actions_require_owner(self):
+        """Owner-less actions cannot run anywhere meaningful: each worker
+        holds a fork copy of the plan, so the engine rejects them."""
+        flow = pipeline_flow()
+        with pytest.raises(EngineError, match="owner"):
+            flow.run(engine="multiprocess",
+                     actions=[(0.1, lambda plan: None)])
+
     def test_simulated_action_errors_propagate(self):
         flow = pipeline_flow()
         with pytest.raises(RuntimeError, match="injection failed"):
@@ -497,10 +562,16 @@ class TestDeclarativeRun:
 
     def test_malformed_actions_entry_rejected(self):
         flow = pipeline_flow()
-        with pytest.raises(FlowError, match="pairs"):
+        # Owner goes third -- a callable in the owner slot means the
+        # second slot is not the action.
+        with pytest.raises(FlowError, match="not callable"):
             flow.run(actions=[(0.0, "sink", lambda plan: None)])
         with pytest.raises(FlowError, match="not callable"):
             flow.run(actions=[(0.0, "sink")])
+        with pytest.raises(FlowError, match="pairs"):
+            flow.run(actions=[(0.0,)])
+        with pytest.raises(PlanError, match="no operator"):
+            flow.run(actions=[(0.0, lambda plan: None, "nonexistent")])
 
 
 class TestDescribeAndDot:

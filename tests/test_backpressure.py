@@ -20,7 +20,7 @@ import pytest
 
 from repro.api import Flow
 from repro.core import FlowControlKind, FlowControlPunctuation
-from repro.engine import QueryPlan, Simulator, ThreadedRuntime
+from repro.engine import QueryPlan, Simulator, ThreadedRuntime, fork_available
 from repro.engine.harness import OperatorHarness
 from repro.errors import EngineError
 from repro.operators import (
@@ -45,11 +45,11 @@ def timeline(n, spacing=0.0):
     return [(i * spacing, tup) for i, tup in enumerate(tuples(n))]
 
 
-def linear_flow(n=500, *, page_size=8, sink_cost=0.0):
+def linear_flow(n=500, *, page_size=8, sink_cost=0.0, collect_cost=0.0):
     flow = Flow("bp", page_size=page_size)
     (flow.source(SCHEMA, timeline(n))
          .where(lambda t: True, name="keep", tuple_cost=sink_cost)
-         .collect("sink"))
+         .collect("sink", tuple_cost=collect_cost))
     return flow
 
 
@@ -234,28 +234,56 @@ class TestEngineParity:
     def test_pause_resume_identical_sink_output(self):
         """Backpressure changes timing, never content or order."""
         runs = {}
-        for engine, options in (
-            ("simulated", {"queue_capacity": 16}),
-            ("threaded", {"queue_capacity": 16, "timeout": 30.0}),
+        for engine, paused_op, options in (
+            ("simulated", "source", {"queue_capacity": 16}),
+            ("threaded", "source",
+             {"queue_capacity": 16, "timeout": 30.0}),
             # The asyncio leg emulates the consumer's cost: cooperative
             # scheduling alone drains too evenly to cross the high-water
             # mark, but a modeled-slow consumer must trigger real pauses.
-            ("asyncio", {"queue_capacity": 16, "timeout": 30.0,
-                         "emulate_costs": True}),
+            ("asyncio", "source",
+             {"queue_capacity": 16, "timeout": 30.0,
+              "emulate_costs": True}),
+            # The multiprocess leg exercises pause/resume *across the
+            # process boundary*: the slow sink sits alone in its worker,
+            # its bounded inbox trips, and the pause rides a control frame
+            # back to ``keep``'s worker.  (A cost-free *source* can drain
+            # before a cross-process pause lands -- the shipping queue is
+            # unbounded by design -- so the asserted target is the paced
+            # cross-edge producer, which is provably still running.)
+            *([("multiprocess", "keep",
+                {"queue_capacity": 16, "timeout": 60.0,
+                 "groups": [["source", "keep"], ["sink"]]})]
+              if fork_available() else []),
         ):
-            flow = linear_flow(200, page_size=4, sink_cost=0.002)
+            if engine == "multiprocess":
+                # Paced producer, slower remote consumer: the sink's
+                # bounded inbox must fill while ``keep`` is still running.
+                flow = linear_flow(
+                    200, page_size=4, sink_cost=0.001, collect_cost=0.002
+                )
+            else:
+                flow = linear_flow(200, page_size=4, sink_cost=0.002)
             result = flow.run(engine, **options)
-            source = result.metrics.operator_metrics["source"]
-            assert source.pauses_received > 0, f"{engine}: no pause fired"
+            paused = result.metrics.operator_metrics[paused_op]
+            assert paused.pauses_received > 0, f"{engine}: no pause fired"
             runs[engine] = [
                 tuple(t.values) for t in result.sink("sink").results
             ]
-        assert runs["simulated"] == runs["threaded"]
-        assert runs["simulated"] == runs["asyncio"]
+        reference = runs.pop("simulated")
+        for engine, rows in runs.items():
+            assert rows == reference, f"{engine}: diverged from simulated"
 
     @pytest.mark.parametrize("engine,options", [
         ("threaded", {"timeout": 30.0}),
         ("asyncio", {"timeout": 30.0}),
+        pytest.param(
+            "multiprocess", {"timeout": 60.0},
+            marks=pytest.mark.skipif(
+                not fork_available(),
+                reason="fork start method unavailable",
+            ),
+        ),
     ])
     def test_bounded_matches_unbounded_content(self, engine, options):
         flow = linear_flow(200, page_size=4)
@@ -275,6 +303,13 @@ class TestTerminationWhilePaused:
         ("simulated", {}),
         ("threaded", {"timeout": 15.0}),
         ("asyncio", {"timeout": 15.0, "emulate_costs": True}),
+        pytest.param(
+            "multiprocess", {"timeout": 60.0},
+            marks=pytest.mark.skipif(
+                not fork_available(),
+                reason="fork start method unavailable",
+            ),
+        ),
     ])
     def test_source_finishing_while_paused_terminates(self, engine, options):
         """A source that runs dry under an active pause must still close.

@@ -20,7 +20,14 @@ import time
 import pytest
 
 from repro.core import FeedbackPunctuation
-from repro.engine import AsyncioEngine, QueryPlan, Simulator, ThreadedRuntime
+from repro.engine import (
+    AsyncioEngine,
+    MultiprocessEngine,
+    QueryPlan,
+    Simulator,
+    ThreadedRuntime,
+    fork_available,
+)
 from repro.operators import (
     CollectSink,
     ListSource,
@@ -42,6 +49,13 @@ ENGINES = [
     ),
     pytest.param(
         lambda plan: AsyncioEngine(plan, timeout=30.0), id="asyncio"
+    ),
+    pytest.param(
+        lambda plan: MultiprocessEngine(plan, timeout=60.0),
+        id="multiprocess",
+        marks=pytest.mark.skipif(
+            not fork_available(), reason="fork start method unavailable"
+        ),
     ),
 ]
 
@@ -187,6 +201,10 @@ class TestEngineParity:
         AsyncioEngine(plan_aio, timeout=30.0).run()
         assert counts(plan_sim) == counts(plan_thr)
         assert counts(plan_sim) == counts(plan_aio)
+        if fork_available():
+            plan_mp = build()
+            MultiprocessEngine(plan_mp, timeout=60.0).run()
+            assert counts(plan_sim) == counts(plan_mp)
 
     @pytest.mark.parametrize("make_engine", ENGINES)
     def test_guarded_chain_exploits_feedback(self, make_engine):
@@ -234,11 +252,18 @@ class TestThreadedControlLatency:
     def test_in_flight_feedback_to_exhausted_source_drops_on_all_engines(self):
         """Messages that have not arrived when the target finishes are
         dropped -- the same rule on every engine (the stream is over)."""
-        for make in (
+        makers = [
             lambda p: Simulator(p, control_latency=60.0),
             lambda p: ThreadedRuntime(p, timeout=30.0, control_latency=60.0),
             lambda p: AsyncioEngine(p, timeout=30.0, control_latency=60.0),
-        ):
+        ]
+        if fork_available():
+            makers.append(
+                lambda p: MultiprocessEngine(
+                    p, timeout=60.0, control_latency=60.0
+                )
+            )
+        for make in makers:
             plan = QueryPlan("latency-drop")
             source = ListSource(
                 "src", SCHEMA,

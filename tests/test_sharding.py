@@ -28,7 +28,7 @@ import pytest
 
 from repro.api import Flow, avg
 from repro.core import FeedbackPunctuation
-from repro.engine import QueryPlan, Simulator
+from repro.engine import QueryPlan, Simulator, fork_available
 from repro.engine.harness import OperatorHarness
 from repro.errors import FlowError, PlanError, SchemaError
 from repro.operators import (
@@ -43,6 +43,16 @@ from repro.stream import Schema, StreamTuple
 from repro.stream.control import ControlMessage, ControlMessageKind, Direction
 
 SCHEMA = Schema([("ts", "timestamp", True), ("k", "int"), ("v", "float")])
+
+#: The multiprocess engine rides the same parity legs as the in-process
+#: engines wherever the plan crosses a shard region -- each lane becomes a
+#: worker process, so these tests double as serialization-boundary tests.
+MULTIPROCESS = pytest.param(
+    "multiprocess",
+    marks=pytest.mark.skipif(
+        not fork_available(), reason="fork start method unavailable"
+    ),
+)
 
 
 def tup(ts, k, v):
@@ -92,7 +102,9 @@ def lanes_by_key(fanout, keys=range(100)):
 
 class TestShardedEquivalence:
     @pytest.mark.parametrize("n", [2, 4, 8])
-    @pytest.mark.parametrize("engine", ["simulated", "threaded", "asyncio"])
+    @pytest.mark.parametrize(
+        "engine", ["simulated", "threaded", "asyncio", MULTIPROCESS]
+    )
     def test_sharded_matches_unsharded_multiset(self, n, engine):
         base = shard_flow(1).run("simulated")
         sharded = shard_flow(n).run(engine)
@@ -414,7 +426,9 @@ class TestPerLaneBackpressure:
             shard_flow(2, tuples=300).run("simulated")
         )
 
-    @pytest.mark.parametrize("engine", ["simulated", "threaded", "asyncio"])
+    @pytest.mark.parametrize(
+        "engine", ["simulated", "threaded", "asyncio", MULTIPROCESS]
+    )
     def test_bounded_sharded_run_completes_on_both_engines(self, engine):
         flow = shard_flow(
             2, tuples=200, spacing=0.0,
