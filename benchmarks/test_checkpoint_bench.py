@@ -1,0 +1,150 @@
+"""Micro-benchmark: punctuation-aligned checkpointing overhead.
+
+The durable-feeds subsystem claims checkpointing is cheap: markers ride
+the data plane (no extra scheduling passes), snapshots happen at epoch
+boundaries only, and none of it charges *virtual* time -- so the
+simulated makespan with checkpointing on is identical to the makespan
+with it off, and the wall-clock overhead at production-sized epochs
+(1000 tuples) stays small (<5% is the design target; the artifact
+records the measured figure).
+
+Three variants run the same windowed pipeline: checkpointing off, every
+1000 tuples, and every 100 tuples (an aggressively tight interval that
+bounds the worst case).  The artifact ``BENCH_checkpoint.json`` also
+records the per-epoch snapshot-size series of the 1k run -- the growth
+curve is dominated by the terminal sink's result log, which is exactly
+what the delivery-log/dedup design predicts.
+
+Scale knob: ``REPRO_BENCH_CKPT_TUPLES`` (default 20000; the CI
+bench-smoke job sets it tiny).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.api import Flow, avg
+from repro.durability import MemoryCheckpointStore
+from repro.stream import Schema, StreamTuple
+
+SCHEMA = Schema([
+    ("ts", "timestamp", True), ("sensor", "int"), ("value", "float"),
+])
+N_TUPLES = int(os.environ.get("REPRO_BENCH_CKPT_TUPLES", "20000"))
+TUPLE_COST = 0.0002
+
+
+def pipeline() -> Flow:
+    timeline = [
+        (i * 0.01,
+         StreamTuple(SCHEMA, (i * 0.01, i % 16, float(i % 100))))
+        for i in range(N_TUPLES)
+    ]
+    flow = Flow("ckpt-bench")
+    (flow.source(SCHEMA, timeline, name="source")
+         .punctuate(on="ts", every=5.0)
+         .where(lambda t: t["value"] >= 0.0, name="keep",
+                tuple_cost=TUPLE_COST)
+         .window(avg("value"), by="sensor", width=5.0, on="ts",
+                 name="windows")
+         .collect("sink"))
+    return flow
+
+
+def run_variant(every: int | None):
+    store = MemoryCheckpointStore() if every else None
+    options = (
+        {"checkpoint_every": every, "checkpoint_store": store}
+        if every else {}
+    )
+    flow = pipeline()
+    start = time.perf_counter()
+    result = flow.run("simulated", **options)
+    wall = time.perf_counter() - start
+    return result, store, wall
+
+
+def snapshot_series(store, result):
+    """Total snapshot bytes per epoch (the growth curve)."""
+    op_names = [
+        name for name in result.metrics.operator_metrics
+        if result.metrics.operator_metrics[name].checkpoints
+    ]
+    series = []
+    for epoch in store.epochs():
+        total = sum(
+            len(store.load_state(epoch, name) or b"")
+            for name in op_names
+        )
+        series.append({"epoch": epoch, "snapshot_bytes": total})
+    return series
+
+
+class TestCheckpointOverhead:
+    def test_overhead_and_snapshot_growth(self, report, record_artifact):
+        base_result, _, base_wall = run_variant(None)
+        k1_result, k1_store, k1_wall = run_variant(1000)
+        k100_result, _, k100_wall = run_variant(100)
+
+        # Correctness first: checkpointing must not change output.
+        base_values = [t.values for t in base_result.sink("sink").results]
+        assert [
+            t.values for t in k1_result.sink("sink").results
+        ] == base_values
+        assert [
+            t.values for t in k100_result.sink("sink").results
+        ] == base_values
+
+        # The headline claim: markers and snapshots charge no virtual
+        # time.  Flush-on-punctuation at each marker can shift page
+        # boundaries by a hair, so the makespan is within 0.1% of the
+        # uncheckpointed run -- far inside the <5% target at 1k-tuple
+        # epochs.
+        assert k1_result.makespan <= base_result.makespan * 1.05
+        assert abs(k1_result.makespan / base_result.makespan - 1) < 1e-3
+
+        expected_epochs = N_TUPLES and (
+            k1_result.metrics.checkpoint_epochs
+        )
+        assert expected_epochs >= N_TUPLES // 1000 - 1
+        assert k1_result.metrics.checkpoint_bytes > 0
+
+        series = snapshot_series(k1_store, k1_result)
+        assert len(series) >= 2
+        # The terminal sink accumulates results, so later snapshots are
+        # at least as large as the first.
+        assert series[-1]["snapshot_bytes"] >= series[0]["snapshot_bytes"]
+
+        k1_overhead = (k1_wall / base_wall - 1) * 100
+        k100_overhead = (k100_wall / base_wall - 1) * 100
+        record = {
+            "benchmark": "checkpoint_interval_overhead",
+            "tuples": N_TUPLES,
+            "stage_tuple_cost": TUPLE_COST,
+            "makespan_off_s": round(base_result.makespan, 6),
+            "makespan_1k_s": round(k1_result.makespan, 6),
+            "makespan_100_s": round(k100_result.makespan, 6),
+            "makespan_overhead_1k_pct": round(
+                (k1_result.makespan / base_result.makespan - 1) * 100, 3
+            ),
+            "wall_off_s": round(base_wall, 6),
+            "wall_1k_s": round(k1_wall, 6),
+            "wall_100_s": round(k100_wall, 6),
+            "wall_overhead_1k_pct": round(k1_overhead, 2),
+            "wall_overhead_100_pct": round(k100_overhead, 2),
+            "epochs_1k": k1_result.metrics.checkpoint_epochs,
+            "epochs_100": k100_result.metrics.checkpoint_epochs,
+            "snapshot_bytes_1k_total": k1_result.metrics.checkpoint_bytes,
+            "snapshot_series_1k": series,
+        }
+        record_artifact("BENCH_checkpoint.json", record)
+
+        report.append(
+            f"checkpointing: makespan overhead at 1k epochs "
+            f"{record['makespan_overhead_1k_pct']}% (target <5%), wall "
+            f"{record['wall_overhead_1k_pct']}% at 1k / "
+            f"{record['wall_overhead_100_pct']}% at 100; "
+            f"{record['epochs_1k']} epochs, "
+            f"{record['snapshot_bytes_1k_total']} snapshot bytes"
+        )

@@ -48,6 +48,7 @@ from repro.api.aggregates import AggSpec
 from repro.engine.plan import (
     QueryPlan,
     ShardGroup,
+    checkpoint_annotation,
     edge_annotation,
     render_describe,
     render_dot,
@@ -87,7 +88,7 @@ class _Node:
     __slots__ = (
         "name", "kind", "factory", "schema", "fanout_ok", "single_use",
         "configure", "consumed", "built", "source_args", "prototype",
-        "type_name", "is_source",
+        "type_name", "is_source", "op_type",
     )
 
     def __init__(
@@ -115,6 +116,10 @@ class _Node:
                 else "Operator"
             )
         self.type_name = type_name
+        #: Concrete operator class, kept after the prototype is consumed
+        #: by a build -- describe(checkpoints=True) probes it for the
+        #: snapshot-seam override.
+        self.op_type = type(prototype) if prototype is not None else Operator
         if is_source is None:
             is_source = prototype is not None and prototype.n_inputs == 0
         self.is_source = is_source
@@ -244,6 +249,7 @@ class StreamHandle:
         node.factory = factory
         node.prototype = prototype  # supersedes the plain-source prototype
         node.type_name = type(prototype).__name__
+        node.op_type = type(prototype)
         node.kind = "punctuated-source"
         node.source_args = None
         return self
@@ -907,20 +913,23 @@ class Flow:
         plan.validate()
         return plan
 
-    def describe(self) -> str:
+    def describe(self, *, checkpoints: bool = False) -> str:
         """Topology description, rendered exactly as the compiled plan's.
 
         Produced from the recorded stage specs through the same renderer
         as :meth:`QueryPlan.describe` -- byte-identical to
         ``flow.build().describe()`` but without building, so inspecting a
-        flow never spends a single-use ``apply()``'d instance.
+        flow never spends a single-use ``apply()``'d instance.  With
+        ``checkpoints=True``, checkpoint-capable stages (their operator
+        class overrides the snapshot seam) are marked ``⌖``.
         """
         return render_describe(
             self.name,
             [
                 (
                     node.name,
-                    node.type_name,
+                    node.type_name
+                    + checkpoint_annotation(node.op_type, checkpoints),
                     [
                         f"{edge.consumer.name}[{edge.port}]"
                         f"{edge_annotation(edge.capacity)}"
@@ -932,11 +941,12 @@ class Flow:
             regions=self._shard_regions,
         )
 
-    def to_dot(self) -> str:
+    def to_dot(self, *, checkpoints: bool = False) -> str:
         """Graphviz DOT export, rendered exactly as the compiled plan's.
 
         Shares :func:`repro.engine.plan.render_dot` with
-        :meth:`QueryPlan.to_dot`, without building.
+        :meth:`QueryPlan.to_dot`, without building; ``checkpoints=True``
+        appends ``⌖`` to checkpoint-capable stages' type labels.
         """
         has_output = {id(edge.producer) for edge in self._edges}
         return render_dot(
@@ -944,7 +954,8 @@ class Flow:
             [
                 (
                     node.name,
-                    node.type_name,
+                    node.type_name
+                    + checkpoint_annotation(node.op_type, checkpoints),
                     node.is_source,
                     id(node) not in has_output,
                 )

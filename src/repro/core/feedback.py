@@ -45,6 +45,7 @@ from repro.punctuation.patterns import Pattern
 from repro.stream.schema import Schema
 
 __all__ = [
+    "CheckpointPunctuation",
     "FeedbackIntent",
     "FeedbackPunctuation",
     "FlowControlKind",
@@ -291,3 +292,58 @@ class FlowControlPunctuation:
 
     def __repr__(self) -> str:
         return f"{self.kind.glyph}[{self.edge}@{self.occupancy}]"
+
+
+class CheckpointPunctuation:
+    """A Chandy-Lamport checkpoint marker riding the *data* plane.
+
+    The third punctuation family: where :class:`FeedbackPunctuation`
+    steers *which* tuples antecedents produce and
+    :class:`FlowControlPunctuation` steers *how fast*, a checkpoint
+    marker asks every operator it passes to make its state *durable*.
+    Unlike its two siblings it flows **in band** -- inside data pages,
+    with the stream direction (``is_punctuation`` is True) -- because
+    consistency demands it: the marker must arrive *after* every
+    pre-checkpoint tuple on each edge, and only the data queue preserves
+    that order (control messages are deliberately high priority and
+    would overtake queued data, tearing the cut).
+
+    ``epoch`` numbers the checkpoint (markers of one epoch, released at
+    every source, sweep the plan as one consistent cut); ``source`` and
+    ``offset`` record which source injected this marker and how many
+    stream elements it had replayed when it did -- the replay position
+    recovery rewinds to.  Instances are immutable; the explicit
+    slot-state pickling mirrors the siblings because markers cross the
+    multiprocess engine's columnar wire inside encoded pages.
+    """
+
+    __slots__ = ("epoch", "source", "offset", "issued_at", "seq")
+
+    is_punctuation = True  # markers flow inside data pages, in order
+
+    def __init__(
+        self,
+        epoch: int,
+        *,
+        source: str = "",
+        offset: int = 0,
+        issued_at: float = 0.0,
+    ) -> None:
+        object.__setattr__(self, "epoch", int(epoch))
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "offset", int(offset))
+        object.__setattr__(self, "issued_at", float(issued_at))
+        object.__setattr__(self, "seq", next(_feedback_counter))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("CheckpointPunctuation is immutable")
+
+    def __getstate__(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+
+    def __repr__(self) -> str:
+        return f"⌖[epoch={self.epoch} {self.source}@{self.offset}]"

@@ -1,0 +1,331 @@
+"""Checkpoint coordination: epochs, snapshots, replay offsets, recovery.
+
+One :class:`CheckpointCoordinator` rides inside each
+:class:`~repro.engine.runtime.RuntimeCore` when durability is active
+(``flow.run(checkpoint_every=..., checkpoint_store=...,
+recover_from=...)``).  It owns the four jobs the runtime delegates:
+
+* **marker injection** -- :meth:`wrap_events` / :meth:`wrap_aevents`
+  wrap a source's event iterator, counting emitted elements and yielding
+  a :class:`~repro.core.feedback.CheckpointPunctuation` every
+  ``checkpoint_every`` elements (recording the source's offset for that
+  epoch at the same instant);
+* **snapshots** -- :meth:`snapshot` pickles an operator's
+  ``snapshot_state`` into the store when the marker passes it, charging
+  the per-operator checkpoint counters;
+* **replay** -- the same event wrappers skip a source's first
+  ``replay_offsets[name]`` elements on a recovery run, which re-drives
+  the source's own generator (punctuators and all) while suppressing
+  emission of the already-consumed prefix -- any deterministic source is
+  therefore replayable with no source-side code;
+* **recovery** -- :meth:`restore` finds the latest *complete* epoch in a
+  store, restores every operator's snapshot, computes replay offsets,
+  rebuilds sink output from the delivery logs, and (under exactly-once
+  ingestion) arms each sink's replay-window deduplication filter.
+
+The consistency argument is Chandy-Lamport with aligned markers: a
+marker flows in band behind every pre-cut tuple, multi-input operators
+block a port whose marker arrived until the sibling ports catch up (see
+``Operator._on_checkpoint_marker``), and operator-internal buffers that
+the marker *does* overtake (a Partition's lane stash, a PriorityBuffer's
+pending heap) are part of the snapshot itself -- so every in-flight
+tuple is captured exactly once, either in an operator snapshot or in the
+replayable suffix of a source.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from collections import Counter
+from typing import Any, AsyncIterator, Iterable, Iterator
+
+from repro.core.feedback import CheckpointPunctuation
+from repro.engine.plan import QueryPlan
+from repro.errors import DurabilityError
+from repro.operators.base import Operator, SourceOperator
+from repro.operators.sink import CollectSink
+from repro.durability.store import (
+    CheckpointStore,
+    MemoryCheckpointStore,
+    as_checkpoint_store,
+)
+
+__all__ = [
+    "CheckpointCoordinator",
+    "activate_durability",
+    "delivery_key",
+]
+
+_PICKLE_PROTOCOL = 4
+
+INGESTION_POLICIES = ("exactly-once", "at-least-once")
+
+
+def delivery_key(element: Any) -> Any:
+    """Identity under which sink deliveries deduplicate on replay.
+
+    Stream tuples hash by (schema names, values), so replayed instances
+    match their pre-crash deliveries; anything unhashable falls back to
+    its pickled bytes.
+    """
+    try:
+        hash(element)
+    except TypeError:
+        return pickle.dumps(element, protocol=_PICKLE_PROTOCOL)
+    return element
+
+
+class CheckpointCoordinator:
+    """Per-runtime checkpoint/recovery state (see module docstring)."""
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        store: CheckpointStore,
+        *,
+        every: int | None = None,
+        policy: str = "exactly-once",
+    ) -> None:
+        if policy not in INGESTION_POLICIES:
+            raise DurabilityError(
+                f"unknown ingestion_policy {policy!r}; expected one of "
+                f"{INGESTION_POLICIES}"
+            )
+        if every is not None and every <= 0:
+            raise DurabilityError(
+                f"checkpoint_every must be a positive tuple count, "
+                f"got {every!r}"
+            )
+        self.plan = plan
+        self.store = store
+        self.every = every
+        self.policy = policy
+        #: Elements each source must skip on this run (recovery rewind).
+        self.replay_offsets: dict[str, int] = {}
+        #: Live per-source emission counts (for terminal finished records).
+        self.live_offsets: dict[str, int] = {}
+        #: Epoch the current run was restored from (None = fresh run).
+        self.recovered_epoch: int | None = None
+        #: Upstream CHECKPOINT acknowledgements per epoch (sink -> source).
+        self.acks: Counter[int] = Counter()
+
+    # -- marker injection ---------------------------------------------------------
+
+    def wrap_events(
+        self, source: SourceOperator, events: Iterable[tuple[float, Any]]
+    ) -> Iterator[tuple[float, Any]]:
+        """Offset-count ``events``, skipping the replayed prefix and
+        injecting one checkpoint marker every ``checkpoint_every``
+        elements."""
+        skip = self.replay_offsets.get(source.name, 0)
+        every = self.every
+        count = 0
+        self.live_offsets[source.name] = skip
+        for arrival, element in events:
+            count += 1
+            if count <= skip:
+                continue
+            yield arrival, element
+            self.live_offsets[source.name] = count
+            if every and count % every == 0:
+                yield arrival, self._marker(source, count, arrival)
+
+    async def wrap_aevents(
+        self,
+        source: SourceOperator,
+        aevents: Any,
+    ) -> AsyncIterator[tuple[float, Any]]:
+        """Async twin of :meth:`wrap_events` for ``aevents`` adapters."""
+        skip = self.replay_offsets.get(source.name, 0)
+        every = self.every
+        count = 0
+        self.live_offsets[source.name] = skip
+        async for arrival, element in aevents:
+            count += 1
+            if count <= skip:
+                continue
+            yield arrival, element
+            self.live_offsets[source.name] = count
+            if every and count % every == 0:
+                yield arrival, self._marker(source, count, arrival)
+
+    def _marker(
+        self, source: SourceOperator, offset: int, arrival: float
+    ) -> CheckpointPunctuation:
+        epoch = offset // self.every
+        self.store.record_offset(epoch, source.name, offset)
+        return CheckpointPunctuation(
+            epoch, source=source.name, offset=offset, issued_at=arrival
+        )
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self, operator: Operator, marker: CheckpointPunctuation) -> None:
+        """Persist ``operator``'s state for the marker's epoch.
+
+        A sink's delivery log flushes *before* the state record is
+        written: an epoch's state record existing therefore implies the
+        log covers at least that epoch's delivery prefix, which is what
+        the exactly-once replay window depends on.
+        """
+        writer = getattr(operator, "_ckpt_writer", None)
+        if writer is not None:
+            writer.flush()
+        started = time.perf_counter()
+        blob = pickle.dumps(
+            operator.snapshot_state(), protocol=_PICKLE_PROTOCOL
+        )
+        self.store.record_state(marker.epoch, operator.name, blob)
+        elapsed = time.perf_counter() - started
+        metrics = operator.metrics
+        metrics.checkpoints += 1
+        metrics.snapshot_bytes += len(blob)
+        metrics.snapshot_time += elapsed
+
+    def acknowledge(
+        self, source: SourceOperator, marker: CheckpointPunctuation
+    ) -> None:
+        """A sink's epoch-completion ACK travelled back up to ``source``."""
+        if isinstance(marker, CheckpointPunctuation):
+            self.acks[marker.epoch] += 1
+
+    def operator_finished(self, operator: Operator) -> None:
+        """Runtime hook at operator finish: settle durable side-state.
+
+        A finishing *source* gets a terminal offset record (its whole
+        stream is pre-cut for every later epoch); a finishing *sink*
+        flushes its delivery-log tail so a completed run's log is whole.
+        """
+        if isinstance(operator, SourceOperator):
+            self.store.record_finished(
+                operator.name,
+                self.live_offsets.get(operator.name, 0),
+            )
+            return
+        writer = getattr(operator, "_ckpt_writer", None)
+        if writer is not None:
+            writer.flush()
+
+    # -- epoch bookkeeping --------------------------------------------------------
+
+    def _expected(self) -> tuple[list[str], list[str]]:
+        operators = [
+            op.name for op in self.plan
+            if not isinstance(op, SourceOperator)
+        ]
+        sources = [op.name for op in self.plan.sources()]
+        return operators, sources
+
+    def complete_epochs(
+        self, store: CheckpointStore | None = None
+    ) -> list[int]:
+        """Epochs safe to recover from: every operator snapshotted and
+        every source offset (or terminally finished) recorded."""
+        store = store or self.store
+        operators, sources = self._expected()
+        complete = []
+        for epoch in store.epochs():
+            if not all(store.has_state(epoch, name) for name in operators):
+                continue
+            if not all(
+                store.load_offset(epoch, name) is not None
+                or store.load_finished(name) is not None
+                for name in sources
+            ):
+                continue
+            complete.append(epoch)
+        return complete
+
+    def latest_complete(
+        self, store: CheckpointStore | None = None
+    ) -> int | None:
+        complete = self.complete_epochs(store)
+        return complete[-1] if complete else None
+
+    # -- recovery ----------------------------------------------------------------
+
+    def restore(self, store: CheckpointStore) -> int | None:
+        """Rewind the plan to ``store``'s latest complete epoch.
+
+        With no complete epoch the run degrades gracefully: sources
+        replay from the beginning and (under exactly-once) the dedup
+        window spans the whole delivery log, so the final sink output is
+        still exactly the uninterrupted run's.
+        """
+        epoch = self.latest_complete(store)
+        self.recovered_epoch = epoch
+        for source in self.plan.sources():
+            offset = None
+            if epoch is not None:
+                # The finished record stands in for a per-epoch offset
+                # only relative to a recovered epoch (the source's whole
+                # stream is pre-cut); with no complete epoch every source
+                # replays from the beginning.
+                offset = store.load_offset(epoch, source.name)
+                if offset is None:
+                    offset = store.load_finished(source.name)
+            self.replay_offsets[source.name] = offset or 0
+        sink_cut: dict[str, int] = {}
+        if epoch is not None:
+            for op in self.plan:
+                if isinstance(op, SourceOperator):
+                    continue
+                blob = store.load_state(epoch, op.name)
+                if blob is None:
+                    continue
+                state = pickle.loads(blob)
+                if isinstance(op, CollectSink):
+                    sink_cut[op.name] = len(state.get("results", ()))
+                op.restore_state(state)
+        for op in self.plan:
+            if not isinstance(op, CollectSink) or op.outputs:
+                continue
+            log = store.read_delivery_log(op.name)
+            if not log:
+                continue
+            op.results = [entry[1] for entry in log]
+            op.arrivals = [(entry[0], entry[1]) for entry in log]
+            if self.policy == "exactly-once":
+                window = log[sink_cut.get(op.name, 0):]
+                dedup = Counter(delivery_key(entry[1]) for entry in window)
+                op._ckpt_dedup = dedup if dedup else None
+        return epoch
+
+    def attach_sinks(self) -> None:
+        """Give every terminal collect sink a delivery-log writer."""
+        for op in self.plan:
+            if isinstance(op, CollectSink) and not op.outputs:
+                op._ckpt_writer = self.store.delivery_writer(op.name)
+
+
+def activate_durability(
+    plan: QueryPlan,
+    *,
+    every: int | None = None,
+    store: Any = None,
+    recover_from: Any = None,
+    policy: str = "exactly-once",
+) -> CheckpointCoordinator:
+    """Build (and, when recovering, apply) a plan's durability state.
+
+    Called lazily by :class:`~repro.engine.runtime.RuntimeCore` when any
+    of the durability run options is set.  ``store``/``recover_from``
+    accept a :class:`~repro.durability.store.CheckpointStore` or a
+    directory path; with only ``recover_from`` given, new checkpoints
+    continue into the same store.
+    """
+    recover_store = as_checkpoint_store(recover_from)
+    forward_store = as_checkpoint_store(store)
+    if forward_store is None:
+        forward_store = (
+            recover_store if recover_store is not None
+            else MemoryCheckpointStore()
+        )
+    coordinator = CheckpointCoordinator(
+        plan, forward_store, every=every, policy=policy
+    )
+    if recover_store is not None:
+        coordinator.restore(recover_store)
+    coordinator.attach_sinks()
+    return coordinator

@@ -60,7 +60,7 @@ await concurrently with the run.
 from __future__ import annotations
 
 import asyncio
-from typing import Callable
+from typing import Any, Callable
 
 from repro.engine.notify import NotificationPolicy
 from repro.engine.plan import QueryPlan
@@ -102,9 +102,17 @@ class AsyncioEngine(NotificationPolicy, RuntimeCore):
         timeout: float = 60.0,
         control_latency: float = 0.0,
         emulate_costs: bool = False,
+        checkpoint_every: int | None = None,
+        checkpoint_store: Any = None,
+        recover_from: Any = None,
+        ingestion_policy: str = "exactly-once",
     ) -> None:
         super().__init__(
-            plan, WallClock(), control_latency=control_latency
+            plan, WallClock(), control_latency=control_latency,
+            checkpoint_every=checkpoint_every,
+            checkpoint_store=checkpoint_store,
+            recover_from=recover_from,
+            ingestion_policy=ingestion_policy,
         )
         self.timeout = timeout
         self.emulate_costs = emulate_costs
@@ -158,10 +166,12 @@ class AsyncioEngine(NotificationPolicy, RuntimeCore):
         if aevents is not None:
             # Async-native source: await between elements on the loop --
             # a slow network feed parks this coroutine, nothing else.
-            async for _arrival, element in aevents():
+            async for _arrival, element in self.source_aevents(
+                source, aevents()
+            ):
                 await self._admit_source_element(source, element)
         else:
-            for _arrival, element in source.events():
+            for _arrival, element in self.source_events(source):
                 await self._admit_source_element(source, element)
         await condition.acquire()
         try:

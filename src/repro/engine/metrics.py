@@ -62,6 +62,11 @@ class OperatorMetrics:
     resumes_received: int = 0
     time_paused: float = 0.0
     busy_time: float = 0.0
+    #: Checkpoint markers this operator completed (snapshots taken), the
+    #: pickled state bytes written, and wall time spent snapshotting.
+    checkpoints: int = 0
+    snapshot_bytes: int = 0
+    snapshot_time: float = 0.0
 
     def grow_state(self, delta: int = 1) -> None:
         self.state_size += delta
@@ -98,6 +103,9 @@ class OperatorMetrics:
             "resumes_received": self.resumes_received,
             "time_paused": self.time_paused,
             "busy_time": self.busy_time,
+            "checkpoints": self.checkpoints,
+            "snapshot_bytes": self.snapshot_bytes,
+            "snapshot_time": self.snapshot_time,
         }
 
 
@@ -274,6 +282,11 @@ class PlanMetrics:
     makespan: float = 0.0
     total_work: float = 0.0
     events_processed: int = 0
+    #: Durability rollup (zero when checkpointing was off): complete
+    #: epochs in the run's store, summed snapshot bytes and time.
+    checkpoint_epochs: int = 0
+    checkpoint_bytes: int = 0
+    checkpoint_time: float = 0.0
 
     def peak_queue_occupancy(self) -> int:
         """The deepest any data queue got during the run."""

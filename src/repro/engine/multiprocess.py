@@ -77,7 +77,7 @@ from typing import Any, Callable, Sequence
 from repro.engine.plan import QueryPlan
 from repro.engine.runtime import RunResult, RuntimeCore
 from repro.engine.threaded import ThreadedRuntime
-from repro.errors import EngineError
+from repro.errors import DurabilityError, EngineError
 from repro.operators.base import Operator, SourceOperator
 from repro.stream.clock import WallClock
 from repro.stream.control import ControlChannel, ControlMessage, Direction
@@ -263,13 +263,36 @@ class MultiprocessEngine(RuntimeCore):
         timeout: float = 60.0,
         control_latency: float = 0.0,
         emulate_costs: bool = False,
+        checkpoint_every: int | None = None,
+        checkpoint_store: Any = None,
+        recover_from: Any = None,
+        ingestion_policy: str = "exactly-once",
     ) -> None:
         if not fork_available():
             raise EngineError(
                 "the multiprocess engine requires the 'fork' start "
                 "method, which this platform does not support"
             )
-        super().__init__(plan, WallClock(), control_latency=control_latency)
+        # Durability activation (and recovery restore) runs in the super
+        # constructor -- before the fork, so every worker inherits the
+        # restored operator state and the computed replay offsets.
+        super().__init__(
+            plan, WallClock(), control_latency=control_latency,
+            checkpoint_every=checkpoint_every,
+            checkpoint_store=checkpoint_store,
+            recover_from=recover_from,
+            ingestion_policy=ingestion_policy,
+        )
+        if (
+            self.checkpoints is not None
+            and not self.checkpoints.store.shareable_across_processes
+        ):
+            raise DurabilityError(
+                "the multiprocess engine needs a checkpoint store that "
+                "is visible across processes (forked workers would write "
+                "snapshots into throwaway copies of an in-memory store); "
+                "pass a DirectoryCheckpointStore or a directory path"
+            )
         self.timeout = timeout
         self.emulate_costs = emulate_costs
         self._ctx = multiprocessing.get_context("fork")
@@ -446,6 +469,19 @@ class MultiprocessEngine(RuntimeCore):
 
     def _worker_body(self, index: int) -> dict:
         owned = set(self._groups[index])
+        options: dict[str, Any] = {}
+        if self.checkpoints is not None:
+            # The worker gets the resolved (process-shareable) store and
+            # interval, but NOT recover_from: the restore already ran in
+            # the coordinator before the fork, so the worker's plan copy
+            # carries the recovered state.  Only the replay offsets and
+            # recovered epoch -- coordinator-side bookkeeping, not plan
+            # state -- must be copied onto the worker's own coordinator.
+            options = dict(
+                checkpoint_every=self.checkpoints.every,
+                checkpoint_store=self.checkpoints.store,
+                ingestion_policy=self.checkpoints.policy,
+            )
         runtime = _WorkerRuntime(
             self.plan,
             owned,
@@ -453,7 +489,15 @@ class MultiprocessEngine(RuntimeCore):
             control_latency=self.control_latency,
             emulate_costs=self.emulate_costs,
             clock=self.clock,
+            **options,
         )
+        if self.checkpoints is not None:
+            runtime.checkpoints.replay_offsets.update(
+                self.checkpoints.replay_offsets
+            )
+            runtime.checkpoints.recovered_epoch = (
+                self.checkpoints.recovered_epoch
+            )
         routes = self._rewire(index, runtime)
         receiver = threading.Thread(
             target=self._receive_loop,

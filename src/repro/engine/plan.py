@@ -85,6 +85,22 @@ def describe_region_lines(
     return lines
 
 
+def checkpoint_capable(op_type: type) -> bool:
+    """True when ``op_type`` overrides the operator snapshot seam.
+
+    Capability is a property of the *class*: an operator that never
+    overrides :meth:`~repro.operators.base.Operator.snapshot_state` has
+    no state a checkpoint could carry.  The renderers use this for the
+    opt-in ``checkpoints=`` annotation.
+    """
+    return op_type.snapshot_state is not Operator.snapshot_state
+
+
+def checkpoint_annotation(op_type: type, enabled: bool) -> str:
+    """`` ⌖`` when annotating and capable, else empty (output unchanged)."""
+    return " ⌖" if enabled and checkpoint_capable(op_type) else ""
+
+
 def render_describe(
     name: str,
     stages: list[tuple[str, str, list[str]]],
@@ -352,14 +368,20 @@ class QueryPlan:
 
     # -- reporting -----------------------------------------------------------------
 
-    def describe(self) -> str:
-        """Text rendering of the plan topology."""
+    def describe(self, *, checkpoints: bool = False) -> str:
+        """Text rendering of the plan topology.
+
+        With ``checkpoints=True``, operators that carry checkpointable
+        state (they override the snapshot seam) are marked ``⌖``; the
+        default output is unchanged.
+        """
         return render_describe(
             self.name,
             [
                 (
                     op.name,
-                    type(op).__name__,
+                    type(op).__name__
+                    + checkpoint_annotation(type(op), checkpoints),
                     [
                         f"{e.consumer.name}[{e.consumer_port}]"
                         f"{edge_annotation(e.queue.capacity)}"
@@ -371,17 +393,19 @@ class QueryPlan:
             regions=self._shard_groups,
         )
 
-    def to_dot(self) -> str:
+    def to_dot(self, *, checkpoints: bool = False) -> str:
         """Graphviz (DOT) rendering of the plan topology.
 
-        See :func:`render_dot` for the conventions.
+        See :func:`render_dot` for the conventions; ``checkpoints=True``
+        appends ``⌖`` to checkpoint-capable operators' type labels.
         """
         return render_dot(
             self.name,
             [
                 (
                     op.name,
-                    type(op).__name__,
+                    type(op).__name__
+                    + checkpoint_annotation(type(op), checkpoints),
                     isinstance(op, SourceOperator),
                     not op.outputs,
                 )

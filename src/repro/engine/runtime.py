@@ -77,7 +77,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.core.feedback import FeedbackPunctuation, FlowControlPunctuation
+from repro.core.feedback import (
+    CheckpointPunctuation,
+    FeedbackPunctuation,
+    FlowControlPunctuation,
+)
 from repro.core.roles import FeedbackLog
 from repro.engine.metrics import (
     OutputLog,
@@ -111,6 +115,9 @@ class RunResult:
     metrics: PlanMetrics
     output_log: OutputLog
     feedback_log: FeedbackLog
+    #: The run's checkpoint store when durability was active (pass it --
+    #: or its directory path -- back as ``recover_from=`` to resume).
+    checkpoint_store: Any = None
 
     @property
     def makespan(self) -> float:
@@ -138,6 +145,10 @@ class RuntimeCore:
         clock: Clock,
         *,
         control_latency: float = 0.0,
+        checkpoint_every: int | None = None,
+        checkpoint_store: Any = None,
+        recover_from: Any = None,
+        ingestion_policy: str = "exactly-once",
     ) -> None:
         plan.validate()
         self.plan = plan
@@ -150,6 +161,26 @@ class RuntimeCore:
         self._paused_outputs: dict[str, set[str]] = {}
         #: When each currently-paused operator's first pause landed.
         self._paused_since: dict[str, float] = {}
+        #: Durability coordinator, or None when checkpointing is off.
+        #: Setting any durability option activates it -- including the
+        #: recovery restore (operator state, source rewind offsets, sink
+        #: replay-window dedup), which runs here, before the engine
+        #: starts (and, for the multiprocess engine, before the fork).
+        self.checkpoints = None
+        if (
+            checkpoint_every is not None
+            or checkpoint_store is not None
+            or recover_from is not None
+        ):
+            from repro.durability import activate_durability
+
+            self.checkpoints = activate_durability(
+                plan,
+                every=checkpoint_every,
+                store=checkpoint_store,
+                recover_from=recover_from,
+                policy=ingestion_policy,
+            )
 
     # -- runtime surface seen by operators -----------------------------------------
 
@@ -287,6 +318,17 @@ class RuntimeCore:
                 )
             elif message.kind is ControlMessageKind.RESULT_REQUEST:
                 operator.on_result_request(message.payload)
+            elif message.kind is ControlMessageKind.CHECKPOINT:
+                # A sink's epoch-completion acknowledgement travelling
+                # back upstream hop by hop; it terminates at a source
+                # (nothing further up to tell).
+                if isinstance(operator, SourceOperator):
+                    if self.checkpoints is not None:
+                        self.checkpoints.acknowledge(
+                            operator, message.payload
+                        )
+                else:
+                    operator.forward_control(message)
             else:
                 # END_OF_STREAM / SHUTDOWN are normally carried via queue
                 # closure; explicit messages of those kinds -- and any
@@ -449,14 +491,30 @@ class RuntimeCore:
         Returns True when every input is done.
         """
         all_done = True
-        for port in operator.inputs:
-            if port is None:
-                continue
-            if not port.done and port.queue.exhausted:
-                port.done = True
-                operator.set_now(self._activity_time(operator))
-                operator.on_input_done(port.index)
-            all_done = all_done and port.done
+        progressed = True
+        while progressed:
+            progressed = False
+            all_done = True
+            for port in operator.inputs:
+                if port is None:
+                    continue
+                if (
+                    not port.done
+                    and port.queue.exhausted
+                    and not operator._ckpt_port_busy(port.index)
+                ):
+                    # A port still mid-checkpoint-alignment (a marker head
+                    # pending, or stashed elements behind one) is not done
+                    # yet even though its queue is exhausted: the stash
+                    # must be delivered before ``on_input_done`` (a join
+                    # would otherwise pad early).  The release hook below
+                    # may drain sibling ports' stashes, so re-scan.
+                    port.done = True
+                    operator.set_now(self._activity_time(operator))
+                    operator._ckpt_port_done(port.index)
+                    operator.on_input_done(port.index)
+                    progressed = True
+                all_done = all_done and port.done
         return all_done
 
     def check_input_completion(self, operator: Operator) -> None:
@@ -483,6 +541,8 @@ class RuntimeCore:
             since = self._paused_since.pop(operator.name, None)
             if since is not None:
                 operator.metrics.time_paused += max(0.0, at - since)
+        if self.checkpoints is not None:
+            self.checkpoints.operator_finished(operator)
         self._on_finished(operator, at)
 
     # -- sources ---------------------------------------------------------------------
@@ -490,10 +550,34 @@ class RuntimeCore:
     def dispatch_source_element(self, source: SourceOperator, element: Any) -> None:
         """Emit one replayed source element at the current clock time."""
         source.set_now(self.clock.now())
+        if isinstance(element, CheckpointPunctuation):
+            # A checkpoint marker injected by the coordinator's event
+            # wrapper: snapshot the source and start the marker's sweep
+            # downstream (bypassing ``emit_punctuation``, whose pattern
+            # guards expect schema punctuation).
+            source._ckpt_complete(element)
+            return
         if element.is_punctuation:
             source.emit_punctuation(element)
         else:
             source.emit(element)
+
+    def source_events(self, source: SourceOperator) -> Any:
+        """The source's event iterator, checkpoint-wrapped when active.
+
+        Every engine pulls source timelines through here so marker
+        injection and recovery rewind need no per-engine code.
+        """
+        events = source.events()
+        if self.checkpoints is None:
+            return events
+        return self.checkpoints.wrap_events(source, events)
+
+    def source_aevents(self, source: SourceOperator, aevents: Any) -> Any:
+        """Async twin of :meth:`source_events` (asyncio engine)."""
+        if self.checkpoints is None:
+            return aevents
+        return self.checkpoints.wrap_aevents(source, aevents)
 
     # -- results ---------------------------------------------------------------------
 
@@ -522,6 +606,18 @@ class RuntimeCore:
                 )
                 metrics.queue_metrics[entry.edge_key] = entry
         self._collect_shard_metrics(metrics)
+        if self.checkpoints is not None:
+            metrics.checkpoint_epochs = len(
+                self.checkpoints.complete_epochs()
+            )
+            metrics.checkpoint_bytes = sum(
+                m.snapshot_bytes
+                for m in metrics.operator_metrics.values()
+            )
+            metrics.checkpoint_time = sum(
+                m.snapshot_time
+                for m in metrics.operator_metrics.values()
+            )
         metrics.makespan = self.clock.now()
         return metrics
 
@@ -562,4 +658,8 @@ class RuntimeCore:
             metrics=metrics,
             output_log=self.output_log,
             feedback_log=self.feedback_log,
+            checkpoint_store=(
+                self.checkpoints.store
+                if self.checkpoints is not None else None
+            ),
         )

@@ -78,9 +78,17 @@ class Simulator(RuntimeCore):
         *,
         control_latency: float = 0.0,
         max_events: int = 50_000_000,
+        checkpoint_every: int | None = None,
+        checkpoint_store: Any = None,
+        recover_from: Any = None,
+        ingestion_policy: str = "exactly-once",
     ) -> None:
         super().__init__(
-            plan, VirtualClock(), control_latency=control_latency
+            plan, VirtualClock(), control_latency=control_latency,
+            checkpoint_every=checkpoint_every,
+            checkpoint_store=checkpoint_store,
+            recover_from=recover_from,
+            ingestion_policy=ingestion_policy,
         )
         self.max_events = max_events
         self._events: list[tuple[float, int, int, str, Any]] = []
@@ -196,7 +204,7 @@ class Simulator(RuntimeCore):
             self._rr_port[op.name] = 0
         self._start_operators()
         for source in self.plan.sources():
-            iterator = iter(source.events())
+            iterator = iter(self.source_events(source))
             self._source_iters[source.name] = iterator
             self._schedule_next_source_event(source)
         for time, action in self._actions:

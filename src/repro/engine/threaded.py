@@ -57,7 +57,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable
+from typing import Any, Callable
 
 from repro.engine.notify import NotificationPolicy
 from repro.engine.plan import QueryPlan
@@ -103,6 +103,10 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
         control_latency: float = 0.0,
         emulate_costs: bool = False,
         clock: WallClock | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_store: Any = None,
+        recover_from: Any = None,
+        ingestion_policy: str = "exactly-once",
     ) -> None:
         # ``clock`` lets a coordinating engine share one wall-clock epoch
         # across several runtimes (the multiprocess engine constructs it
@@ -110,6 +114,10 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
         super().__init__(
             plan, clock if clock is not None else WallClock(),
             control_latency=control_latency,
+            checkpoint_every=checkpoint_every,
+            checkpoint_store=checkpoint_store,
+            recover_from=recover_from,
+            ingestion_policy=ingestion_policy,
         )
         self.timeout = timeout
         self.emulate_costs = emulate_costs
@@ -118,6 +126,10 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
         self._init_notifications(ThreadConditionWaiter(self._wakeup))
         self._actions: list[tuple[float, Callable[[], None]]] = []
         self._action_errors: list[BaseException] = []
+        #: First exception raised inside an operator thread.  It aborts
+        #: the whole run: every body checks the flag when it wakes, so
+        #: the run fails fast instead of hanging until the watchdog.
+        self._abort_error: BaseException | None = None
 
     def at(
         self,
@@ -172,23 +184,29 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
         self._wakeup.wait(timeout=self.wait_timeout(operator))
 
     def _source_body(self, source: SourceOperator) -> None:
-        for _arrival, element in source.events():
+        for _arrival, element in self.source_events(source):
             if self.emulate_costs:
                 cost = source.cost_of(element)
                 if cost > 0.0:
                     time.sleep(cost)  # outside the lock: sources overlap
                     source.metrics.busy_time += cost
             with self._lock:
+                if self._abort_error is not None:
+                    return
                 self.drain_control(source)
                 while self.is_paused(source):
                     # Honour backpressure: sleep until the consumer's
                     # resume arrives (every control send notifies).
                     self._wait_for_work(source)
+                    if self._abort_error is not None:
+                        return
                     self.drain_control(source)
                 self.dispatch_source_element(source, element)
                 self.check_pressure(source)
                 self._wakeup.notify_all()
         with self._lock:
+            if self._abort_error is not None:
+                return
             # Same rule as the simulator: arrived control is delivered,
             # but feedback still in flight toward an exhausted source is
             # dropped -- the stream is over and there is nothing left to
@@ -200,6 +218,8 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
     def _operator_body(self, operator: Operator) -> None:
         while True:
             with self._wakeup:
+                if self._abort_error is not None:
+                    return
                 if self.drain_control(operator):
                     # Feedback handling may have emitted (partial results,
                     # flushes, a lane-stash replay); consumers must hear
@@ -254,6 +274,24 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
                 self.check_pressure(operator)
                 self._wakeup.notify_all()
 
+    def _guard_body(
+        self, body: Callable[[Operator], None], operator: Operator
+    ) -> None:
+        """Thread target: run ``body`` and abort the run on exception.
+
+        Without this, a thread dying mid-page would leave the rest of the
+        plan waiting on data that never comes until the watchdog fires;
+        instead the first error is captured, every sleeping body is woken
+        to check the abort flag, and :meth:`run` re-raises it.
+        """
+        try:
+            body(operator)
+        except BaseException as error:  # noqa: BLE001 - re-raised in run()
+            with self._lock:
+                if self._abort_error is None:
+                    self._abort_error = error
+                self._wakeup.notify_all()
+
     # -- run -------------------------------------------------------------------------
 
     def _executed_operators(self) -> list[Operator]:
@@ -300,7 +338,8 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
             else:
                 body, args = self._operator_body, (op,)
             thread = threading.Thread(
-                target=body, args=args, name=f"op-{op.name}", daemon=True
+                target=self._guard_body, args=(body,) + args,
+                name=f"op-{op.name}", daemon=True,
             )
             threads.append(thread)
         timers: list[threading.Timer] = []
@@ -329,6 +368,8 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
                 timer.cancel()
             for timer in timers:
                 timer.join(self.timeout)
+        if self._abort_error is not None:
+            raise self._abort_error
         if self._action_errors:
             raise self._action_errors[0]
         return self.build_result(self.collect_metrics())

@@ -66,3 +66,13 @@ class FeedbackError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was configured with invalid parameters."""
+
+
+class DurabilityError(ReproError):
+    """Checkpointing or recovery was configured or used incorrectly.
+
+    Raised for unknown ingestion policies, non-positive checkpoint
+    intervals, and stores that cannot serve the requesting engine (an
+    in-memory store under the multiprocess engine, whose forked workers
+    would write into throwaway copies).
+    """

@@ -30,9 +30,14 @@ story (section 5, "Feedback Support").
 from __future__ import annotations
 
 import abc
+from collections import deque
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.core.feedback import FeedbackIntent, FeedbackPunctuation
+from repro.core.feedback import (
+    CheckpointPunctuation,
+    FeedbackIntent,
+    FeedbackPunctuation,
+)
 from repro.core.guards import GuardSet
 from repro.core.propagation import PropagationPlanner
 from repro.core.roles import ExploitAction, FeedbackLog
@@ -307,6 +312,17 @@ class Operator(abc.ABC):
         Engines deliver whole pages through :meth:`process_page`; this
         remains the per-element path for harnesses and direct tests.
         """
+        heads = self._ckpt_heads
+        if heads and port_index in heads:
+            # Port blocked by checkpoint alignment: everything behind the
+            # pending marker belongs to a later epoch and must wait.
+            self._ckpt_blocked.setdefault(port_index, deque()).append(
+                element
+            )
+            return
+        if isinstance(element, CheckpointPunctuation):
+            self._on_checkpoint_marker(port_index, element)
+            return
         port = self.input_port(port_index)
         if element.is_punctuation:
             self.metrics.punctuations_in += 1
@@ -354,23 +370,43 @@ class Operator(abc.ABC):
                 self.process_element(port_index, element)
             return
 
+        elements = page.elements if isinstance(page, Page) else list(page)
+        heads = self._ckpt_heads
+        if heads and port_index in heads:
+            # Port blocked by checkpoint alignment: stash the whole page
+            # (raw; metrics are charged when the stash drains).
+            self._ckpt_blocked.setdefault(port_index, deque()).extend(
+                elements
+            )
+            return
         metrics.pages_batched += 1
         # Zero-copy fast path: a punctuation-free page hands its own
         # element list straight to the run dispatcher -- no re-buffering.
         # (Queue-built pages can only carry a punctuation at the tail,
         # but hand-built and codec-decoded pages may interleave them, so
-        # the split below stays fully general.)
-        elements = page.elements if isinstance(page, Page) else list(page)
+        # the split below stays fully general.  Checkpoint markers are
+        # punctuation, so they can never slip through this fast path.)
         if not any(e.is_punctuation for e in elements):
             if elements:
                 self._dispatch_batch(port_index, guards, elements)
             return
         batch: list = []
-        for element in elements:
+        for position, element in enumerate(elements):
             if element.is_punctuation:
                 if batch:
                     self._dispatch_batch(port_index, guards, batch)
                     batch = []
+                if isinstance(element, CheckpointPunctuation):
+                    self._on_checkpoint_marker(port_index, element)
+                    heads = self._ckpt_heads
+                    if heads and port_index in heads:
+                        # The marker blocked this port mid-page: the
+                        # page's remainder waits behind it in the stash.
+                        self._ckpt_blocked.setdefault(
+                            port_index, deque()
+                        ).extend(elements[position + 1:])
+                        return
+                    continue
                 metrics.punctuations_in += 1
                 released = guards.expire_with(element)
                 if released:
@@ -438,6 +474,121 @@ class Operator(abc.ABC):
         self, port_index: int, punct: Punctuation, released: list
     ) -> None:
         """Hook invoked when punctuation released input guards."""
+
+    # ------------------------------------------------- checkpoint alignment
+
+    #: Chandy-Lamport alignment state for multi-input operators, lazily
+    #: created on the first marker: ``_ckpt_heads`` maps a blocked input
+    #: port to the marker waiting on it; ``_ckpt_blocked`` maps a port to
+    #: the post-marker elements stashed behind that head.  ``None`` on
+    #: single-input operators and whenever checkpointing is off.
+    _ckpt_heads: "dict[int, CheckpointPunctuation] | None" = None
+    _ckpt_blocked: "dict[int, deque] | None" = None
+
+    def _on_checkpoint_marker(
+        self, port_index: int, marker: CheckpointPunctuation
+    ) -> None:
+        """A checkpoint marker reached this operator on ``port_index``.
+
+        Single-input operators complete the cut immediately.  Multi-input
+        operators block the port (its marker becomes the *head*) until
+        every other live port's marker arrives -- the aligned cut -- at
+        which point :meth:`_ckpt_pump` snapshots and releases.  Elements
+        the marker overtakes inside this operator (a partition's lane
+        stash, a buffer's pending heap) need no alignment: they are part
+        of the snapshot itself.
+        """
+        if self.n_inputs <= 1:
+            self._ckpt_complete(marker)
+            return
+        if self._ckpt_heads is None:
+            self._ckpt_heads = {}
+            self._ckpt_blocked = {}
+        self._ckpt_heads[port_index] = marker
+        self._ckpt_pump()
+
+    def _ckpt_pump(self) -> None:
+        """Complete every checkpoint the current heads allow.
+
+        Iterative: completing an epoch drains the released ports' stashes
+        through :meth:`process_element`, which may surface the *next*
+        epoch's marker and re-block -- so pump until alignment stalls.
+        """
+        heads = self._ckpt_heads
+        blocked = self._ckpt_blocked
+        while heads:
+            live = [
+                p for p in self.inputs if p is not None and not p.done
+            ]
+            if any(p.index not in heads for p in live):
+                return
+            epoch = min(m.epoch for m in heads.values())
+            marker = next(
+                m for m in heads.values() if m.epoch == epoch
+            )
+            released = [
+                i for i, m in list(heads.items()) if m.epoch == epoch
+            ]
+            for index in released:
+                del heads[index]
+            self._ckpt_complete(marker)
+            for index in released:
+                stash = blocked.get(index)
+                while stash:
+                    element = stash.popleft()
+                    if isinstance(element, CheckpointPunctuation):
+                        heads[index] = element
+                        break
+                    self.process_element(index, element)
+
+    def _ckpt_complete(self, marker: CheckpointPunctuation) -> None:
+        """The aligned cut passed this operator: snapshot and sweep on.
+
+        Forwarding bypasses :meth:`emit_punctuation` (whose guard expiry
+        expects schema punctuation) and goes straight onto every output
+        queue, behind all pre-cut tuples.  At a terminal sink the sweep
+        ends: the epoch is complete plan-wide, so a CHECKPOINT
+        acknowledgement travels back upstream to the sources.
+        """
+        runtime = self.runtime
+        checkpoints = getattr(runtime, "checkpoints", None)
+        if checkpoints is not None:
+            checkpoints.snapshot(self, marker)
+        if self.outputs:
+            for edge in self.outputs:
+                edge.queue.put(marker)
+            return
+        message = ControlMessage(
+            ControlMessageKind.CHECKPOINT,
+            Direction.UPSTREAM,
+            payload=marker,
+            sender=self.name,
+            sent_at=self.now(),
+        )
+        for port in self.inputs:
+            if port is None:
+                continue
+            port.control.send(message)
+            if port.producer is not None:
+                runtime.notify_control(port.producer, at=self.now())
+
+    def _ckpt_port_busy(self, port_index: int) -> bool:
+        """Is ``port_index`` still mid-alignment (head pending or stash
+        non-empty)?  A busy port must not be marked done yet."""
+        heads = self._ckpt_heads
+        if heads and port_index in heads:
+            return True
+        blocked = self._ckpt_blocked
+        return bool(blocked and blocked.get(port_index))
+
+    def _ckpt_port_done(self, port_index: int) -> None:
+        """Runtime hook: ``port_index`` was just marked done.
+
+        Shrinking the live set may satisfy alignment for the remaining
+        heads (a finished source never sends its next marker), so pump.
+        """
+        if self._ckpt_heads is not None:
+            self._ckpt_pump()
 
     # -------------------------------------------------------------- emission
 

@@ -127,6 +127,23 @@ class PriorityBuffer(Operator):
         self.metrics.shrink_state()
         self.emit(tup)
 
+    # -- durability --------------------------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        state = super().snapshot_state()
+        state["pending"] = list(self._pending)
+        state["desires"] = list(self._desires)
+        state["held"] = self._held
+        state["priority_releases"] = self.priority_releases
+        return state
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        super().restore_state(state)
+        self._pending = deque(state["pending"])
+        self._desires = deque(state["desires"])
+        self._held = state["held"]
+        self.priority_releases = state["priority_releases"]
+
     # -- flow control ------------------------------------------------------------
 
     def on_pause(self, punct: Any, from_edge: Any) -> None:

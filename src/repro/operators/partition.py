@@ -131,13 +131,36 @@ class Partition(Operator):
         self.key_routed_feedback = 0
 
     def snapshot_state(self) -> dict[str, Any]:
-        return {
-            "tuples_stashed": self.tuples_stashed,
-            "lane_pauses": self.lane_pauses,
-            "key_routed_feedback": self.key_routed_feedback,
+        # ``_declared`` is keyed by ``id(edge)`` -- remap to lane indices,
+        # which survive pickling and a rebuilt plan.
+        declared: dict[int, list[Pattern]] = {}
+        for lane, edge in enumerate(self.outputs):
+            patterns = self._declared.get(id(edge))
+            if patterns:
+                declared[lane] = list(patterns)
+        state = super().snapshot_state()
+        state["paused_lanes"] = set(self._paused_lanes)
+        state["stash"] = {
+            lane: list(pending) for lane, pending in self._stash.items()
         }
+        state["declared"] = declared
+        state["relay_pending"] = self._relay_pending
+        state["tuples_stashed"] = self.tuples_stashed
+        state["lane_pauses"] = self.lane_pauses
+        state["key_routed_feedback"] = self.key_routed_feedback
+        return state
 
     def restore_state(self, state: dict[str, Any]) -> None:
+        super().restore_state(state)
+        self._paused_lanes = set(state["paused_lanes"])
+        self._stash = {
+            lane: list(pending) for lane, pending in state["stash"].items()
+        }
+        self._declared = {}
+        for lane, patterns in state["declared"].items():
+            edge = self.outputs[lane]
+            self._declared[id(edge)] = list(patterns)
+        self._relay_pending = state["relay_pending"]
         self.tuples_stashed = state["tuples_stashed"]
         self.lane_pauses = state["lane_pauses"]
         self.key_routed_feedback = state["key_routed_feedback"]
@@ -448,12 +471,15 @@ class ShardMerge(Union):
         self.regions_released = 0
 
     def snapshot_state(self) -> dict[str, Any]:
-        return {
-            "regions_held": self.regions_held,
-            "regions_released": self.regions_released,
-        }
+        # Chains Union's snapshot: the per-lane frontiers are what decides
+        # whether a held region releases, so they must survive recovery.
+        state = super().snapshot_state()
+        state["regions_held"] = self.regions_held
+        state["regions_released"] = self.regions_released
+        return state
 
     def restore_state(self, state: dict[str, Any]) -> None:
+        super().restore_state(state)
         self.regions_held = state["regions_held"]
         self.regions_released = state["regions_released"]
 

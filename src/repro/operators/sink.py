@@ -54,11 +54,46 @@ class CollectSink(Operator):
         self.arrivals: list[tuple[float, StreamTuple]] = []
         self.punctuations: list[Punctuation] = []
 
+    #: Durability hooks, armed by the checkpoint coordinator: a
+    #: delivery-log writer (write-through of every recorded arrival,
+    #: flushed at each checkpoint) and the exactly-once replay-window
+    #: dedup counter a recovery run installs.  ``None`` = off.
+    _ckpt_writer: Any = None
+    _ckpt_dedup: Any = None
+
+    def _ckpt_replayed(self, tup: StreamTuple) -> bool:
+        """Drop ``tup`` if it is a replayed pre-crash delivery.
+
+        The dedup counter holds the multiset of deliveries between the
+        recovered checkpoint's cut and the crash; replay regenerates
+        exactly that window (plus fresh results), so each counted key
+        swallows one arrival.  The filter removes itself once empty.
+        """
+        dedup = self._ckpt_dedup
+        if dedup is None:
+            return False
+        from repro.durability.coordinator import delivery_key
+
+        key = delivery_key(tup)
+        if dedup.get(key, 0) <= 0:
+            return False
+        dedup[key] -= 1
+        if dedup[key] <= 0:
+            del dedup[key]
+        if not dedup:
+            self._ckpt_dedup = None
+        return True
+
     def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
+        if self._ckpt_dedup is not None and self._ckpt_replayed(tup):
+            return
+        now = self.now()
         self.results.append(tup)
-        self.arrivals.append((self.now(), tup))
+        self.arrivals.append((now, tup))
+        if self._ckpt_writer is not None:
+            self._ckpt_writer.append((now, tup))
         self.runtime.output_log.record(
-            self.now(), tup, sink=self.name, tag=self.tag
+            now, tup, sink=self.name, tag=self.tag
         )
 
     def on_page(self, port_index: int, batch: list) -> None:
@@ -68,9 +103,18 @@ class CollectSink(Operator):
         delivered at one engine step, so every element of it carries the
         same arrival time on either path.
         """
+        if self._ckpt_dedup is not None:
+            # Replay-window dedup must inspect each arrival.
+            for tup in batch:
+                self.on_tuple(port_index, tup)
+            return
         now = self.now()
         self.results.extend(batch)
         self.arrivals.extend((now, tup) for tup in batch)
+        writer = self._ckpt_writer
+        if writer is not None:
+            for tup in batch:
+                writer.append((now, tup))
         self.runtime.output_log.record_many(
             now, batch, sink=self.name, tag=self.tag
         )

@@ -46,6 +46,7 @@ class ControlMessageKind(enum.Enum):
     FEEDBACK = "feedback"              # upstream; payload: FeedbackPunctuation
     FLOW_CONTROL = "flow_control"      # upstream; payload: FlowControlPunctuation
     RESULT_REQUEST = "result_request"  # upstream; payload: optional pattern
+    CHECKPOINT = "checkpoint"          # upstream; payload: CheckpointPunctuation
     END_OF_STREAM = "end_of_stream"    # downstream; payload: None
     SHUTDOWN = "shutdown"              # either direction; payload: reason str
 

@@ -1,0 +1,290 @@
+"""Kill-and-resume recovery: crash injection on every engine.
+
+The acceptance property for durable feeds: a run that crashes mid-stream
+and is resumed with ``flow.run(recover_from=...)`` produces, under
+exactly-once ingestion, byte-identical sink output to an uninterrupted
+run -- on every engine.  Under at-least-once ingestion the recovered
+output is a superset (replayed deliveries may duplicate).
+
+Crash injection is engine-specific: in-process engines (simulated,
+threaded, asyncio) blow up a predicate mid-stream; the multiprocess
+engine hard-kills a worker process (``os._exit``), exercising the
+dead-worker detection path.  Crash points are drawn at seeded-random
+epochs so the recovered epoch varies across positions in the stream.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from collections import Counter
+
+import pytest
+
+from repro import Flow, Schema, StreamTuple
+from repro.durability import (
+    CheckpointStore,
+    DirectoryCheckpointStore,
+    MemoryCheckpointStore,
+    ReplayableSource,
+    as_checkpoint_store,
+)
+from repro.engine import fork_available
+from repro.errors import DurabilityError
+
+SCHEMA = Schema([
+    ("ts", "timestamp", True), ("sensor", "int"), ("value", "float"),
+])
+
+N = 200
+
+
+def rows(n=N):
+    return [
+        (i * 0.1, StreamTuple(SCHEMA, (i * 0.1, i % 3, float(i % 50))))
+        for i in range(n)
+    ]
+
+
+def linear_flow(bomb_at=None, *, hard_kill=False, calls=None):
+    """source -> punctuate -> where -> sink, with optional crash bomb."""
+    flow = Flow("recovery")
+    calls = calls if calls is not None else {"n": 0}
+
+    def pred(t):
+        if bomb_at is not None:
+            calls["n"] += 1
+            if calls["n"] >= bomb_at:
+                if hard_kill:
+                    os._exit(1)
+                raise RuntimeError("injected crash")
+        return t["value"] >= 0.0
+
+    (flow.source(SCHEMA, rows(), name="source")
+         .punctuate(on="ts", every=2.0)
+         .where(pred, name="stage")
+         .collect("sink"))
+    return flow
+
+
+def union_flow(bomb_at=None, *, calls=None):
+    """Two sources through a union: exercises marker alignment."""
+    flow = Flow("recovery-union")
+    calls = calls if calls is not None else {"n": 0}
+    half = rows(120)
+    other = [
+        (i * 0.1 + 0.05,
+         StreamTuple(SCHEMA, (i * 0.1 + 0.05, i % 3, float(i + 1000))))
+        for i in range(120)
+    ]
+
+    def pred(t):
+        if bomb_at is not None:
+            calls["n"] += 1
+            if calls["n"] >= bomb_at:
+                raise RuntimeError("injected crash")
+        return True
+
+    a = flow.source(SCHEMA, half, name="a").punctuate(on="ts", every=2.0)
+    b = flow.source(SCHEMA, other, name="b").punctuate(on="ts", every=2.0)
+    a.union(b, name="merge").where(pred, name="stage").collect("sink")
+    return flow
+
+
+def values(result, name="sink"):
+    return [tuple(t.values) for t in result.sink(name).results]
+
+
+ENGINES = ["simulated", "threaded", "asyncio"]
+
+# Seeded so the crash epochs vary across the stream but stay
+# reproducible run to run.
+CRASH_POINTS = sorted(random.Random(7).sample(range(40, 190), 3))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestKillAndResume:
+    @pytest.mark.parametrize("bomb_at", CRASH_POINTS)
+    def test_exactly_once_parity(self, engine, bomb_at):
+        expect = values(linear_flow().run(engine))
+        store = MemoryCheckpointStore()
+        with pytest.raises(Exception):
+            linear_flow(bomb_at=bomb_at).run(
+                engine, checkpoint_every=50, checkpoint_store=store
+            )
+        recovered = linear_flow().run(
+            engine, recover_from=store, checkpoint_every=50
+        )
+        assert values(recovered) == expect
+
+    def test_at_least_once_is_a_superset(self, engine):
+        expect = Counter(values(linear_flow().run(engine)))
+        store = MemoryCheckpointStore()
+        with pytest.raises(Exception):
+            linear_flow(bomb_at=120).run(
+                engine, checkpoint_every=50, checkpoint_store=store
+            )
+        recovered = linear_flow().run(
+            engine, recover_from=store, checkpoint_every=50,
+            ingestion_policy="at-least-once",
+        )
+        got = Counter(values(recovered))
+        assert all(got[k] >= n for k, n in expect.items())
+
+    def test_union_alignment_parity(self, engine):
+        expect = Counter(values(union_flow().run(engine)))
+        store = MemoryCheckpointStore()
+        with pytest.raises(Exception):
+            union_flow(bomb_at=150).run(
+                engine, checkpoint_every=40, checkpoint_store=store
+            )
+        recovered = union_flow().run(
+            engine, recover_from=store, checkpoint_every=40
+        )
+        assert Counter(values(recovered)) == expect
+
+    def test_recovered_epoch_reported(self, engine):
+        store = MemoryCheckpointStore()
+        with pytest.raises(Exception):
+            linear_flow(bomb_at=150).run(
+                engine, checkpoint_every=50, checkpoint_store=store
+            )
+        result = linear_flow().run(
+            engine, recover_from=store, checkpoint_every=50
+        )
+        assert result.checkpoint_store is store
+        assert result.metrics.checkpoint_epochs >= 1
+
+
+@pytest.mark.skipif(
+    not fork_available(), reason="multiprocess engine requires fork"
+)
+class TestMultiprocessRecovery:
+    def test_hard_killed_worker_then_resume(self, tmp_path):
+        expect = values(linear_flow().run("multiprocess"))
+        store_dir = str(tmp_path / "ckpt")
+        with pytest.raises(Exception):
+            linear_flow(bomb_at=120, hard_kill=True).run(
+                "multiprocess", checkpoint_every=50,
+                checkpoint_store=store_dir,
+            )
+        recovered = linear_flow().run(
+            "multiprocess", recover_from=store_dir, checkpoint_every=50
+        )
+        assert values(recovered) == expect
+        assert recovered.metrics.checkpoint_epochs >= 1
+
+    def test_memory_store_is_rejected(self):
+        with pytest.raises(DurabilityError):
+            linear_flow().run(
+                "multiprocess", checkpoint_every=50,
+                checkpoint_store=MemoryCheckpointStore(),
+            )
+
+
+class TestUninterruptedRuns:
+    """Checkpointing on, no crash: output must not change at all."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_checkpointing_is_transparent(self, engine):
+        expect = values(linear_flow().run(engine))
+        result = linear_flow().run(engine, checkpoint_every=50)
+        assert values(result) == expect
+        assert result.metrics.checkpoint_epochs == 4
+        assert result.metrics.checkpoint_bytes > 0
+
+    def test_resume_from_a_completed_store_changes_nothing(self):
+        expect = values(linear_flow().run())
+        store = MemoryCheckpointStore()
+        linear_flow().run(checkpoint_every=50, checkpoint_store=store)
+        recovered = linear_flow().run(recover_from=store)
+        assert values(recovered) == expect
+
+    def test_operator_snapshot_metrics_charged(self):
+        result = linear_flow().run(checkpoint_every=50)
+        stage = result.metrics.operator_metrics["stage"]
+        assert stage.checkpoints == 4
+        assert stage.snapshot_bytes > 0
+
+
+class TestDirectoryStore:
+    def test_round_trip_and_reopen(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "s")
+        store.record_state(1, "op", b"blob")
+        store.record_offset(1, "src", 50)
+        store.record_finished("src", 210)
+        writer = store.delivery_writer("sink")
+        writer.append((0.5, "row"))
+        writer.flush()
+        reopened = DirectoryCheckpointStore(tmp_path / "s")
+        assert reopened.load_state(1, "op") == b"blob"
+        assert reopened.load_offset(1, "src") == 50
+        assert reopened.load_finished("src") == 210
+        assert reopened.read_delivery_log("sink") == [(0.5, "row")]
+        assert reopened.epochs() == [1]
+
+    def test_torn_delivery_tail_is_tolerated(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "s")
+        writer = store.delivery_writer("sink")
+        writer.append((0.1, "a"))
+        writer.flush()
+        log_path = next((tmp_path / "s").glob("delivery-*.log"))
+        whole = log_path.read_bytes()
+        log_path.write_bytes(whole + b"\x80\x04torn")
+        assert store.read_delivery_log("sink") == [(0.1, "a")]
+
+    def test_as_checkpoint_store_coercion(self, tmp_path):
+        store = as_checkpoint_store(str(tmp_path / "s"))
+        assert isinstance(store, DirectoryCheckpointStore)
+        assert as_checkpoint_store(store) is store
+        assert as_checkpoint_store(None) is None
+        assert isinstance(store, CheckpointStore)
+        assert store.shareable_across_processes
+
+
+class TestReplayableSource:
+    def test_factory_is_replayable(self):
+        def timeline():
+            for i in range(10):
+                yield i * 0.1, StreamTuple(
+                    SCHEMA, (i * 0.1, i % 3, float(i))
+                )
+        source = ReplayableSource("src", SCHEMA, timeline)
+        first = list(source.events())
+        second = list(source.events())
+        assert [e[1].values for e in first] == [
+            e[1].values for e in second
+        ]
+
+    def test_bare_generator_is_rejected(self):
+        gen = (x for x in ())
+        with pytest.raises(DurabilityError):
+            ReplayableSource("src", SCHEMA, gen)
+
+
+class TestRunOptionValidation:
+    def test_bad_policy(self):
+        with pytest.raises(DurabilityError):
+            linear_flow().run(checkpoint_every=50, ingestion_policy="maybe")
+
+    def test_bad_interval(self):
+        with pytest.raises(DurabilityError):
+            linear_flow().run(checkpoint_every=0)
+
+
+class TestRendering:
+    def test_describe_marks_checkpoint_capable_stages(self):
+        flow = linear_flow()
+        annotated = flow.describe(checkpoints=True)
+        assert "CollectSink ⌖" in annotated
+        assert flow.describe() == linear_flow().describe()
+        assert "⌖" not in flow.describe()
+
+    def test_plan_describe_and_dot_match_flow(self):
+        flow = linear_flow()
+        plan = flow.build()
+        assert plan.describe(checkpoints=True) == flow.describe(
+            checkpoints=True
+        )
+        assert "CollectSink ⌖" in plan.to_dot(checkpoints=True)
+        assert "⌖" not in plan.to_dot()
