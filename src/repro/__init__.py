@@ -59,6 +59,7 @@ from repro.operators import (
     AwaitableSink,
     CollectSink,
     Duplicate,
+    FusedOperator,
     GeneratorSource,
     ImpatientJoin,
     Impute,
@@ -94,6 +95,7 @@ from repro.punctuation import (
     PunctuationScheme,
     WILDCARD,
 )
+from repro.optimizer import OptimizationReport, optimize
 from repro.stream import Attribute, Schema, SchemaMapping, StreamTuple
 
 # The fluent API layers on top of the engine and operator packages, so it
@@ -121,6 +123,7 @@ __all__ = [
     "FeedbackLog",
     "FeedbackPunctuation",
     "Flow",
+    "FusedOperator",
     "GeneratorSource",
     "GreaterThan",
     "GuardSet",
@@ -133,6 +136,7 @@ __all__ = [
     "Map",
     "OnDemandSink",
     "Operator",
+    "OptimizationReport",
     "Pace",
     "PassThrough",
     "Pattern",
@@ -168,6 +172,7 @@ __all__ = [
     "count_characterization",
     "join_characterization",
     "max_characterization",
+    "optimize",
     "subset",
     "sum_characterization",
 ]

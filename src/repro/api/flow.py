@@ -978,9 +978,20 @@ class Flow:
         feedback: Sequence[tuple[float, str, Any]] = (),
         actions: Sequence[tuple[float, Callable[[QueryPlan], None]]] = (),
         queue_capacity: int | None = None,
+        optimize: bool = False,
         **engine_options: Any,
     ) -> RunResult:
         """Compile and run on the named engine; returns a ``RunResult``.
+
+        ``optimize=True`` rewrites the compiled plan before engine
+        handoff (:func:`repro.optimizer.optimize`): guard pushdown,
+        projection pruning, and fusion of stateless chains into
+        :class:`~repro.operators.fused.FusedOperator` composites.  The
+        rewritten plan is observably equivalent -- same sink data and
+        punctuation, same feedback effects at sources.  Note that
+        ``feedback``/``actions`` entries must target operators that
+        still exist after rewriting: a stage fused into a composite is
+        addressable only by the composite's ``a+b+c`` name.
 
         ``feedback`` declares client feedback injections as ``(time,
         operator_name, FeedbackPunctuation)`` triples: at ``time`` (the
@@ -998,6 +1009,13 @@ class Flow:
         factory (``control_latency=...``, ...).
         """
         plan = self.build(queue_capacity=queue_capacity)
+        if optimize:
+            # Imported lazily: flows that never opt in pay nothing for
+            # the rewrite machinery.
+            from repro.optimizer import optimize as optimize_plan
+
+            optimize_plan(plan)
+            plan.validate()
         runner = create_engine(engine, plan, **engine_options)
         # (time, thunk, owner): the owner names the operator the thunk
         # targets, letting owner-aware engines (multiprocess) route the

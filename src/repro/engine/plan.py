@@ -105,12 +105,16 @@ def render_describe(
     name: str,
     stages: list[tuple[str, str, list[str]]],
     regions: Sequence[ShardGroup] = (),
+    fused: Sequence[tuple[str, list[tuple[str, str]]]] = (),
 ) -> str:
     """Shared topology-text renderer.
 
     ``stages`` rows are ``(op_name, type_name, targets)`` where each
     target is already formatted as ``consumer[port]``; ``regions`` are
-    the plan's shard groups, rendered as a trailer.  Used by both
+    the plan's shard groups, rendered as a trailer.  ``fused`` rows are
+    ``(composite_name, [(stage_name, stage_type), ...])`` for composites
+    produced by the optimizer, rendered as their own trailer so the
+    collapsed stages stay visible.  Used by both
     :meth:`QueryPlan.describe` and ``Flow.describe`` so the two surfaces
     cannot drift.
     """
@@ -118,6 +122,9 @@ def render_describe(
     for op_name, type_name, targets in stages:
         rendered = ", ".join(targets) or "(sink)"
         lines.append(f"  {op_name} ({type_name}) -> {rendered}")
+    for fused_name, members in fused:
+        inner = " -> ".join(f"{s} ({t})" for s, t in members)
+        lines.append(f"  fused {fused_name!r}: {inner}")
     lines.extend(describe_region_lines(regions))
     return "\n".join(lines)
 
@@ -127,6 +134,7 @@ def render_dot(
     nodes: list[tuple[str, str, bool, bool]],
     edges: list[tuple[str, str, int, int | None]],
     regions: Sequence[ShardGroup] = (),
+    fused: Sequence[tuple[str, list[tuple[str, str]]]] = (),
 ) -> str:
     """Shared Graphviz (DOT) renderer.
 
@@ -137,9 +145,13 @@ def render_dot(
     edges (``capacity`` set) additionally carry a ``cap=N`` label and a
     tee arrowtail -- the queue can push back on its producer.  Shard
     ``regions`` render their replica operators inside a dashed cluster
-    labelled with the fanout and partition key.  Paste into ``dot
-    -Tpng`` or any DOT viewer.  Used by both :meth:`QueryPlan.to_dot`
-    and ``Flow.to_dot``.
+    labelled with the fanout and partition key.  ``fused`` rows
+    (``(composite_name, [(stage_name, stage_type), ...])``) render each
+    optimizer composite as a dashed cluster of its stages -- node names
+    ``composite::stage`` -- with the collapsed hops drawn dashed inside;
+    callers remap external edges to the head/tail stage nodes.  Paste
+    into ``dot -Tpng`` or any DOT viewer.  Used by both
+    :meth:`QueryPlan.to_dot` and ``Flow.to_dot``.
     """
     def quote(text: str) -> str:
         # Escape quotes only: labels deliberately embed DOT's \n.
@@ -179,6 +191,20 @@ def render_dot(
         for row in nodes:
             if row[0] in members:
                 lines.append(f"    {node_statement(row)}")
+        lines.append("  }")
+    for index, (fused_name, stage_rows) in enumerate(fused):
+        lines.append(f"  subgraph cluster_fused_{index} {{")
+        lines.append(f"    label={quote(f'fused {fused_name}')};")
+        lines.append("    style=dashed;")
+        for stage_name, stage_type in stage_rows:
+            node = f"{fused_name}::{stage_name}"
+            label = f"{stage_name}\\n{stage_type}"
+            lines.append(f"    {quote(node)} [label={quote(label)}];")
+        for (a, _), (b, _) in zip(stage_rows, stage_rows[1:]):
+            lines.append(
+                f"    {quote(f'{fused_name}::{a}')} -> "
+                f"{quote(f'{fused_name}::{b}')} [style=dashed];"
+            )
         lines.append("  }")
     for producer, consumer, port, capacity in edges:
         label = f"[{port}]"
@@ -271,6 +297,85 @@ class QueryPlan:
         consumer.attach_input(port, queue, control, producer)
         self._edges.append(edge)
         return edge
+
+    def connect_like(
+        self,
+        producer: Operator,
+        consumer: Operator,
+        like: OutputEdge,
+        *,
+        port: int | None = None,
+    ) -> OutputEdge:
+        """Wire producer -> consumer carrying ``like``'s queue settings.
+
+        Optimizer rewrites replace an edge's endpoint but must not change
+        the edge's *queue configuration*: a bounded, backpressure-capable
+        edge (``capacity``/``low_water``) or a custom ``page_size`` that
+        silently reverted to defaults would alter runtime behaviour in a
+        way no equivalence harness at default settings could see.  This
+        is the rewrite-safe variant of :meth:`connect`: page size,
+        capacity and low-water mark all come from ``like``'s queue.
+        """
+        queue = like.queue
+        return self.connect(
+            producer,
+            consumer,
+            port=like.consumer_port if port is None else port,
+            page_size=queue.page_size,
+            capacity=queue.capacity,
+            low_water=queue.low_water if queue.capacity is not None else None,
+        )
+
+    def disconnect(self, edge: OutputEdge) -> None:
+        """Unwire one plan edge (the optimizer's rewrite primitive).
+
+        Removes the edge from its producer's outputs, frees the
+        consumer's input port, and drops the edge from the plan's edge
+        list.  Only edges created by :meth:`connect` qualify.
+        """
+        producer = next(
+            (
+                op
+                for op in self._operators.values()
+                if edge in op.outputs
+            ),
+            None,
+        )
+        if producer is None or edge not in self._edges:
+            raise PlanError(
+                f"plan {self.name!r}: cannot disconnect unknown edge "
+                f"{edge!r}"
+            )
+        producer.outputs.remove(edge)
+        consumer = edge.consumer
+        port = consumer.inputs[edge.consumer_port]
+        if port is not None and port.queue is edge.queue:
+            consumer.inputs[edge.consumer_port] = None
+        self._edges.remove(edge)
+
+    def producer_of(self, edge: OutputEdge) -> Operator:
+        """The operator holding ``edge`` among its outputs."""
+        for op in self._operators.values():
+            if edge in op.outputs:
+                return op
+        raise PlanError(
+            f"plan {self.name!r}: edge {edge!r} has no producer here"
+        )
+
+    def remove_operator(self, name: str) -> Operator:
+        """Drop a fully-disconnected operator from the plan.
+
+        Rewrites must :meth:`disconnect` every edge first; removing a
+        still-wired operator would leave dangling queues.
+        """
+        op = self.operator(name)
+        if op.outputs or any(p is not None for p in op.inputs):
+            raise PlanError(
+                f"plan {self.name!r}: operator {name!r} is still "
+                f"connected; disconnect its edges before removal"
+            )
+        del self._operators[name]
+        return op
 
     def chain(self, *operators: Operator, page_size: int = DEFAULT_PAGE_SIZE) -> Operator:
         """Connect operators linearly; returns the last one."""
@@ -368,12 +473,38 @@ class QueryPlan:
 
     # -- reporting -----------------------------------------------------------------
 
+    def _fused_rows(
+        self, checkpoints: bool
+    ) -> list[tuple[str, list[tuple[str, str]]]]:
+        """``(composite_name, [(stage, type), ...])`` for every fused
+        composite in the plan (duck-typed on ``fused_stages`` to keep the
+        IR module free of operator-package imports)."""
+        rows = []
+        for op in self._operators.values():
+            stages = getattr(op, "fused_stages", None)
+            if stages:
+                rows.append((
+                    op.name,
+                    [
+                        (
+                            stage.name,
+                            type(stage).__name__
+                            + checkpoint_annotation(
+                                type(stage), checkpoints
+                            ),
+                        )
+                        for stage in stages
+                    ],
+                ))
+        return rows
+
     def describe(self, *, checkpoints: bool = False) -> str:
         """Text rendering of the plan topology.
 
         With ``checkpoints=True``, operators that carry checkpointable
         state (they override the snapshot seam) are marked ``⌖``; the
-        default output is unchanged.
+        default output is unchanged.  Fused composites list their stages
+        in a trailer so optimized plans render honestly.
         """
         return render_describe(
             self.name,
@@ -391,6 +522,7 @@ class QueryPlan:
                 for op in self._operators.values()
             ],
             regions=self._shard_groups,
+            fused=self._fused_rows(checkpoints),
         )
 
     def to_dot(self, *, checkpoints: bool = False) -> str:
@@ -399,6 +531,15 @@ class QueryPlan:
         See :func:`render_dot` for the conventions; ``checkpoints=True``
         appends ``⌖`` to checkpoint-capable operators' type labels.
         """
+        fused_rows = self._fused_rows(checkpoints)
+        # External edges touching a composite attach to its head (inward)
+        # or tail (outward) stage node inside the cluster.
+        head_of = {
+            name: f"{name}::{stages[0][0]}" for name, stages in fused_rows
+        }
+        tail_of = {
+            name: f"{name}::{stages[-1][0]}" for name, stages in fused_rows
+        }
         return render_dot(
             self.name,
             [
@@ -410,11 +551,12 @@ class QueryPlan:
                     not op.outputs,
                 )
                 for op in self._operators.values()
+                if op.name not in head_of
             ],
             [
                 (
-                    op.name,
-                    edge.consumer.name,
+                    tail_of.get(op.name, op.name),
+                    head_of.get(edge.consumer.name, edge.consumer.name),
                     edge.consumer_port,
                     edge.queue.capacity,
                 )
@@ -422,6 +564,7 @@ class QueryPlan:
                 for edge in op.outputs
             ],
             regions=self._shard_groups,
+            fused=fused_rows,
         )
 
     def __iter__(self) -> Iterator[Operator]:

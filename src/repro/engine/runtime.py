@@ -586,6 +586,13 @@ class RuntimeCore:
         for op in self.plan:
             metrics.operator_metrics[op.name] = op.metrics
             metrics.total_work += op.metrics.busy_time
+            # Fused composites fold their per-stage counters into the
+            # report under "composite::stage" keys (duck-typed so the
+            # runtime stays ignorant of the optimizer package).
+            for stage in getattr(op, "fused_stages", ()):
+                metrics.operator_metrics[
+                    f"{op.name}::{stage.name}"
+                ] = stage.metrics
         for op in self.plan:
             # Keyed by (producer, consumer, port) -- the structural edge
             # identity -- rather than the queue's display name, so the

@@ -12,6 +12,7 @@ from repro.operators.aggregate import AggregateKind, WindowAggregate
 from repro.operators.base import InputPort, Operator, OutputEdge, SourceOperator
 from repro.operators.buffer import PriorityBuffer
 from repro.operators.duplicate import Duplicate
+from repro.operators.fused import FusedOperator
 from repro.operators.impatient_join import ImpatientJoin
 from repro.operators.impute import ArchiveDB, Impute
 from repro.operators.join import SymmetricHashJoin
@@ -39,6 +40,7 @@ __all__ = [
     "AwaitableSink",
     "CollectSink",
     "Duplicate",
+    "FusedOperator",
     "GeneratorSource",
     "ImpatientJoin",
     "Impute",

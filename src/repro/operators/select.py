@@ -43,9 +43,12 @@ class Select(Operator):
             name, schema, mapping=SchemaMapping.identity(schema), **kwargs
         )
         if isinstance(predicate, Pattern):
-            pattern = predicate
-            self._predicate: Callable[[StreamTuple], bool] = pattern.matches
+            #: The declarative form, when given: the optimizer's guard
+            #: pushdown can only reason about pattern predicates.
+            self.pattern: Pattern | None = predicate
+            self._predicate: Callable[[StreamTuple], bool] = predicate.matches
         else:
+            self.pattern = None
             self._predicate = predicate
 
     def on_tuple(self, port_index: int, tup: StreamTuple) -> None:

@@ -1,0 +1,107 @@
+"""Projection pruning: dead-drop attributes at projection boundaries.
+
+Two provably-equivalent rewrites on PROJECT:
+
+* **compose** -- when a projection feeds exactly one other projection,
+  the downstream schema *proves* which attributes are unread, so the two
+  collapse into one projection that drops everything dead at the earlier
+  boundary.  Punctuation equivalence holds because absorption composes:
+  a pattern constraining an attribute either projection drops is
+  absorbed in both the two-step and the composed plan.
+* **eliminate** -- a projection that keeps every input attribute in
+  input order is the identity (data, punctuation and feedback all pass
+  through unchanged under its identity lineage), so it splices out.
+
+Only exact PROJECT instances move; subclasses and shard-region members
+stay put.
+"""
+
+from __future__ import annotations
+
+from repro.engine.plan import QueryPlan
+from repro.operators.project import Project
+
+from repro.optimizer.fusion import shard_bound_names
+
+__all__ = ["prune_projections"]
+
+
+def _compose_once(plan: QueryPlan, shard_bound: set[str], report) -> bool:
+    """Collapse one adjacent PROJECT -> PROJECT pair; False when none."""
+    for op in plan:
+        if type(op) is not Project or op.name in shard_bound:
+            continue
+        if len(op.outputs) != 1 or op.needs_metering:
+            continue
+        succ = op.outputs[0].consumer
+        if (
+            type(succ) is not Project
+            or succ.name in shard_bound
+            or succ.needs_metering
+            or op.inputs[0] is None
+        ):
+            continue
+        feeder = op.inputs[0].producer
+        if feeder is None:
+            continue
+        # succ's attributes name op's outputs; every one is an exact copy
+        # of an op input, so the composed keep-list is their pre-image.
+        composed_attrs = [
+            op.mapping.exact_origin_in(name, 0).input_attribute
+            for name in succ._attributes
+        ]
+        feed_edge = next(e for e in feeder.outputs if e.consumer is op)
+        mid_edge = op.outputs[0]
+        out_edges = list(succ.outputs)
+        plan.disconnect(feed_edge)
+        plan.disconnect(mid_edge)
+        for edge in out_edges:
+            plan.disconnect(edge)
+        plan.remove_operator(op.name)
+        plan.remove_operator(succ.name)
+        composed = Project(succ.name, op.input_schema, composed_attrs)
+        plan.add(composed)
+        plan.connect_like(feeder, composed, feed_edge, port=0)
+        for edge in out_edges:
+            plan.connect_like(composed, edge.consumer, edge)
+        report.pruned.append(op.name)
+        return True
+    return False
+
+
+def _eliminate_once(
+    plan: QueryPlan, shard_bound: set[str], report
+) -> bool:
+    """Splice out one identity PROJECT; False when none."""
+    for op in plan:
+        if type(op) is not Project or op.name in shard_bound:
+            continue
+        if op.needs_metering or op.inputs[0] is None:
+            continue
+        if tuple(op._attributes) != op.input_schema.names:
+            continue
+        feeder = op.inputs[0].producer
+        if feeder is None:
+            continue
+        feed_edge = next(e for e in feeder.outputs if e.consumer is op)
+        out_edges = list(op.outputs)
+        plan.disconnect(feed_edge)
+        for edge in out_edges:
+            plan.disconnect(edge)
+        plan.remove_operator(op.name)
+        for edge in out_edges:
+            plan.connect_like(feeder, edge.consumer, edge)
+        report.pruned.append(op.name)
+        return True
+    return False
+
+
+def prune_projections(plan: QueryPlan, report) -> None:
+    """Compose then eliminate, to fixpoint."""
+    shard_bound = shard_bound_names(plan)
+    for _ in range(len(plan) + 1):
+        if not _compose_once(plan, shard_bound, report):
+            break
+    for _ in range(len(plan) + 1):
+        if not _eliminate_once(plan, shard_bound, report):
+            break

@@ -156,6 +156,65 @@ class TestKillAndResume:
         assert result.metrics.checkpoint_epochs >= 1
 
 
+def fusible_flow(bomb_at=None, *, calls=None):
+    """source -> where -> extend -> where: the middle three stages fuse
+    under ``optimize=True``, so the crash fires *inside* a composite."""
+    flow = Flow("recovery-fused")
+    calls = calls if calls is not None else {"n": 0}
+
+    def pred(t):
+        if bomb_at is not None:
+            calls["n"] += 1
+            if calls["n"] >= bomb_at:
+                raise RuntimeError("injected crash")
+        return t["sensor"] != 2
+
+    (flow.source(SCHEMA, rows(), name="source")
+         .punctuate(on="ts", every=2.0)
+         .where(pred, name="keep")
+         .extend([("double", "float")], lambda t: (t["value"] * 2,),
+                 name="ext")
+         .where(lambda t: t["double"] >= 0.0, name="clip")
+         .collect("sink"))
+    return flow
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestOptimizedRecovery:
+    """``optimize=True`` composes with ``checkpoint_every=`` end to end:
+    checkpoint cuts fall at composite boundaries (internal shims never
+    buffer), and recovery addresses the composite by its fused name."""
+
+    @pytest.mark.parametrize("bomb_at", CRASH_POINTS)
+    def test_exactly_once_parity_with_fusion(self, engine, bomb_at):
+        expect = values(fusible_flow().run(engine))
+        assert expect == values(fusible_flow().run(engine, optimize=True))
+        store = MemoryCheckpointStore()
+        with pytest.raises(Exception):
+            fusible_flow(bomb_at=bomb_at).run(
+                engine, checkpoint_every=50, checkpoint_store=store,
+                optimize=True,
+            )
+        recovered = fusible_flow().run(
+            engine, recover_from=store, checkpoint_every=50,
+            optimize=True,
+        )
+        assert values(recovered) == expect
+
+    def test_recovery_without_optimize_from_optimized_store(self, engine):
+        """The store keys state by operator name; a plain re-run cannot
+        consume epochs written under the fused name, so resuming must
+        keep ``optimize=True``.  This pins the documented contract."""
+        store = MemoryCheckpointStore()
+        with pytest.raises(Exception):
+            fusible_flow(bomb_at=120).run(
+                engine, checkpoint_every=50, checkpoint_store=store,
+                optimize=True,
+            )
+        assert store.has_state(1, "keep+ext+clip")
+        assert not store.has_state(1, "keep")
+
+
 @pytest.mark.skipif(
     not fork_available(), reason="multiprocess engine requires fork"
 )
