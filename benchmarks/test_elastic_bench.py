@@ -1,0 +1,170 @@
+"""Elastic autoscaling benchmark: rebalancing a key-skewed shard region.
+
+The tentpole claim of the elasticity subsystem: when a shard region's
+key distribution concentrates the load on one lane, the elastic
+controller's runtime re-partitioning recovers most of the parallelism a
+static hash layout loses -- while preserving semantics exactly (same
+result multiset, region punctuation exactly once).
+
+The workload is adversarial by construction: four hot keys whose
+digests all land on lane 0 of a fanout-4 region under the identity
+routing table, so static hashing runs the region at 1/4 of its
+capacity.  Tuples arrive paced in virtual time (``DT`` apart) while a
+``GreedySlotPolicy(imbalance=1.1, max_moves=1)`` controller samples
+per-slot loads every ``INTERVAL`` virtual seconds: each tick migrates
+one hot slot to the coolest lane, so the region converges to one hot
+key per lane after exactly three rebalances and the remaining ~97% of
+the stream is processed in parallel.
+
+Both measurements are **simulated virtual-time makespans** -- the
+deterministic, host-independent figure (the simulator gives every
+operator its own busy horizon, so lane overlap is modeled, not raced).
+
+Scale knobs: ``REPRO_BENCH_ELASTIC_TUPLES`` (default 4000; below the
+default the timing/rebalance-count assertions are skipped -- the CI
+``bench-smoke`` job runs exactly that way) and
+``REPRO_BENCH_ELASTIC_COST`` (default 0.004, the modeled per-tuple
+cost of the lane predicate).  Rewrite the artifact with
+``REPRO_BENCH_RECORD=1``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.api import Flow, count
+from repro.elasticity import ElasticConfig, GreedySlotPolicy
+from repro.elasticity.rebalance import key_digest
+from repro.stream import Schema, StreamTuple
+
+SCHEMA = Schema([("ts", "timestamp", True), ("k", "int"), ("v", "float")])
+N_TUPLES = int(os.environ.get("REPRO_BENCH_ELASTIC_TUPLES", "4000"))
+TUPLE_COST = float(os.environ.get("REPRO_BENCH_ELASTIC_COST", "0.004"))
+FULL_SCALE = N_TUPLES >= 4000
+FANOUT = 4
+SLOTS_PER_LANE = 4
+INTERVAL = 0.05
+WINDOW = 1.0
+DT = 0.001
+# Four keys whose digests land on slots 0/4/8/12 of the 16-slot table:
+# all of lane 0's slots under the identity layout, none of any other's.
+HOT_KEYS = (28, 6, 4, 35)
+
+
+def timeline():
+    return [
+        (i * DT, StreamTuple(
+            SCHEMA, (i * DT, HOT_KEYS[i % len(HOT_KEYS)], float(i % 97))
+        ))
+        for i in range(N_TUPLES)
+    ]
+
+
+def bench_flow():
+    flow = Flow("elastic-bench", page_size=1)
+    (flow.source(SCHEMA, timeline(), name="src")
+         .punctuate(on="ts", every=WINDOW)
+         .shard(FANOUT, key="k", name="region",
+                pipeline=lambda lane: lane
+                .where(lambda t: True, tuple_cost=TUPLE_COST)
+                .window(count(), by="k", on="ts", width=WINDOW))
+         .collect("sink", keep_punctuation=True))
+    return flow
+
+
+def sink_multiset(result):
+    return sorted(
+        tuple(t.values)
+        for t in result.sink("sink").results
+        if not t.is_punctuation
+    )
+
+
+class TestElasticSpeedup:
+    def test_skewed_makespan_recovers(self, report, record_artifact):
+        # The adversarial layout really is adversarial: every hot key
+        # hashes to lane 0 under the identity table.
+        num_slots = FANOUT * SLOTS_PER_LANE
+        assert sorted(
+            key_digest((k,)) % num_slots for k in HOT_KEYS
+        ) == [0, 4, 8, 12]
+
+        static = bench_flow().run("simulated")
+        elastic = bench_flow().run(
+            "simulated",
+            elastic=ElasticConfig(
+                interval=INTERVAL,
+                slots_per_lane=SLOTS_PER_LANE,
+                policy=GreedySlotPolicy(imbalance=1.1, max_moves=1),
+            ),
+        )
+
+        # Zero lost or duplicated tuples, and region punctuation
+        # crosses the merge exactly once -- rebalances are invisible
+        # to the sink.
+        multiset_equal = sink_multiset(elastic) == sink_multiset(static)
+        assert multiset_equal
+        static_patterns = [
+            p.pattern for p in static.sink("sink").punctuations
+        ]
+        elastic_patterns = [
+            p.pattern for p in elastic.sink("sink").punctuations
+        ]
+        punct_exactly_once = (
+            len(elastic_patterns) == len(set(elastic_patterns))
+            and set(elastic_patterns) == set(static_patterns)
+        )
+        assert punct_exactly_once
+
+        group = elastic.metrics.shard_metrics["region"]
+        static_skew = static.metrics.shard_metrics["region"].skew()
+        improvement = static.makespan / max(elastic.makespan, 1e-9)
+        if FULL_SCALE:
+            # The headline claims: one hot slot migrates per tick until
+            # one hot key sits on each lane (three rebalances), and the
+            # rebalanced region beats the static layout by >= 1.5x in
+            # virtual time (measured ~3x: a quarter of the stream's
+            # span is arrival-bound, so the ideal 4x is not reachable).
+            assert group.rebalances >= 3
+            assert group.keys_migrated >= 3
+            assert improvement >= 1.5
+
+        payload = {
+            "benchmark": "elastic_rebalance_key_skewed_shard",
+            "tuples": N_TUPLES,
+            "tuple_cost_s": TUPLE_COST,
+            "arrival_dt_s": DT,
+            "fanout": FANOUT,
+            "slots_per_lane": SLOTS_PER_LANE,
+            "controller_interval_s": INTERVAL,
+            "hot_keys": list(HOT_KEYS),
+            "static": {
+                "makespan_s": round(static.makespan, 6),
+                "skew": round(static_skew, 4),
+            },
+            "elastic": {
+                "makespan_s": round(elastic.makespan, 6),
+                "skew": round(group.skew(), 4),
+                "rebalances": group.rebalances,
+                "keys_migrated": group.keys_migrated,
+            },
+            "improvement": round(improvement, 3),
+            "correctness": {
+                "multiset_equal": multiset_equal,
+                "region_punctuation_exactly_once": punct_exactly_once,
+            },
+        }
+        record_artifact("BENCH_elastic.json", payload)
+
+        report.append(
+            f"  static:  makespan {static.makespan:.3f}s "
+            f"(skew {static_skew:.2f})"
+        )
+        report.append(
+            f"  elastic: makespan {elastic.makespan:.3f}s "
+            f"(skew {group.skew():.2f}, {group.rebalances} rebalances, "
+            f"{group.keys_migrated} keys migrated)"
+        )
+        report.append(
+            f"  improvement {improvement:.2f}x; full_scale={FULL_SCALE}"
+        )

@@ -1007,6 +1007,17 @@ class Flow:
         own per-verb capacity, enabling runtime backpressure (see
         ``docs/backpressure.md``).  ``engine_options`` pass to the engine
         factory (``control_latency=...``, ...).
+
+        ``elastic=ElasticConfig(...)`` (an engine option) arms the
+        elastic controller over the flow's shard regions: the runtime
+        samples per-lane skew and queue occupancy on the configured
+        cadence and re-partitions hot keys across lanes through
+        ``RebalancePunctuation`` on the control plane (see
+        ``docs/elasticity.md``).  Supported by the simulated, threaded
+        and asyncio engines; the multiprocess engine declines with a
+        recorded reason (``result.metrics.elastic_declines``), and
+        combining ``elastic=`` with ``checkpoint_every=`` raises
+        ``EngineError``.
         """
         plan = self.build(queue_capacity=queue_capacity)
         if optimize:

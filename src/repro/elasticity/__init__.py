@@ -1,0 +1,59 @@
+"""Elastic feedback-driven autoscaling over the punctuation control plane.
+
+The paper's thesis is that punctuation is a *general* inter-operator
+control plane; this package proves it by making the engine scale itself.
+An :class:`ElasticController` observes per-lane skew and per-edge queue
+occupancy at runtime, a pluggable :class:`ScalePolicy` decides, and the
+decision applies through a
+:class:`~repro.core.feedback.RebalancePunctuation` riding the existing
+shard-region protocol: keys migrate between lanes at punctuation-aligned
+cuts, with only the state of moved keys travelling.
+
+Entry point::
+
+    from repro.elasticity import ElasticConfig, GreedySlotPolicy
+
+    flow.run(elastic=ElasticConfig(min_lanes=1, max_lanes=4,
+                                   policy=GreedySlotPolicy(),
+                                   interval=0.5))
+
+See ``docs/elasticity.md`` for policy authoring and the skew demo.
+"""
+
+from repro.elasticity.controller import ElasticController
+from repro.elasticity.policy import (
+    ElasticConfig,
+    GreedySlotPolicy,
+    Observations,
+    RebalanceAction,
+    ScaleAction,
+    ScalePolicy,
+    ScriptedPolicy,
+)
+from repro.elasticity.rebalance import (
+    DEFAULT_SLOTS_PER_LANE,
+    RebalanceCommand,
+    RebalanceRecord,
+    RebalanceRouter,
+    canonical_key_value,
+    key_digest,
+    scale_assignments,
+)
+
+__all__ = [
+    "DEFAULT_SLOTS_PER_LANE",
+    "ElasticConfig",
+    "ElasticController",
+    "GreedySlotPolicy",
+    "Observations",
+    "RebalanceAction",
+    "RebalanceCommand",
+    "RebalanceRecord",
+    "RebalanceRouter",
+    "ScaleAction",
+    "ScalePolicy",
+    "ScriptedPolicy",
+    "canonical_key_value",
+    "key_digest",
+    "scale_assignments",
+]

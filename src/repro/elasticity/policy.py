@@ -1,0 +1,266 @@
+"""Pluggable scaling policies: pure decisions over runtime observations.
+
+The controller samples the runtime (slot loads, queue occupancy) into an
+immutable :class:`Observations` value and hands it to the configured
+:class:`ScalePolicy`.  ``decide`` must be a pure function of its
+argument -- no clocks, no runtime access -- which keeps every policy
+unit-testable without an engine and keeps simulated runs deterministic.
+
+A decision is one of:
+
+* :class:`RebalanceAction` -- reassign specific slots to specific lanes
+  (the skew-correction move);
+* :class:`ScaleAction` -- grow or shrink the number of active lanes
+  (the controller translates it into minimal slot moves via
+  :func:`~repro.elasticity.rebalance.scale_assignments`);
+* ``None`` -- leave the region alone this tick.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.elasticity.rebalance import DEFAULT_SLOTS_PER_LANE
+
+__all__ = [
+    "ElasticConfig",
+    "GreedySlotPolicy",
+    "Observations",
+    "RebalanceAction",
+    "ScaleAction",
+    "ScalePolicy",
+    "ScriptedPolicy",
+]
+
+
+@dataclass(frozen=True)
+class RebalanceAction:
+    """Move these slots to these lanes: ``(slot, destination_lane)``."""
+
+    assignments: tuple[tuple[int, int], ...]
+
+    @classmethod
+    def moving(cls, assignments: Mapping[int, int]) -> "RebalanceAction":
+        return cls(tuple(sorted(assignments.items())))
+
+
+@dataclass(frozen=True)
+class ScaleAction:
+    """Run the region on exactly ``lanes`` active lanes."""
+
+    lanes: int
+
+
+@dataclass(frozen=True)
+class Observations:
+    """One shard region's state as sampled at a controller tick.
+
+    ``slot_loads`` counts the tuples routed through each slot since the
+    previous tick; ``table`` is the live slot-to-lane assignment.
+    ``lane_occupancy`` is the current element count queued on each
+    partition-to-lane edge (the congestion signal).
+    """
+
+    group: str
+    fanout: int
+    table: tuple[int, ...]
+    slot_loads: tuple[int, ...]
+    lane_occupancy: tuple[int, ...]
+    min_lanes: int
+    max_lanes: int
+
+    @property
+    def active_lanes(self) -> int:
+        return len(set(self.table))
+
+    def lane_loads(self) -> tuple[int, ...]:
+        """Observed load per lane (slot loads summed by assignment)."""
+        loads = [0] * self.fanout
+        for slot, lane in enumerate(self.table):
+            loads[lane] += self.slot_loads[slot]
+        return tuple(loads)
+
+    def skew(self) -> float:
+        """Max over mean load across lanes in use (1.0 = balanced)."""
+        in_use = set(self.table)
+        loads = self.lane_loads()
+        used = [loads[lane] for lane in sorted(in_use)]
+        total = sum(used)
+        if not used or total == 0:
+            return 1.0
+        return max(used) / (total / len(used))
+
+
+class ScalePolicy(abc.ABC):
+    """Decide what (if anything) to change about one shard region."""
+
+    @abc.abstractmethod
+    def decide(
+        self, observations: Observations
+    ) -> "RebalanceAction | ScaleAction | None":
+        """Pure function of the observations; see the module docstring."""
+
+
+class GreedySlotPolicy(ScalePolicy):
+    """Move hot slots off the most-loaded lane until lanes level out.
+
+    When the max/mean load ratio across active lanes exceeds
+    ``imbalance``, the heaviest slots of the hottest lane migrate to the
+    coolest lane -- greedily, at most ``max_moves`` slots per decision,
+    and only while each move strictly improves the projected peak (a
+    single monster key cannot be split, so relocating it alone is never
+    proposed).  With ``scale_to_load`` set, the policy first requests a
+    :class:`ScaleAction` growing the active lane count whenever total
+    observed load exceeds ``scale_to_load`` tuples per tick (and
+    shrinking when it falls below a quarter of that), modelling the
+    admit-more-resources half of the elasticity loop.
+    """
+
+    def __init__(
+        self,
+        *,
+        imbalance: float = 1.25,
+        max_moves: int | None = None,
+        scale_to_load: int | None = None,
+    ) -> None:
+        if imbalance < 1.0:
+            raise ValueError(
+                f"imbalance threshold must be >= 1.0, got {imbalance}"
+            )
+        if max_moves is not None and max_moves < 1:
+            raise ValueError(f"max_moves must be >= 1, got {max_moves}")
+        self.imbalance = float(imbalance)
+        self.max_moves = max_moves
+        self.scale_to_load = scale_to_load
+
+    def decide(
+        self, obs: Observations
+    ) -> "RebalanceAction | ScaleAction | None":
+        total = sum(obs.slot_loads)
+        active = obs.active_lanes
+        if self.scale_to_load is not None and total:
+            want = max(
+                obs.min_lanes,
+                min(
+                    obs.max_lanes,
+                    -(-total // self.scale_to_load),  # ceil division
+                ),
+            )
+            if want != active:
+                return ScaleAction(want)
+        if total == 0:
+            return None
+        loads = obs.lane_loads()
+        in_use = sorted(set(obs.table))
+        hot = max(in_use, key=lambda lane: (loads[lane], -lane))
+        mean = total / len(in_use)
+        if loads[hot] <= self.imbalance * mean:
+            return None
+        # Heaviest slots first; ties broken by slot index for determinism.
+        hot_slots = sorted(
+            (s for s, lane in enumerate(obs.table) if lane == hot),
+            key=lambda s: (-obs.slot_loads[s], s),
+        )
+        projected = dict(enumerate(loads))
+        moves: dict[int, int] = {}
+        for slot in hot_slots:
+            if self.max_moves is not None and len(moves) >= self.max_moves:
+                break
+            weight = obs.slot_loads[slot]
+            if weight == 0 or weight == projected[hot]:
+                continue  # moving dead weight / the whole lane helps nothing
+            cold = min(in_use, key=lambda lane: (projected[lane], lane))
+            if projected[cold] + weight >= projected[hot]:
+                break  # no move strictly improves the peak
+            moves[slot] = cold
+            projected[hot] -= weight
+            projected[cold] += weight
+        if not moves:
+            return None
+        return RebalanceAction.moving(moves)
+
+
+class ScriptedPolicy(ScalePolicy):
+    """Replay a fixed sequence of decisions, one per tick, then idle.
+
+    A deterministic test/demo seam: the property tests and the docs'
+    skew demo script exact rebalances instead of depending on load
+    thresholds.  (Replaying consumes the script, so this policy is
+    deliberately not pure -- do not share one instance across runs.)
+    """
+
+    def __init__(
+        self, actions: Iterable["RebalanceAction | ScaleAction | None"]
+    ) -> None:
+        self._script = list(actions)
+
+    def decide(
+        self, obs: Observations
+    ) -> "RebalanceAction | ScaleAction | None":
+        if not self._script:
+            return None
+        return self._script.pop(0)
+
+
+@dataclass
+class ElasticConfig:
+    """Configuration for ``flow.run(elastic=...)``.
+
+    ``interval`` is the controller cadence in engine time (virtual
+    seconds on the simulator, wall seconds on the threaded/asyncio
+    engines).  ``min_lanes``/``max_lanes`` bound scale decisions;
+    ``max_lanes`` defaults to each region's built fanout (lanes are
+    plan structure, so a region can never scale *beyond* its fanout --
+    it parks unused replicas instead).  ``adapt_queues`` turns on
+    adaptive watermarks: every bounded queue's capacity is re-sized to
+    ``queue_headroom`` times its observed per-tick drain rate, clamped
+    to ``[min_capacity, max_capacity]`` (``max_capacity`` defaults to
+    each queue's built capacity).
+    """
+
+    min_lanes: int = 1
+    max_lanes: int | None = None
+    policy: ScalePolicy = field(default_factory=GreedySlotPolicy)
+    interval: float = 1.0
+    slots_per_lane: int = DEFAULT_SLOTS_PER_LANE
+    adapt_queues: bool = False
+    queue_headroom: float = 2.0
+    min_capacity: int = 8
+    max_capacity: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_lanes < 1:
+            raise ValueError(
+                f"min_lanes must be >= 1, got {self.min_lanes}"
+            )
+        if self.max_lanes is not None and self.max_lanes < self.min_lanes:
+            raise ValueError(
+                f"max_lanes ({self.max_lanes}) must be >= min_lanes "
+                f"({self.min_lanes})"
+            )
+        if self.interval <= 0:
+            raise ValueError(
+                f"controller interval must be positive, got {self.interval}"
+            )
+        if self.slots_per_lane < 1:
+            raise ValueError(
+                f"slots_per_lane must be >= 1, got {self.slots_per_lane}"
+            )
+        if self.queue_headroom <= 0:
+            raise ValueError(
+                f"queue_headroom must be positive, got {self.queue_headroom}"
+            )
+        if self.min_capacity < 2:
+            raise ValueError(
+                f"min_capacity must be >= 2, got {self.min_capacity}"
+            )
+        if (
+            self.max_capacity is not None
+            and self.max_capacity < self.min_capacity
+        ):
+            raise ValueError(
+                f"max_capacity ({self.max_capacity}) must be >= "
+                f"min_capacity ({self.min_capacity})"
+            )

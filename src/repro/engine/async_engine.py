@@ -106,6 +106,7 @@ class AsyncioEngine(NotificationPolicy, RuntimeCore):
         checkpoint_store: Any = None,
         recover_from: Any = None,
         ingestion_policy: str = "exactly-once",
+        elastic: Any = None,
     ) -> None:
         super().__init__(
             plan, WallClock(), control_latency=control_latency,
@@ -113,6 +114,7 @@ class AsyncioEngine(NotificationPolicy, RuntimeCore):
             checkpoint_store=checkpoint_store,
             recover_from=recover_from,
             ingestion_policy=ingestion_policy,
+            elastic=elastic,
         )
         self.timeout = timeout
         self.emulate_costs = emulate_costs
@@ -274,6 +276,29 @@ class AsyncioEngine(NotificationPolicy, RuntimeCore):
                 # an internal re-acquire can land here without it.
                 condition.release()
 
+    async def _elastic_body(self) -> None:
+        """Controller ticker task: observe/decide/apply every interval.
+
+        Ticks run under the condition lock (the controller reads operator
+        counters and enqueues control, like any callback); the task is
+        cancelled by ``_arun`` once the workers drain.  A tick failure is
+        captured like an action error so ``arun`` re-raises it.
+        """
+        interval = self.elastic.config.interval
+        condition = self._waiter.condition
+        while True:
+            await asyncio.sleep(interval)
+            await condition.acquire()
+            try:
+                try:
+                    self.elastic.tick(self.clock.now())
+                except BaseException as error:  # noqa: BLE001 - rethrown
+                    self._action_errors.append(error)
+                    return
+                self._waiter.notify_all()
+            finally:
+                condition.release()
+
     async def _action_body(self, when: float, action: Callable[[], None]) -> None:
         await asyncio.sleep(max(0.0, when - self.clock.now()))
         condition = self._waiter.condition
@@ -331,6 +356,10 @@ class AsyncioEngine(NotificationPolicy, RuntimeCore):
             asyncio.ensure_future(self._action_body(when, action))
             for when, action in self._actions
         ]
+        if self.elastic is not None:
+            ticker = asyncio.ensure_future(self._elastic_body())
+            ticker.set_name("elastic-controller")
+            actions.append(ticker)
         try:
             await asyncio.wait_for(asyncio.gather(*workers), self.timeout)
         except asyncio.TimeoutError:

@@ -267,6 +267,7 @@ class MultiprocessEngine(RuntimeCore):
         checkpoint_store: Any = None,
         recover_from: Any = None,
         ingestion_policy: str = "exactly-once",
+        elastic: Any = None,
     ) -> None:
         if not fork_available():
             raise EngineError(
@@ -276,6 +277,9 @@ class MultiprocessEngine(RuntimeCore):
         # Durability activation (and recovery restore) runs in the super
         # constructor -- before the fork, so every worker inherits the
         # restored operator state and the computed replay offsets.
+        # ``elastic`` is deliberately NOT passed down: this engine
+        # declines elasticity (recorded below) rather than arming a
+        # controller whose rebalance records cannot cross the fork.
         super().__init__(
             plan, WallClock(), control_latency=control_latency,
             checkpoint_every=checkpoint_every,
@@ -283,6 +287,16 @@ class MultiprocessEngine(RuntimeCore):
             recover_from=recover_from,
             ingestion_policy=ingestion_policy,
         )
+        if elastic is not None:
+            # The optimizer's decline convention: record why, run static.
+            self.elastic_declines.append(
+                (
+                    "engine",
+                    "multiprocess engine cannot rebalance: migration "
+                    "records travel by reference and workers own "
+                    "disjoint operator groups across process boundaries",
+                )
+            )
         if (
             self.checkpoints is not None
             and not self.checkpoints.store.shareable_across_processes

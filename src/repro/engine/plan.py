@@ -17,7 +17,7 @@ asyncio engine all consume the same validated plan (the registry in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator, Sequence
 
 from repro.errors import PlanError
@@ -404,6 +404,36 @@ class QueryPlan:
             )
         self._shard_groups.append(group)
         return group
+
+    def replace_lane_members(
+        self, members: Sequence[str], replacement: str
+    ) -> None:
+        """Substitute a fused run of lane members with its composite name.
+
+        Optimizer rewrites that collapse operators *inside* a shard lane
+        must keep the region record truthful -- metrics rollups, the
+        rebalance protocol and the renderers all resolve lanes by
+        operator name.  Each lane's run of ``members`` collapses to the
+        single ``replacement`` name; lanes and groups not mentioning any
+        member are untouched.
+        """
+        member_set = set(members)
+        for index, group in enumerate(self._shard_groups):
+            if not member_set & set(group.members):
+                continue
+            new_lanes = []
+            for lane in group.lanes:
+                rewritten: list[str] = []
+                for op_name in lane:
+                    if op_name in member_set:
+                        if replacement not in rewritten:
+                            rewritten.append(replacement)
+                    else:
+                        rewritten.append(op_name)
+                new_lanes.append(tuple(rewritten))
+            self._shard_groups[index] = replace(
+                group, lanes=tuple(new_lanes)
+            )
 
     # -- access -------------------------------------------------------------------
 

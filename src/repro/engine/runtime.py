@@ -149,6 +149,7 @@ class RuntimeCore:
         checkpoint_store: Any = None,
         recover_from: Any = None,
         ingestion_policy: str = "exactly-once",
+        elastic: Any = None,
     ) -> None:
         plan.validate()
         self.plan = plan
@@ -181,6 +182,23 @@ class RuntimeCore:
                 recover_from=recover_from,
                 policy=ingestion_policy,
             )
+        #: Elastic autoscaling controller (None when elasticity is off).
+        #: Engines that can rebalance drive ``elastic.tick`` on the
+        #: configured cadence; ``elastic_declines`` mirrors the
+        #: optimizer's fusibility-decline reporting in the metrics.
+        self.elastic = None
+        self.elastic_declines: list[tuple[str, str]] = []
+        if elastic is not None:
+            if self.checkpoints is not None:
+                raise EngineError(
+                    "elastic= cannot combine with checkpointing: a "
+                    "checkpoint cut inside a migration window could "
+                    "snapshot a moved key's state twice (or not at all)"
+                )
+            from repro.elasticity.controller import ElasticController
+
+            self.elastic = ElasticController(self, elastic)
+            self.elastic_declines = self.elastic.declines
 
     # -- runtime surface seen by operators -----------------------------------------
 
@@ -329,6 +347,13 @@ class RuntimeCore:
                         )
                 else:
                     operator.forward_control(message)
+            elif message.kind is ControlMessageKind.REBALANCE:
+                # Elastic re-partitioning: the partition handles both
+                # directions (the controller's command and the merge's
+                # acknowledgement); every other operator relays hop by
+                # hop, walking the ack back up the lane.
+                if not operator.on_rebalance_control(message):
+                    operator.forward_control(message)
             else:
                 # END_OF_STREAM / SHUTDOWN are normally carried via queue
                 # closure; explicit messages of those kinds -- and any
@@ -350,17 +375,17 @@ class RuntimeCore:
         which point the stall becomes transitive toward the source
         exactly like an ordinary pause.
         """
-        paused = self._paused_outputs.get(operator.name)
-        if not paused:
-            return False
         if operator.lane_flow_control:
+            # Lane operators stall on *holding*, not on lane pauses --
+            # and holding can arise without any pause at all (a rebalance
+            # stash filling during a long migration window), so the
+            # operator is consulted even when no output edge is paused.
             holding = operator.holding_pressure()
-            # Stall accounting for lane operators: they stall only while
-            # *holding*, and that transition happens mid-processing (a
-            # stash filling), so the paused clock starts and stops at the
-            # runtime's next observation here -- every engine consults
-            # is_paused before scheduling, which bounds the error to one
-            # scheduling step.
+            # Stall accounting for lane operators: the holding transition
+            # happens mid-processing (a stash filling), so the paused
+            # clock starts and stops at the runtime's next observation
+            # here -- every engine consults is_paused before scheduling,
+            # which bounds the error to one scheduling step.
             name = operator.name
             if holding:
                 self._paused_since.setdefault(name, self.clock.now())
@@ -371,7 +396,7 @@ class RuntimeCore:
                         0.0, self.clock.now() - since
                     )
             return holding
-        return True
+        return bool(self._paused_outputs.get(operator.name))
 
     def check_pressure(self, producer: Operator, at: float | None = None) -> None:
         """Signal *pause* on any of ``producer``'s queues over high water.
@@ -583,16 +608,27 @@ class RuntimeCore:
 
     def collect_metrics(self) -> PlanMetrics:
         metrics = PlanMetrics()
+        # Shard-lane membership, so fused composites inside a lane report
+        # their stages under the lane ("group[lane]::composite::stage") --
+        # without it, same-named replicas' stages would collapse into one
+        # entry and the skew report could not attribute their work.
+        lane_prefix: dict[str, str] = {}
+        for group in self.plan.shard_groups:
+            for index, lane in enumerate(group.lanes):
+                for member in lane:
+                    lane_prefix[member] = f"{group.name}[{index}]"
         for op in self.plan:
             metrics.operator_metrics[op.name] = op.metrics
             metrics.total_work += op.metrics.busy_time
             # Fused composites fold their per-stage counters into the
             # report under "composite::stage" keys (duck-typed so the
             # runtime stays ignorant of the optimizer package).
+            prefix = lane_prefix.get(op.name)
             for stage in getattr(op, "fused_stages", ()):
-                metrics.operator_metrics[
-                    f"{op.name}::{stage.name}"
-                ] = stage.metrics
+                key = f"{op.name}::{stage.name}"
+                if prefix is not None:
+                    key = f"{prefix}::{key}"
+                metrics.operator_metrics[key] = stage.metrics
         for op in self.plan:
             # Keyed by (producer, consumer, port) -- the structural edge
             # identity -- rather than the queue's display name, so the
@@ -612,6 +648,7 @@ class RuntimeCore:
                     pages_flushed=queue.pages_flushed,
                 )
                 metrics.queue_metrics[entry.edge_key] = entry
+        metrics.elastic_declines = list(self.elastic_declines)
         self._collect_shard_metrics(metrics)
         if self.checkpoints is not None:
             metrics.checkpoint_epochs = len(
@@ -633,14 +670,18 @@ class RuntimeCore:
         for group in self.plan.shard_groups:
             partition = self.plan.operator(group.partition)
             merge = self.plan.operator(group.merge)
+            in_use = getattr(partition, "lanes_in_use", None)
             rollup = ShardGroupMetrics(
                 name=group.name,
                 key=group.key,
                 n=group.n,
                 regions_held=getattr(merge, "regions_held", 0),
                 regions_released=getattr(merge, "regions_released", 0),
+                rebalances=getattr(partition, "rebalances_completed", 0),
+                keys_migrated=getattr(partition, "keys_migrated", 0),
             )
             for index, lane in enumerate(group.lanes):
+                active = in_use is None or index in in_use
                 members = [self.plan.operator(name).metrics for name in lane]
                 ingress = (
                     partition.outputs[index].queue.elements_enqueued
@@ -655,8 +696,26 @@ class RuntimeCore:
                         tuples_out=sum(m.tuples_out for m in members),
                         busy_time=sum(m.busy_time for m in members),
                         time_paused=sum(m.time_paused for m in members),
+                        active=active,
                     )
                 )
+                if active:
+                    continue
+                # A parked lane's edges are stale topology: exclude them
+                # from plan-wide peak rollups (their history pre-dates
+                # the lane-count change).
+                if index < len(partition.outputs):
+                    edge = partition.outputs[index]
+                    metrics.inactive_edges.add(
+                        f"{partition.name}->"
+                        f"{edge.consumer.name}[{edge.consumer_port}]"
+                    )
+                for name in lane:
+                    for edge in self.plan.operator(name).outputs:
+                        metrics.inactive_edges.add(
+                            f"{name}->"
+                            f"{edge.consumer.name}[{edge.consumer_port}]"
+                        )
             metrics.shard_metrics[group.name] = rollup
 
     def build_result(self, metrics: PlanMetrics) -> RunResult:

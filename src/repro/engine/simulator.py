@@ -82,6 +82,7 @@ class Simulator(RuntimeCore):
         checkpoint_store: Any = None,
         recover_from: Any = None,
         ingestion_policy: str = "exactly-once",
+        elastic: Any = None,
     ) -> None:
         super().__init__(
             plan, VirtualClock(), control_latency=control_latency,
@@ -89,6 +90,7 @@ class Simulator(RuntimeCore):
             checkpoint_store=checkpoint_store,
             recover_from=recover_from,
             ingestion_policy=ingestion_policy,
+            elastic=elastic,
         )
         self.max_events = max_events
         self._events: list[tuple[float, int, int, str, Any]] = []
@@ -209,6 +211,10 @@ class Simulator(RuntimeCore):
             self._schedule_next_source_event(source)
         for time, action in self._actions:
             self._push(time, _PRIO_ACTION, "action", action)
+        if self.elastic is not None:
+            self._push(
+                self.elastic.config.interval, _PRIO_ACTION, "elastic", None
+            )
 
         while self._events:
             self._events_processed += 1
@@ -225,6 +231,8 @@ class Simulator(RuntimeCore):
                 self._handle_control(payload)
             elif kind == "action":
                 payload()
+            elif kind == "elastic":
+                self._handle_elastic()
             else:
                 self._handle_work(payload)
         return self._finalise()
@@ -269,6 +277,25 @@ class Simulator(RuntimeCore):
         self._after_activity(operator)
         if not self.is_paused(operator) and self._has_data_work(operator):
             self.schedule_work(operator)
+
+    # -------------------------------------------------------------- elastic
+
+    def _handle_elastic(self) -> None:
+        """One controller tick on the virtual cadence, self-rescheduling.
+
+        The chain stops when the plan has finished *or* the heap is
+        empty after the tick -- an unconditional reschedule would keep
+        the run alive forever, and checking the heap preserves the old
+        termination semantics exactly (a quiet but unfinished plan still
+        has its own events pending).
+        """
+        now = self.clock.now()
+        self.elastic.tick(now)
+        if self._events and not all(op.finished for op in self.plan):
+            self._push(
+                now + self.elastic.config.interval,
+                _PRIO_ACTION, "elastic", None,
+            )
 
     # ---------------------------------------------------------------- work
 

@@ -107,6 +107,7 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
         checkpoint_store: Any = None,
         recover_from: Any = None,
         ingestion_policy: str = "exactly-once",
+        elastic: Any = None,
     ) -> None:
         # ``clock`` lets a coordinating engine share one wall-clock epoch
         # across several runtimes (the multiprocess engine constructs it
@@ -118,6 +119,7 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
             checkpoint_store=checkpoint_store,
             recover_from=recover_from,
             ingestion_policy=ingestion_policy,
+            elastic=elastic,
         )
         self.timeout = timeout
         self.emulate_costs = emulate_costs
@@ -274,6 +276,28 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
                 self.check_pressure(operator)
                 self._wakeup.notify_all()
 
+    def _elastic_body(self, stop: threading.Event) -> None:
+        """Controller ticker: observe/decide/apply every ``interval``.
+
+        Ticks run under the plan lock -- the controller reads operator
+        counters and enqueues control, both of which the operator
+        threads also do under that lock -- so no new synchronisation is
+        needed; the partition applies decisions from its own thread.
+        """
+        interval = self.elastic.config.interval
+        try:
+            while not stop.wait(interval):
+                with self._lock:
+                    if self._abort_error is not None:
+                        return
+                    self.elastic.tick(self.clock.now())
+                    self._wakeup.notify_all()
+        except BaseException as error:  # noqa: BLE001 - re-raised in run()
+            with self._lock:
+                if self._abort_error is None:
+                    self._abort_error = error
+                self._wakeup.notify_all()
+
     def _guard_body(
         self, body: Callable[[Operator], None], operator: Operator
     ) -> None:
@@ -347,6 +371,14 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
             timer = threading.Timer(time, self._run_action, args=(action,))
             timer.daemon = True
             timers.append(timer)
+        ticker: threading.Thread | None = None
+        ticker_stop = threading.Event()
+        if self.elastic is not None:
+            ticker = threading.Thread(
+                target=self._elastic_body, args=(ticker_stop,),
+                name="elastic-controller", daemon=True,
+            )
+            ticker.start()
         for thread in threads:
             thread.start()
         for timer in timers:
@@ -368,6 +400,9 @@ class ThreadedRuntime(NotificationPolicy, RuntimeCore):
                 timer.cancel()
             for timer in timers:
                 timer.join(self.timeout)
+            if ticker is not None:
+                ticker_stop.set()
+                ticker.join(self.timeout)
         if self._abort_error is not None:
             raise self._abort_error
         if self._action_errors:

@@ -37,6 +37,7 @@ from repro.core.feedback import (
     CheckpointPunctuation,
     FeedbackIntent,
     FeedbackPunctuation,
+    RebalancePunctuation,
 )
 from repro.core.guards import GuardSet
 from repro.core.propagation import PropagationPlanner
@@ -323,6 +324,9 @@ class Operator(abc.ABC):
         if isinstance(element, CheckpointPunctuation):
             self._on_checkpoint_marker(port_index, element)
             return
+        if isinstance(element, RebalancePunctuation):
+            self._on_rebalance_marker(port_index, element)
+            return
         port = self.input_port(port_index)
         if element.is_punctuation:
             self.metrics.punctuations_in += 1
@@ -406,6 +410,12 @@ class Operator(abc.ABC):
                             port_index, deque()
                         ).extend(elements[position + 1:])
                         return
+                    continue
+                if isinstance(element, RebalancePunctuation):
+                    # Rebalance markers never block a port (lane members
+                    # are single-input by eligibility), so no remainder
+                    # stashing is needed here.
+                    self._on_rebalance_marker(port_index, element)
                     continue
                 metrics.punctuations_in += 1
                 released = guards.expire_with(element)
@@ -589,6 +599,106 @@ class Operator(abc.ABC):
         """
         if self._ckpt_heads is not None:
             self._ckpt_pump()
+
+    # ------------------------------------------------- elastic rebalancing
+
+    def rebalance_migratable(self, key_names: Sequence[str]) -> str | None:
+        """Can this operator's state migrate between shard lanes?
+
+        Returns None when it can, else a human-readable decline reason
+        (the elastic controller records it and leaves the region alone).
+        The default says yes for stateless operators -- nothing to move
+        -- and no for any operator that snapshots state but offers no
+        keyed extraction seam: migrating a slice of opaque state is not
+        possible without one.
+        """
+        if self.n_inputs > 1:
+            return "multi-input operator inside a shard lane"
+        if (
+            type(self).snapshot_state is not Operator.snapshot_state
+            and type(self).extract_keyed_state
+            is Operator.extract_keyed_state
+        ):
+            return "stateful operator without a keyed-state seam"
+        return None
+
+    def extract_keyed_state(
+        self,
+        key_names: Sequence[str],
+        route: Callable[[Sequence[Any]], "int | None"],
+    ) -> dict[int, Any]:
+        """Remove and return state for keys ``route`` sends elsewhere.
+
+        ``route(key_values)`` returns the destination lane for moved
+        keys and None for keys staying put.  The result maps destination
+        lanes to opaque *blobs*; each blob should be a dict keyed by
+        state key (the ledger sizes migrations by ``len(blob)``), and
+        must round-trip through :meth:`install_keyed_state`.  Default:
+        nothing to extract (stateless operators).
+        """
+        return {}
+
+    def install_keyed_state(
+        self, key_names: Sequence[str], blob: Any
+    ) -> None:
+        """Merge a blob from :meth:`extract_keyed_state` into this state.
+
+        Must *accumulate* rather than overwrite: on the abort path a
+        lane re-installs its own deposit on top of state it has since
+        rebuilt from post-cut tuples.
+        """
+
+    def on_rebalance_control(self, message: ControlMessage) -> bool:
+        """Handle a REBALANCE control message; False forwards it on.
+
+        The partition overrides this (commands arrive downstream from
+        the controller, acks upstream from the merge); every other
+        operator relays hop-by-hop via :meth:`forward_control`.
+        """
+        return False
+
+    def _on_rebalance_marker(
+        self, port_index: int, marker: RebalancePunctuation
+    ) -> None:
+        """A rebalance marker reached this lane member in stream order.
+
+        ``cut``: every pre-cut tuple on this lane is already folded into
+        local state (the marker rides the data queue behind them), so
+        extracting moved keys *now* captures exactly the pre-cut state;
+        the partition holds moved-key tuples until the install, so this
+        state cannot grow stale while banked.  ``install``: claim and
+        merge deposits destined for this seat.  ``restore``: the
+        rebalance aborted -- take back what this seat deposited.  The
+        marker then sweeps on downstream (the merge terminates it).
+        """
+        record = marker.record
+        if record is not None:
+            position = record.positions.get(self.name)
+            if position is not None:
+                lane, member = position
+                if marker.phase == "cut":
+                    if not record.aborted:
+                        extracted = self.extract_keyed_state(
+                            record.key_names, record.dest_of
+                        )
+                        for dest, blob in sorted(extracted.items()):
+                            if not record.deposit(
+                                member, lane, dest, blob
+                            ):
+                                # Aborted between the check and the
+                                # deposit (threaded race): keep the
+                                # state where it was.
+                                self.install_keyed_state(
+                                    record.key_names, blob
+                                )
+                elif marker.phase == "install":
+                    for blob in record.claim(member, lane):
+                        self.install_keyed_state(record.key_names, blob)
+                else:  # restore (abort path)
+                    for blob in record.reclaim(member, lane):
+                        self.install_keyed_state(record.key_names, blob)
+        for edge in self.outputs:
+            edge.queue.put(marker)
 
     # -------------------------------------------------------------- emission
 

@@ -407,6 +407,24 @@ class FusedOperator(Operator):
         entry.forward_control(message)
         self._pump_control()
 
+    # ------------------------------------------------------- elastic rebalancing
+
+    def rebalance_migratable(self, key_names: Sequence[str]) -> str | None:
+        """Delegate to the stages: the composite migrates iff all do.
+
+        The fusion whitelist is stateless, so every stage answers None
+        today; the delegation keeps the composite honest should the
+        whitelist ever widen.  Rebalance markers themselves are handled
+        at the composite boundary by the inherited machinery -- the
+        internal links never buffer, so boundary handling is exactly
+        equivalent to the materialized chain's hop-by-hop sweep.
+        """
+        for stage in self._stages:
+            reason = stage.rebalance_migratable(key_names)
+            if reason is not None:
+                return f"{stage.name}: {reason}"
+        return None
+
     # ------------------------------------------------------------- flow control
 
     def on_pause(self, punct: Any, from_edge: OutputEdge | None) -> None:

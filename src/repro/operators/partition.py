@@ -42,16 +42,30 @@ Control semantics across the shard boundary:
 from __future__ import annotations
 
 from typing import Any, Sequence
-from zlib import crc32
 
-from repro.core.feedback import FeedbackIntent, FeedbackPunctuation
+from repro.core.feedback import (
+    FeedbackIntent,
+    FeedbackPunctuation,
+    RebalancePunctuation,
+)
 from repro.core.roles import ExploitAction
+from repro.elasticity.rebalance import (
+    RebalanceCommand,
+    RebalanceRecord,
+    RebalanceRouter,
+    key_digest,
+)
 from repro.errors import PlanError
 from repro.operators.base import Operator, OutputEdge
 from repro.operators.union import Union
 from repro.punctuation.atoms import Equals, InSet
 from repro.punctuation.embedded import Punctuation
 from repro.punctuation.patterns import Pattern
+from repro.stream.control import (
+    ControlMessage,
+    ControlMessageKind,
+    Direction,
+)
 from repro.stream.schema import Schema, SchemaMapping
 from repro.stream.tuples import StreamTuple
 
@@ -59,21 +73,6 @@ __all__ = ["Partition", "ShardMerge"]
 
 #: Give up key-routing when a pattern's key atoms expand to more combos.
 _MAX_KEY_COMBOS = 64
-
-
-def _canonical_key_value(value: Any) -> Any:
-    """Collapse numeric types that compare equal onto one routing form.
-
-    Python's value equality makes ``1 == 1.0 == True`` -- an unsharded
-    group-by treats them as one group -- so routing must too, or a mixed
-    int/float key column would split one logical group across replicas
-    and the merged output would carry two partial aggregates for it.
-    """
-    if isinstance(value, bool):
-        return int(value)
-    if isinstance(value, float) and value.is_integer():
-        return int(value)
-    return value
 
 
 class Partition(Operator):
@@ -129,6 +128,27 @@ class Partition(Operator):
         self.tuples_stashed = 0
         self.lane_pauses = 0
         self.key_routed_feedback = 0
+        # -- elastic rebalancing (armed by the ElasticController) --------
+        #: Slot routing table; None keeps plain ``digest % fanout``
+        #: hashing (and the hot path branch-free), byte-identically.
+        self._router: RebalanceRouter | None = None
+        #: Tuples routed through each slot (the controller's skew signal).
+        self._slot_loads: list[int] = []
+        self._rebalance_epoch = 0
+        #: The in-flight rebalance's ledger (cut issued, ack pending).
+        self._pending_rebalance: RebalanceRecord | None = None
+        self._next_router: RebalanceRouter | None = None
+        #: Moved-slot tuples held between cut and install, arrival order.
+        self._rebalance_stash: list = []
+        #: Punctuation held during the migration window: broadcasting it
+        #: mid-migration could close windows at a destination lane before
+        #: the migrated partial state arrives.
+        self._held_puncts: list = []
+        self.rebalances_applied = 0
+        self.rebalances_completed = 0
+        self.rebalances_aborted = 0
+        self.keys_migrated = 0
+        self.tuples_held = 0
 
     def snapshot_state(self) -> dict[str, Any]:
         # ``_declared`` is keyed by ``id(edge)`` -- remap to lane indices,
@@ -178,18 +198,67 @@ class Partition(Operator):
         (``1``/``1.0``/``True``); key values must have value-based reprs
         (str, numbers, tuples of those) -- an address-based default repr
         would route nondeterministically across processes.
+
+        With elastic rebalancing armed the digest routes through the
+        slot table instead; the identity table makes that exactly
+        ``digest % fanout``, so arming alone changes nothing.
         """
-        digest = 0
-        for value in key_values:
-            digest = crc32(
-                repr(_canonical_key_value(value)).encode("utf-8"), digest
-            )
-        return digest % self.fanout
+        digest = key_digest(key_values)
+        router = self._router
+        if router is None:
+            return digest % self.fanout
+        return router.table[digest % router.num_slots]
 
     def lane_of(self, tup: StreamTuple) -> int:
         """The lane ``tup`` routes to."""
         values = tup.values
         return self.lane_of_key(*(values[i] for i in self._key_indices))
+
+    def _slot_lane_of(self, tup: StreamTuple) -> tuple[int | None, int]:
+        """Route one tuple: ``(slot, lane)``; slot is None when unarmed."""
+        values = tup.values
+        digest = key_digest(values[i] for i in self._key_indices)
+        router = self._router
+        if router is None:
+            return None, digest % self.fanout
+        slot = digest % router.num_slots
+        return slot, router.table[slot]
+
+    # -- elastic surface read by the controller / metrics rollup ---------
+
+    def enable_rebalancing(self, router: RebalanceRouter) -> None:
+        """Arm runtime re-partitioning with ``router`` (controller call)."""
+        if router.num_slots % self.fanout != 0:
+            raise PlanError(
+                f"{self.name}: slot count {router.num_slots} must be a "
+                f"multiple of the fanout {self.fanout}"
+            )
+        if not router.lanes_in_use <= set(range(self.fanout)):
+            raise PlanError(
+                f"{self.name}: routing table names lanes outside "
+                f"0..{self.fanout - 1}"
+            )
+        self._router = router
+        self._slot_loads = [0] * router.num_slots
+
+    @property
+    def router(self) -> RebalanceRouter | None:
+        return self._router
+
+    @property
+    def slot_loads(self) -> list[int]:
+        return self._slot_loads
+
+    @property
+    def lanes_in_use(self) -> frozenset[int]:
+        """Lanes the live table can route to (all lanes when unarmed)."""
+        if self._router is None:
+            return frozenset(range(self.fanout))
+        return self._router.lanes_in_use
+
+    @property
+    def rebalance_pending(self) -> bool:
+        return self._pending_rebalance is not None
 
     def on_start(self) -> None:
         if len(self.outputs) != self.fanout:
@@ -201,7 +270,21 @@ class Partition(Operator):
     # ------------------------------------------------------------------ data
 
     def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
-        lane = self.lane_of(tup)
+        slot, lane = self._slot_lane_of(tup)
+        if slot is not None:
+            self._slot_loads[slot] += 1
+            record = self._pending_rebalance
+            if record is not None and slot in record.moved:
+                # A moved key's old lane already cut its state; its new
+                # lane has not installed it yet.  Hold the tuple here --
+                # routing it either way would split the key's history.
+                if self.output_guards.blocks(tup):
+                    self.metrics.output_guard_drops += 1
+                    return
+                self.metrics.tuples_out += 1
+                self._rebalance_stash.append(tup)
+                self.tuples_held += 1
+                return
         if lane not in self._paused_lanes:
             self.emit_to(lane, tup)
             return
@@ -216,15 +299,26 @@ class Partition(Operator):
         """Batch path: bucket the run by lane, one bulk emit per lane.
 
         Subclasses overriding :meth:`on_tuple` fall back to element-wise
-        dispatch -- the shortcut is only valid for plain hash routing.
+        dispatch, as does a migration window in progress -- the shortcut
+        is only valid for plain table routing.
         """
-        if type(self).on_tuple is not Partition.on_tuple:
+        if (
+            type(self).on_tuple is not Partition.on_tuple
+            or self._pending_rebalance is not None
+        ):
             for tup in batch:
                 self.on_tuple(port_index, tup)
             return
         buckets: dict[int, list] = {}
-        for tup in batch:
-            buckets.setdefault(self.lane_of(tup), []).append(tup)
+        if self._router is None:
+            for tup in batch:
+                buckets.setdefault(self.lane_of(tup), []).append(tup)
+        else:
+            loads = self._slot_loads
+            for tup in batch:
+                slot, lane = self._slot_lane_of(tup)
+                loads[slot] += 1
+                buckets.setdefault(lane, []).append(tup)
         blocks = (
             self.output_guards.blocks if len(self.output_guards) else None
         )
@@ -256,22 +350,42 @@ class Partition(Operator):
         """
         self.output_guards.expire_with(punct)
         self.metrics.punctuations_out += 1
-        for lane, edge in enumerate(self.outputs):
-            if lane in self._paused_lanes:
-                self._stash.setdefault(lane, []).append(punct)
-            else:
-                edge.queue.put(punct)
+        if self._pending_rebalance is not None:
+            # Held until install: broadcasting now could close a window
+            # at a destination lane before the migrated partial state
+            # for keys the punctuation covers has arrived there.
+            self._held_puncts.append(punct)
+            return
+        self._broadcast_element(punct)
+
+    def _put_lane(self, lane: int, element: Any) -> None:
+        """Queue ``element`` on one lane, or its stash while paused."""
+        if lane in self._paused_lanes:
+            self._stash.setdefault(lane, []).append(element)
+        else:
+            self.outputs[lane].queue.put(element)
+
+    def _broadcast_element(self, element: Any) -> None:
+        """Queue ``element`` on every lane, respecting paused stashes."""
+        for lane in range(len(self.outputs)):
+            self._put_lane(lane, element)
 
     def on_finish(self) -> None:
-        # The stream is over: ship every stash (the queues close right
+        # The stream is over.  A cut whose ack can no longer arrive must
+        # roll back first, then ship every stash (the queues close right
         # after this hook, and the consumers will drain them) so no
         # element is stranded behind a pause that can no longer lift.
+        record = self._pending_rebalance
+        if record is not None:
+            self._abort_rebalance(record)
         for lane in list(self._stash):
             self._flush_stash(lane)
 
     # -------------------------------------------------- per-lane flow control
 
     def holding_pressure(self) -> bool:
+        if len(self._rebalance_stash) >= self.stash_limit:
+            return True
         return any(
             len(stash) >= self.stash_limit
             for stash in self._stash.values()
@@ -308,6 +422,147 @@ class Partition(Operator):
         queue = self.outputs[lane].queue
         for element in pending:  # guards/counters applied at stash time
             queue.put(element)
+
+    # ------------------------------------------------- elastic rebalancing
+
+    def rebalance_migratable(self, key_names: tuple[str, ...]) -> str | None:
+        # A nested shard region's keys are split across *its* lanes; the
+        # outer migration cannot collect them through this partition.
+        return "nested shard regions cannot migrate through their partition"
+
+    def on_rebalance_control(self, message: ControlMessage) -> bool:
+        """Partition's half of the rebalance control protocol.
+
+        Downstream carries the controller's :class:`RebalanceCommand`
+        (phase one starts here); upstream carries the merge's completed
+        cut acknowledgement -- the shared :class:`RebalanceRecord` --
+        relayed hop-by-hop back through the lanes (phase two lands
+        here).
+        """
+        payload = message.payload
+        if message.direction is Direction.DOWNSTREAM and isinstance(
+            payload, RebalanceCommand
+        ):
+            self._begin_rebalance(payload)
+            return True
+        if message.direction is Direction.UPSTREAM and isinstance(
+            payload, RebalanceRecord
+        ):
+            self._complete_rebalance(payload)
+            return True
+        return False
+
+    def _shard_group(self) -> Any | None:
+        plan = getattr(self.runtime, "plan", None)
+        if plan is None:
+            return None
+        for group in plan.shard_groups:
+            if group.partition == self.name:
+                return group
+        return None
+
+    def _begin_rebalance(self, command: RebalanceCommand) -> None:
+        """Phase one: cut.  Freeze moved keys; ask the lanes to pack up.
+
+        The CUT marker broadcasts to *every* lane (a moved slot's source
+        lane must extract, and marker arrival doubles as the region-wide
+        barrier the merge counts).  From this point until the install,
+        tuples routed to a moved slot are held in ``_rebalance_stash``
+        and all punctuation is held, so no lane sees traffic for a key
+        whose state is in flight.
+        """
+        router = self._router
+        if router is None or self.finished or self._pending_rebalance:
+            return
+        group = self._shard_group()
+        if group is None:
+            return
+        moves = {
+            slot: dest
+            for slot, dest in command.assignments
+            if 0 <= slot < router.num_slots
+            and 0 <= dest < self.fanout
+            and router.table[slot] != dest
+        }
+        if not moves:
+            return
+        positions: dict[str, tuple[int, int]] = {}
+        for lane_index, lane_members in enumerate(group.lanes):
+            for member_position, member in enumerate(lane_members):
+                positions[member] = (lane_index, member_position)
+        self._rebalance_epoch += 1
+        record = RebalanceRecord(
+            self._rebalance_epoch,
+            key_names=self.key,
+            moved=moves,
+            num_slots=router.num_slots,
+            positions=positions,
+        )
+        self._pending_rebalance = record
+        self._next_router = router.with_assignments(moves)
+        self.rebalances_applied += 1
+        self._broadcast_element(
+            RebalancePunctuation(
+                record.epoch, "cut",
+                issuer=self.name, record=record, issued_at=self.now(),
+            )
+        )
+
+    def _complete_rebalance(self, record: RebalanceRecord) -> None:
+        """Phase two: install.  Swap tables and release what was held.
+
+        Runs when the merge's acknowledgement (every lane saw the cut,
+        so every deposit is in the ledger) arrives back at this seat.
+        INSTALL markers go out first, then the held tuples re-routed
+        through the *new* table -- each lands behind the marker that
+        makes its lane claim the key's state -- and finally the held
+        punctuation, broadcast behind everything it could cover.
+        """
+        if record is not self._pending_rebalance or record.aborted:
+            return
+        self._broadcast_element(
+            RebalancePunctuation(
+                record.epoch, "install",
+                issuer=self.name, record=record, issued_at=self.now(),
+            )
+        )
+        self._router = self._next_router
+        self._next_router = None
+        self._pending_rebalance = None
+        stash, self._rebalance_stash = self._rebalance_stash, []
+        for tup in stash:  # guards/counters applied at stash time
+            self._put_lane(self.lane_of(tup), tup)
+        held, self._held_puncts = self._held_puncts, []
+        for punct in held:
+            self._broadcast_element(punct)
+        self.rebalances_completed += 1
+        self.keys_migrated += record.keys_moved
+
+    def _abort_rebalance(self, record: RebalanceRecord) -> None:
+        """Roll back a cut whose acknowledgement can no longer arrive.
+
+        ``abort`` flips the shared record under its lock, so a deposit
+        still racing in from a lane member fails and re-installs at its
+        source; RESTORE markers then make every seat reclaim its own
+        deposits.  The held tuples re-route through the *old* table --
+        behind the restore markers, so state is back before they land.
+        """
+        record.abort()
+        self.rebalances_aborted += 1
+        self._broadcast_element(
+            RebalancePunctuation(
+                record.epoch, "restore",
+                issuer=self.name, record=record, issued_at=self.now(),
+            )
+        )
+        self._pending_rebalance = None
+        self._next_router = None
+        stash, self._rebalance_stash = self._rebalance_stash, []
+        for tup in stash:  # guards/counters applied at stash time
+            self._put_lane(self.lane_of(tup), tup)
+        held, self._held_puncts = self._held_puncts, []
+        for punct in held:
+            self._broadcast_element(punct)
 
     # -------------------------------------------------------------- feedback
 
@@ -469,6 +724,10 @@ class ShardMerge(Union):
         super().__init__(name, schema, arity=arity, **kwargs)
         self.regions_held = 0
         self.regions_released = 0
+        # Rebalance barrier bookkeeping: marker arrivals per epoch.
+        self._rebalance_cuts: dict[int, int] = {}
+        self._rebalance_installs: dict[int, int] = {}
+        self.rebalances_completed = 0
 
     def snapshot_state(self) -> dict[str, Any]:
         # Chains Union's snapshot: the per-lane frontiers are what decides
@@ -490,3 +749,49 @@ class ShardMerge(Union):
             self.emit_punctuation(punct)
         else:
             self.regions_held += 1
+
+    def _on_rebalance_marker(
+        self, port_index: int, marker: RebalancePunctuation
+    ) -> None:
+        """The merge is the region's barrier: count, acknowledge, absorb.
+
+        A CUT marker on every lane proves each member between partition
+        and merge has processed its cut -- all migrating state sits in
+        the record's deposit ledger -- so the arity'th arrival sends the
+        record back upstream as a ``REBALANCE`` acknowledgement (relayed
+        hop-by-hop to the partition, which then installs).  INSTALL
+        arrivals re-arm this epoch's bookkeeping; RESTORE (an aborted
+        cut) just clears it.  No marker crosses the merge: rebalancing
+        is interior to the shard region, invisible downstream.
+        """
+        record = marker.record
+        if marker.phase == "cut":
+            seen = self._rebalance_cuts.get(marker.epoch, 0) + 1
+            self._rebalance_cuts[marker.epoch] = seen
+            if seen < self.n_inputs:
+                return
+            del self._rebalance_cuts[marker.epoch]
+            if record is None or record.aborted:
+                return
+            port = self.input_port(0)
+            port.control.send(
+                ControlMessage(
+                    ControlMessageKind.REBALANCE,
+                    Direction.UPSTREAM,
+                    payload=record,
+                    sender=self.name,
+                    sent_at=self.now(),
+                )
+            )
+            if port.producer is not None:
+                self.runtime.notify_control(port.producer, at=self.now())
+            return
+        if marker.phase == "install":
+            seen = self._rebalance_installs.get(marker.epoch, 0) + 1
+            self._rebalance_installs[marker.epoch] = seen
+            if seen == self.n_inputs:
+                del self._rebalance_installs[marker.epoch]
+                self.rebalances_completed += 1
+            return
+        # restore: the epoch never completed; drop its cut counts.
+        self._rebalance_cuts.pop(marker.epoch, None)

@@ -3,10 +3,14 @@
 A *fusible* operator is a single-input stateless verb -- SELECT, PROJECT,
 MAP, PASSTHROUGH -- with nothing that ties it to its own seat in the
 plan: no cost metering (virtual-time charging is per schedulable unit),
-no checkpointable state, no per-lane flow control, and no membership in a
-shard region (lane metrics roll up by operator name).  Maximal runs of
-two or more fusible operators along single-fanout edges become one
-:class:`~repro.operators.fused.FusedOperator`.
+no checkpointable state, no per-lane flow control, and not a shard
+region *boundary* (Partition and ShardMerge anchor the region's control
+plane).  Lane interiors do fuse: the pass rewrites the owning
+:class:`~repro.engine.plan.ShardGroup`'s lane tuple so the region
+record stays truthful, and the metrics rollup attributes a composite's
+stages back to their lane (``lane::composite::stage`` keys).  Maximal
+runs of two or more fusible operators along single-fanout edges become
+one :class:`~repro.operators.fused.FusedOperator`.
 
 Every decline is recorded with its reason: an optimized plan's report
 says not just what fused but why the rest did not.
@@ -30,12 +34,18 @@ FUSIBLE_TYPES = (Select, Project, Map, PassThrough)
 
 
 def shard_bound_names(plan: QueryPlan) -> set[str]:
-    """Operators a shard region pins by name (members + boundaries)."""
+    """Operators a shard region pins by name (the lane boundaries).
+
+    Only the Partition and ShardMerge are pinned: they are the region's
+    control-plane endpoints (routing tables, rebalance markers, ack
+    counting live there).  Lane *members* are free to fuse --
+    :func:`fuse_chains` rewrites the group's lane tuples afterwards so
+    the region record names the composite.
+    """
     names: set[str] = set()
     for group in plan.shard_groups:
         names.add(group.partition)
         names.add(group.merge)
-        names.update(group.members)
     return names
 
 
@@ -56,7 +66,7 @@ def fusible_reason(
     if op.lane_flow_control:
         return "per-lane flow control"
     if op.name in shard_bound:
-        return "member of a shard region (per-lane metrics roll up by name)"
+        return "shard region boundary (anchors the region's control plane)"
     if op.inputs[0] is None:
         return "input not wired"
     return None
@@ -142,6 +152,10 @@ def fuse_chains(plan: QueryPlan, report) -> None:
     """Run the fusion pass over ``plan``, recording into ``report``."""
     chains, declined = _find_chains(plan)
     for chain in chains:
+        chain_names = [op.name for op in chain]
         fused = _fuse_one(plan, chain)
+        # A chain that lived inside a shard lane replaced that lane's
+        # run of member names; keep the region record truthful.
+        plan.replace_lane_members(chain_names, fused.name)
         report.fused.append((fused.name, fused.stage_names))
     report.declined.extend(declined)

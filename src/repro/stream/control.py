@@ -47,6 +47,9 @@ class ControlMessageKind(enum.Enum):
     FLOW_CONTROL = "flow_control"      # upstream; payload: FlowControlPunctuation
     RESULT_REQUEST = "result_request"  # upstream; payload: optional pattern
     CHECKPOINT = "checkpoint"          # upstream; payload: CheckpointPunctuation
+    REBALANCE = "rebalance"            # either direction; payload: RebalanceCommand
+                                       # (downstream: controller -> partition) or
+                                       # RebalanceRecord ack (upstream: merge -> partition)
     END_OF_STREAM = "end_of_stream"    # downstream; payload: None
     SHUTDOWN = "shutdown"              # either direction; payload: reason str
 

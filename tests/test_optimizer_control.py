@@ -110,7 +110,8 @@ class TestFeedbackThroughFusion:
         assert stage.feedback_received > 0
 
     def test_cross_shard_feedback_broadcast_with_optimize(self):
-        """Shard lanes decline fusion, and feedback still broadcasts
+        """Lane interiors fuse (boundaries stay), the region record is
+        rewritten to name the composites, and feedback still broadcasts
         across the region identically."""
 
         def shard_flow():
@@ -131,11 +132,16 @@ class TestFeedbackThroughFusion:
 
         plan = shard_flow().build()
         report = optimize(plan)
-        assert report.fused == []
-        shard_declines = [
-            d for d in report.declined if "shard" in d[1]
-        ]
-        assert len(shard_declines) == 4  # 2 lanes x 2 stages
+        assert sorted(name for name, _ in report.fused) == [
+            "where+map", "where_2+map_2"
+        ]  # one composite per lane interior
+        # The boundaries stay materialized (they anchor the region's
+        # control plane) and the region record now names the composites.
+        reasons = dict(report.declined)
+        assert "Partition" in reasons["region"]
+        assert "ShardMerge" in reasons["region_merge"]
+        region = next(g for g in plan.shard_groups if g.name == "region")
+        assert region.lanes == (("where+map",), ("where_2+map_2",))
 
         out_schema = SCHEMA.concat(Schema([("double", "float")]))
         feedback = FeedbackPunctuation(
