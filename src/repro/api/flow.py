@@ -65,7 +65,12 @@ from repro.operators.pace import Pace
 from repro.operators.partition import Partition, ShardMerge
 from repro.operators.project import Project
 from repro.operators.select import Select
-from repro.operators.sink import AwaitableSink, CollectSink, OnDemandSink
+from repro.operators.sink import (
+    AwaitableSink,
+    CollectSink,
+    OnDemandSink,
+    PushSink,
+)
 from repro.operators.source import (
     AsyncIterableSource,
     GeneratorSource,
@@ -75,6 +80,7 @@ from repro.operators.source import (
 from repro.operators.aggregate import WindowAggregate
 from repro.operators.union import Union
 from repro.punctuation.patterns import Pattern
+from repro.stream.channels import Broadcast, Channel
 from repro.stream.pages import DEFAULT_PAGE_SIZE
 from repro.stream.schema import Attribute, Schema
 from repro.stream.tuples import StreamTuple
@@ -725,6 +731,46 @@ class StreamHandle:
         )
         return self.flow
 
+    def push(
+        self,
+        name: str = "out",
+        *,
+        high_water: int = 64,
+        low_water: int | None = None,
+        retain: int | None = 1024,
+        keep_punctuation: bool = False,
+        page_size: int | None = None,
+        queue_capacity: int | None = None,
+        configure: Callable[[Operator], None] | None = None,
+        **op_kwargs: Any,
+    ) -> "Flow":
+        """Terminate in a :class:`PushSink` publishing to a `Broadcast`.
+
+        The serving delivery terminal: every result is pushed into the
+        flow's :meth:`Flow.hub` the moment it is produced, fanning out
+        to live subscribers (SSE/websocket clients).  ``high_water`` /
+        ``low_water`` bound each subscriber's buffer via the hub's
+        admission gate; ``retain`` caps the sink's local result history
+        so always-on flows run in bounded memory (``docs/serving.md``).
+
+        Like :meth:`Flow.ingest`'s channel, the hub persists across
+        builds: subscribers survive a supervised restart.
+        """
+        schema = self.schema
+        hub = Broadcast(name, high_water=high_water, low_water=low_water)
+        self.flow._derive(
+            lambda name: PushSink(
+                name, schema, publish=hub.publish, on_complete=hub.close,
+                retain=retain, keep_punctuation=keep_punctuation,
+                **op_kwargs,
+            ),
+            name=name, base="out", kind="push", inputs=(self,),
+            page_size=page_size, queue_capacity=queue_capacity,
+            configure=configure,
+        )
+        self.flow._serving_hubs[name] = hub
+        return self.flow
+
     def on_demand(
         self,
         name: str = "client",
@@ -787,6 +833,11 @@ class Flow:
         self._edges: list[_Edge] = []
         self._names: set[str] = set()
         self._shard_regions: list[ShardGroup] = []
+        #: Serving adapters (``ingest``/``push`` verbs): persistent
+        #: channels and hubs shared by every build of this flow, keyed
+        #: by stage name.  The serving supervisor introspects these.
+        self._serving_channels: dict[str, Channel] = {}
+        self._serving_hubs: dict[str, Broadcast] = {}
 
     # -- sources ------------------------------------------------------------------
 
@@ -863,6 +914,77 @@ class Flow:
         )
         self._commit_node(node)
         return StreamHandle(self, node)
+
+    def ingest(
+        self,
+        schema: Schema,
+        *,
+        name: str | None = None,
+        capacity: int = 256,
+        **op_kwargs: Any,
+    ) -> StreamHandle:
+        """Add a network-fed source backed by a persistent `Channel`.
+
+        The serving verb: returns a stream handle like any other source,
+        but input arrives at runtime through :meth:`channel`'s
+        :meth:`~repro.stream.Channel.put` -- typically called by the
+        serving layer's HTTP/websocket handlers.  ``capacity`` bounds
+        the in-channel backlog: when the plan is paused by backpressure,
+        producers awaiting ``put`` are suspended rather than dropped, so
+        overload propagates to the socket (``docs/serving.md``).
+
+        Unlike the per-run sources, the channel *persists across
+        builds*: a supervisor restarting a crashed flow re-attaches a
+        fresh source coroutine to the same channel, and elements
+        admitted during the outage are delivered by the next run.
+        """
+        stage_name = self._next_name(name, "ingest")
+        channel = Channel(stage_name, schema, capacity=capacity)
+        handle = self.from_async_iterable(
+            schema, channel.stream, name=stage_name,
+            idle_flush=lambda: channel.idle, **op_kwargs,
+        )
+        self._serving_channels[stage_name] = channel
+        return handle
+
+    def channel(self, name: str | None = None) -> Channel:
+        """The ingest channel created by :meth:`ingest`.
+
+        With one ingest stage the name may be omitted; with several it
+        selects by stage name.
+        """
+        return self._serving_entry(
+            self._serving_channels, name, "ingest channel", "ingest()"
+        )
+
+    def hub(self, name: str | None = None) -> Broadcast:
+        """The delivery hub created by a ``.push()`` terminal."""
+        return self._serving_entry(
+            self._serving_hubs, name, "delivery hub", ".push()"
+        )
+
+    def _serving_entry(
+        self, table: dict[str, Any], name: str | None, what: str, verb: str
+    ) -> Any:
+        if name is not None:
+            try:
+                return table[name]
+            except KeyError:
+                raise FlowError(
+                    f"flow {self.name!r} has no {what} named {name!r}; "
+                    f"declared: {sorted(table) or 'none'}"
+                ) from None
+        if not table:
+            raise FlowError(
+                f"flow {self.name!r} declares no {what}; add a {verb} "
+                f"stage first"
+            )
+        if len(table) > 1:
+            raise FlowError(
+                f"flow {self.name!r} has several {what}s "
+                f"({sorted(table)}); pass a name"
+            )
+        return next(iter(table.values()))
 
     def merge(
         self,

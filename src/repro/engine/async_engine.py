@@ -82,7 +82,8 @@ class AsyncioEngine(NotificationPolicy, RuntimeCore):
         Run-level watchdog: maximum wall-clock seconds for the whole
         plan to drain (worker waits themselves are untimed and purely
         notification-driven), mirroring the threaded runtime's join
-        watchdog.
+        watchdog.  ``None`` disables the watchdog for always-on serving
+        flows whose sources never end until drained by a supervisor.
     control_latency:
         Wall-clock seconds between sending a control message and its
         arrival (the simulator's feedback propagation delay, honoured
@@ -99,7 +100,7 @@ class AsyncioEngine(NotificationPolicy, RuntimeCore):
         self,
         plan: QueryPlan,
         *,
-        timeout: float = 60.0,
+        timeout: float | None = 60.0,
         control_latency: float = 0.0,
         emulate_costs: bool = False,
         checkpoint_every: int | None = None,
@@ -204,6 +205,12 @@ class AsyncioEngine(NotificationPolicy, RuntimeCore):
                 await self._wait_for_work(source)
                 self.drain_control(source)
             self.dispatch_source_element(source, element)
+            wants_flush = getattr(source, "wants_flush", None)
+            if wants_flush is not None and wants_flush():
+                # Interactive feed gone quiet (Flow.ingest's channel is
+                # empty): flush partial pages now rather than batching
+                # them against input that may be seconds away.
+                source.flush_outputs()
             self.check_pressure(source)
             self._waiter.notify_all()
         finally:
@@ -241,6 +248,13 @@ class AsyncioEngine(NotificationPolicy, RuntimeCore):
                         port = candidate
                         break
                 if page is None:
+                    # Out of input: flush partial output pages before
+                    # parking, so interactive (always-on) flows deliver
+                    # results at input-idle time instead of holding them
+                    # until a page fills.  Under sustained load pages
+                    # fill before the input runs dry, so batching -- and
+                    # the batch-path throughput floor -- is preserved.
+                    operator.flush_outputs()
                     self.check_input_completion(operator)
                     if operator.finished:
                         return

@@ -665,6 +665,20 @@ class RuntimeCore:
         metrics.makespan = self.clock.now()
         return metrics
 
+    def live_metrics(self) -> PlanMetrics:
+        """A mid-run metrics snapshot for monitoring endpoints.
+
+        :meth:`collect_metrics` reads plain counters and never blocks,
+        so on the cooperative single-threaded asyncio engine it is safe
+        to call from another coroutine while the run is in flight --
+        this alias documents that contract for the serving layer's
+        ``/metrics`` endpoint.  On the threaded/multiprocess engines the
+        counters are written concurrently, so a live snapshot is
+        approximate (torn reads of independent counters, never a crash);
+        final end-of-run numbers remain exact on every engine.
+        """
+        return self.collect_metrics()
+
     def _collect_shard_metrics(self, metrics: PlanMetrics) -> None:
         """Roll operator counters up per shard-group lane (skew report)."""
         for group in self.plan.shard_groups:

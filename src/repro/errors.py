@@ -68,6 +68,16 @@ class WorkloadError(ReproError):
     """A workload generator was configured with invalid parameters."""
 
 
+class ServingError(ReproError):
+    """The network serving layer was misconfigured or misused.
+
+    Raised for ingest into closed channels, admission-control violations
+    (tenant over its concurrent-flow cap), malformed client payloads, and
+    requests for optional serving dependencies (uvloop) that are not
+    installed in this environment.
+    """
+
+
 class DurabilityError(ReproError):
     """Checkpointing or recovery was configured or used incorrectly.
 

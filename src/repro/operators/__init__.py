@@ -23,7 +23,12 @@ from repro.operators.passthrough import PassThrough
 from repro.operators.project import Project
 from repro.operators.router import Router
 from repro.operators.select import QualityFilter, Select
-from repro.operators.sink import AwaitableSink, CollectSink, OnDemandSink
+from repro.operators.sink import (
+    AwaitableSink,
+    CollectSink,
+    OnDemandSink,
+    PushSink,
+)
 from repro.operators.source import (
     AsyncIterableSource,
     GeneratorSource,
@@ -56,6 +61,7 @@ __all__ = [
     "PriorityBuffer",
     "Project",
     "PunctuatedSource",
+    "PushSink",
     "QualityFilter",
     "Router",
     "Select",

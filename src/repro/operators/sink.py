@@ -30,7 +30,7 @@ from repro.punctuation.patterns import Pattern
 from repro.stream.schema import Schema
 from repro.stream.tuples import StreamTuple
 
-__all__ = ["AwaitableSink", "CollectSink", "OnDemandSink"]
+__all__ = ["AwaitableSink", "CollectSink", "OnDemandSink", "PushSink"]
 
 
 class CollectSink(Operator):
@@ -123,6 +123,27 @@ class CollectSink(Operator):
         if self.keep_punctuation:
             self.punctuations.append(punct)
 
+    def on_run_aborted(self, error: BaseException) -> None:
+        """Make deliveries buffered since the last checkpoint durable.
+
+        The delivery-log writer is write-through but buffered: entries
+        become durable at ``flush()``, which the checkpoint coordinator
+        calls at each marker and at clean finish.  A cancelled or failed
+        run reaches neither, so without this hook every delivery since
+        the last cut would vanish from the log.  Flushing here is safe
+        for exactly-once recovery: the replay window is counted from the
+        recovered cut over whatever the log holds, so the extra entries
+        are regenerated by replay and swallowed by the dedup filter.
+        """
+        writer = self._ckpt_writer
+        if writer is not None:
+            try:
+                writer.flush()
+            except Exception:
+                # The abort path must not mask the original failure with
+                # a store error; the log simply stays at its last cut.
+                pass
+
     def snapshot_state(self) -> dict[str, Any]:
         return {
             "results": self.results,
@@ -193,6 +214,7 @@ class AwaitableSink(CollectSink):
         self._settle()
 
     def on_run_aborted(self, error: BaseException) -> None:
+        super().on_run_aborted(error)  # flush the partial delivery log
         with self._guard:
             if self._completed:
                 return
@@ -223,6 +245,113 @@ class AwaitableSink(CollectSink):
 
     def __await__(self):
         return self.results_async().__await__()
+
+
+class PushSink(AwaitableSink):
+    """An always-on delivery sink that pushes results as they arrive.
+
+    Where :class:`AwaitableSink` hands over the *complete* result set at
+    end of stream, a push sink calls ``publish(tup)`` the moment each
+    result is produced -- the delivery half of the serving layer, with
+    ``publish`` typically bound to :meth:`repro.stream.Broadcast.publish`
+    so results fan out to live SSE/websocket subscribers
+    (``docs/serving.md``).
+
+    Two always-on adaptations keep memory bounded over unbounded runs:
+    the shared run :class:`~repro.engine.logs.OutputLog` is *not* written
+    (it grows without bound and is a batch-analysis artifact), and the
+    locally retained ``results``/``arrivals`` lists are trimmed to the
+    last ``retain`` entries (``retain=None`` keeps everything, restoring
+    collect-sink behaviour).  The durability seams are untouched: the
+    delivery-log writer and the exactly-once replay dedup filter see
+    every arrival, so checkpointed serving flows recover like any other.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema | None = None,
+        *,
+        publish: Any = None,
+        on_complete: Any = None,
+        retain: int | None = 1024,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(name, schema, **kwargs)
+        if publish is not None and not callable(publish):
+            raise EngineError(
+                f"{name}: publish must be callable, got {publish!r}"
+            )
+        if on_complete is not None and not callable(on_complete):
+            raise EngineError(
+                f"{name}: on_complete must be callable, got {on_complete!r}"
+            )
+        if retain is not None and retain < 0:
+            raise EngineError(
+                f"{name}: retain must be >= 0 or None, got {retain}"
+            )
+        self.publish = publish
+        #: Called at clean end of stream (typically ``Broadcast.close``,
+        #: ending live subscribers once their buffers drain).  *Not*
+        #: called when the run aborts: a supervised restart keeps the
+        #: hub and its subscribers alive across the rebuild.
+        self.on_complete = on_complete
+        self.retain = retain
+        #: Total results pushed over the sink's lifetime (trim-proof).
+        self.delivered = 0
+
+    def on_finish(self) -> None:
+        super().on_finish()
+        if self.on_complete is not None:
+            self.on_complete()
+
+    def _trim(self) -> None:
+        retain = self.retain
+        if retain is None or len(self.results) <= retain:
+            return
+        cut = len(self.results) - retain
+        del self.results[:cut]
+        del self.arrivals[:cut]
+
+    def on_tuple(self, port_index: int, tup: StreamTuple) -> None:
+        if self._ckpt_dedup is not None and self._ckpt_replayed(tup):
+            return
+        now = self.now()
+        self.results.append(tup)
+        self.arrivals.append((now, tup))
+        if self._ckpt_writer is not None:
+            self._ckpt_writer.append((now, tup))
+        self.delivered += 1
+        if self.publish is not None:
+            self.publish(tup)
+        self._trim()
+
+    def on_page(self, port_index: int, batch: list) -> None:
+        if self._ckpt_dedup is not None:
+            for tup in batch:
+                self.on_tuple(port_index, tup)
+            return
+        now = self.now()
+        self.results.extend(batch)
+        self.arrivals.extend((now, tup) for tup in batch)
+        writer = self._ckpt_writer
+        if writer is not None:
+            for tup in batch:
+                writer.append((now, tup))
+        self.delivered += len(batch)
+        if self.publish is not None:
+            for tup in batch:
+                self.publish(tup)
+        self._trim()
+
+    def snapshot_state(self) -> dict[str, Any]:
+        state = super().snapshot_state()
+        state["delivered"] = self.delivered
+        return state
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        super().restore_state(state)
+        self.delivered = state.get("delivered", len(self.results))
 
 
 class OnDemandSink(CollectSink):

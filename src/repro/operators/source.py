@@ -107,6 +107,8 @@ class AsyncIterableSource(SourceOperator):
         name: str,
         output_schema: Schema,
         factory: Callable[[], AsyncIterable[tuple[float, Any]]],
+        *,
+        idle_flush: Callable[[], bool] | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(name, output_schema, **kwargs)
@@ -115,7 +117,22 @@ class AsyncIterableSource(SourceOperator):
                 f"{name}: AsyncIterableSource takes a zero-argument "
                 f"factory returning an async iterable, got {factory!r}"
             )
+        if idle_flush is not None and not callable(idle_flush):
+            raise WorkloadError(
+                f"{name}: idle_flush must be a zero-argument callable, "
+                f"got {idle_flush!r}"
+            )
         self._factory = factory
+        #: Latency hint for interactive feeds (``Flow.ingest``): when it
+        #: reports the upstream buffer empty, the asyncio engine flushes
+        #: this source's open output pages instead of letting a partial
+        #: page wait for more input.  Pages still batch under sustained
+        #: load -- the hint only fires when the feed goes quiet.
+        self._idle_flush = idle_flush
+
+    def wants_flush(self) -> bool:
+        """True when open output pages should flush (feed is idle)."""
+        return self._idle_flush is not None and self._idle_flush()
 
     def aevents(self) -> AsyncIterable[tuple[float, Any]]:
         """The async iterator of events (consumed by the asyncio engine)."""

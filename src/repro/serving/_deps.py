@@ -1,0 +1,77 @@
+"""Optional-dependency gate for the serving layer.
+
+The serving stack is deliberately pure stdlib: ``asyncio.start_server``
+plus the hand-rolled HTTP/1.1 + websocket + SSE wire layer in
+:mod:`repro.serving.wire`, so it runs anywhere the library does.  The
+one genuinely optional dependency is **uvloop**, the drop-in libuv event
+loop that roughly doubles socket throughput on CPython.  Environments
+without it must degrade *loudly* when asked for it -- a quiet fallback
+would invalidate any benchmark that believed it was running accelerated.
+
+``require()`` is the single chokepoint: every optional import goes
+through it and surfaces a :class:`~repro.errors.ServingError` naming the
+feature, the missing distribution, and the install command.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+from repro.errors import ServingError
+
+__all__ = [
+    "install_uvloop",
+    "require",
+    "uvloop_available",
+]
+
+
+def require(module: str, *, feature: str, hint: str | None = None) -> Any:
+    """Import an optional module or fail with an actionable error.
+
+    Returns the imported module.  Raises
+    :class:`~repro.errors.ServingError` when it is not installed, naming
+    the feature that wanted it -- callers never see a bare
+    ``ModuleNotFoundError`` whose relevance they would have to guess.
+    """
+    try:
+        return importlib.import_module(module)
+    except ModuleNotFoundError as exc:
+        if exc.name is not None and not module.startswith(exc.name):
+            raise  # the module exists but has a broken transitive import
+        raise ServingError(
+            f"{feature} needs the optional dependency {module!r}, which "
+            f"is not installed in this environment"
+            + (f" ({hint})" if hint else f"; install it with "
+               f"'pip install {module}' or run without {feature}")
+        ) from exc
+
+
+def uvloop_available() -> bool:
+    """True when the optional uvloop accelerator can be imported."""
+    try:
+        importlib.import_module("uvloop")
+    except ModuleNotFoundError:
+        return False
+    return True
+
+
+def install_uvloop() -> Any:
+    """Install uvloop's event-loop policy (opt-in acceleration).
+
+    Called by :func:`repro.serving.server.serve` (before the loop
+    exists) when the config sets ``uvloop=True``; returns the uvloop
+    module.  Raises a clear :class:`~repro.errors.ServingError` when
+    uvloop is absent rather than silently serving on the stdlib loop.
+    """
+    uvloop = require(
+        "uvloop",
+        feature="ServingConfig(uvloop=True)",
+        hint="pip install uvloop, or set uvloop=False to use the "
+        "stdlib event loop",
+    )
+    import asyncio
+
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return uvloop

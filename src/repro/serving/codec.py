@@ -1,0 +1,63 @@
+"""JSON ⇄ :class:`StreamTuple` codec for the wire boundary.
+
+Network clients speak JSON objects keyed by attribute name; plans speak
+positional :class:`~repro.stream.tuples.StreamTuple` rows against a
+:class:`~repro.stream.schema.Schema`.  This module is the one place that
+translation happens, so every ingest path (HTTP POST, websocket frame,
+load generator) validates identically and every delivery path renders
+identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.errors import ServingError
+from repro.stream.schema import Schema
+from repro.stream.tuples import StreamTuple
+
+__all__ = ["tuple_from_json", "tuple_to_json", "tuples_from_body"]
+
+
+def tuple_from_json(schema: Schema, payload: Mapping[str, Any]) -> StreamTuple:
+    """Build a tuple from a JSON object, validating against ``schema``.
+
+    Every schema attribute must be present; unknown keys are rejected so
+    client typos fail fast instead of silently dropping a field.
+    """
+    if not isinstance(payload, Mapping):
+        raise ServingError(
+            f"ingest payload must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    names = schema.names
+    missing = [n for n in names if n not in payload]
+    if missing:
+        raise ServingError(
+            f"ingest payload is missing attribute(s) {missing}; "
+            f"schema is {list(names)}"
+        )
+    unknown = [k for k in payload if k not in names]
+    if unknown:
+        raise ServingError(
+            f"ingest payload has unknown attribute(s) {unknown}; "
+            f"schema is {list(names)}"
+        )
+    return StreamTuple(schema, tuple(payload[n] for n in names))
+
+
+def tuples_from_body(schema: Schema, body: bytes) -> list[StreamTuple]:
+    """Decode an ingest request body: one JSON object or a JSON list."""
+    try:
+        decoded = json.loads(body)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ServingError(f"ingest body is not valid JSON: {exc}") from exc
+    if isinstance(decoded, list):
+        return [tuple_from_json(schema, item) for item in decoded]
+    return [tuple_from_json(schema, decoded)]
+
+
+def tuple_to_json(tup: StreamTuple) -> str:
+    """Render a result tuple as a compact JSON object."""
+    return json.dumps(tup.as_dict(), separators=(",", ":"), default=str)

@@ -1,0 +1,259 @@
+"""Minimal HTTP/1.1, SSE and RFC 6455 websocket wire helpers.
+
+The container this library targets has no aiohttp/websockets, and the
+serving layer needs only a narrow slice of each protocol: parse one
+request line + headers, answer with framed responses, stream
+``text/event-stream`` chunks, and exchange websocket data frames.  This
+module implements exactly that slice over asyncio stream reader/writer
+pairs -- ~200 lines instead of a framework dependency, and every byte
+on the wire is visible to the tests.
+
+Scope notes (deliberate): HTTP/1.1 with ``Content-Length`` bodies only
+(no chunked ingest), no TLS (front a real deployment with a terminating
+proxy), websocket per-message-deflate not negotiated.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import os
+import struct
+from dataclasses import dataclass
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import ServingError
+
+__all__ = [
+    "HttpRequest",
+    "WS_CLOSE",
+    "WS_PONG",
+    "WS_TEXT",
+    "read_request",
+    "response_bytes",
+    "sse_event",
+    "websocket_accept",
+    "ws_encode",
+    "ws_read",
+]
+
+MAX_HEADER_BYTES = 16 * 1024
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+# Websocket opcodes (RFC 6455 §5.2).
+WS_CONT = 0x0
+WS_TEXT = 0x1
+WS_BINARY = 0x2
+WS_CLOSE = 0x8
+WS_PING = 0x9
+WS_PONG = 0xA
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP/1.1 request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+    keep_alive: bool = True
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (
+            "websocket" in self.header("upgrade").lower()
+            and "upgrade" in self.header("connection").lower()
+        )
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int = 1 << 20
+) -> HttpRequest | None:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`~repro.errors.ServingError` for malformed requests
+    and for bodies/headers over the configured bounds (the connection
+    handler answers 400/413 and closes).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests (keep-alive close)
+        raise ServingError("connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ServingError("request head exceeds the header limit") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ServingError("request head exceeds the header limit")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ServingError(f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ServingError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    length = headers.get("content-length", "0")
+    try:
+        n_body = int(length)
+    except ValueError:
+        raise ServingError(f"bad Content-Length {length!r}") from None
+    if n_body > max_body:
+        raise ServingError(
+            f"request body of {n_body} bytes exceeds the {max_body}-byte "
+            f"ingest limit"
+        )
+    body = await reader.readexactly(n_body) if n_body else b""
+
+    connection = headers.get("connection", "").lower()
+    keep_alive = version != "HTTP/1.0" and "close" not in connection
+    return HttpRequest(
+        method=method.upper(),
+        path=unquote(split.path),
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    101: "Switching Protocols",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    503: "Service Unavailable",
+}
+
+
+def response_bytes(
+    status: int,
+    body: bytes | str = b"",
+    *,
+    content_type: str = "application/json",
+    headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Frame a complete HTTP/1.1 response."""
+    if isinstance(body, str):
+        body = body.encode()
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    all_headers = {
+        "content-type": content_type,
+        "content-length": str(len(body)),
+        "connection": "keep-alive" if keep_alive else "close",
+    }
+    if headers:
+        all_headers.update({k.lower(): v for k, v in headers.items()})
+    lines.extend(f"{name}: {value}" for name, value in all_headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def sse_event(data: str, *, event: str | None = None) -> bytes:
+    """Frame one Server-Sent Events message."""
+    out = []
+    if event is not None:
+        out.append(f"event: {event}")
+    out.extend(f"data: {line}" for line in data.split("\n"))
+    return ("\n".join(out) + "\n\n").encode()
+
+
+# -- RFC 6455 ------------------------------------------------------------------
+
+
+def websocket_accept(key: str) -> str:
+    """The Sec-WebSocket-Accept value for a client's handshake key."""
+    digest = hashlib.sha1((key + _WS_GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode()
+
+
+def ws_encode(
+    payload: bytes | str, *, opcode: int = WS_TEXT, mask: bool = False
+) -> bytes:
+    """Frame one complete (FIN) websocket message.
+
+    Servers send unmasked frames; clients (the loopback test client and
+    the load generator) set ``mask=True`` as RFC 6455 §5.3 requires.
+    """
+    if isinstance(payload, str):
+        payload = payload.encode()
+    head = bytearray([0x80 | opcode])
+    mask_bit = 0x80 if mask else 0
+    n = len(payload)
+    if n < 126:
+        head.append(mask_bit | n)
+    elif n < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack("!H", n)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack("!Q", n)
+    if mask:
+        key = os.urandom(4)
+        head += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + payload
+
+
+async def ws_read(
+    reader: asyncio.StreamReader, *, max_message: int = 1 << 20
+) -> tuple[int, bytes] | None:
+    """Read one websocket *message* (reassembling fragments).
+
+    Returns ``(opcode, payload)``; ``None`` on EOF.  Control frames
+    (ping/pong/close) are returned as-is -- they are never fragmented.
+    """
+    message = bytearray()
+    message_opcode: int | None = None
+    while True:
+        try:
+            b1, b2 = await reader.readexactly(2)
+        except asyncio.IncompleteReadError:
+            return None
+        fin, opcode = b1 & 0x80, b1 & 0x0F
+        masked, n = b2 & 0x80, b2 & 0x7F
+        if n == 126:
+            (n,) = struct.unpack("!H", await reader.readexactly(2))
+        elif n == 127:
+            (n,) = struct.unpack("!Q", await reader.readexactly(8))
+        if n > max_message:
+            raise ServingError(
+                f"websocket frame of {n} bytes exceeds the "
+                f"{max_message}-byte limit"
+            )
+        key = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(n)
+        if masked:
+            payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+        if opcode >= WS_CLOSE:  # control frame: FIN always set
+            return opcode, payload
+        if opcode != WS_CONT:
+            message_opcode = opcode
+        if message_opcode is None:
+            raise ServingError("websocket continuation without a start frame")
+        message += payload
+        if len(message) > max_message:
+            raise ServingError(
+                f"websocket message exceeds the {max_message}-byte limit"
+            )
+        if fin:
+            return message_opcode, bytes(message)

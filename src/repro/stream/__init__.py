@@ -13,6 +13,7 @@ own.  Higher layers build on it:
 * :mod:`repro.engine` drives plans on a virtual or wall clock.
 """
 
+from repro.stream.channels import Broadcast, Channel, Subscription
 from repro.stream.clock import Clock, VirtualClock, WallClock
 from repro.stream.control import (
     ControlChannel,
@@ -34,6 +35,8 @@ __all__ = [
     "AsyncioConditionWaiter",
     "Attribute",
     "AttributeOrigin",
+    "Broadcast",
+    "Channel",
     "Clock",
     "ControlChannel",
     "ControlMessage",
@@ -45,6 +48,7 @@ __all__ = [
     "Schema",
     "SchemaMapping",
     "StreamTuple",
+    "Subscription",
     "ThreadConditionWaiter",
     "VirtualClock",
     "Waiter",

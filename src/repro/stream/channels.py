@@ -1,0 +1,304 @@
+"""Async channels: the bridge between network endpoints and a plan.
+
+The serving layer (``repro.serving``, docs/serving.md) turns the asyncio
+engine into a long-running service: socket handlers on one side, an
+always-on dataflow on the other.  This module is the seam between them,
+deliberately placed in the engine-agnostic stream substrate:
+
+* :class:`Channel` is the *ingest* adapter -- a bounded, closable,
+  multi-producer channel whose :meth:`Channel.stream` async generator
+  plugs straight into :class:`~repro.operators.source.
+  AsyncIterableSource` (``Flow.ingest``).  When the plan's interior
+  queues cross their high-water marks, the engine's pause
+  :class:`~repro.core.feedback.FlowControlPunctuation` parks the source
+  coroutine, the channel fills to its own capacity, and
+  :meth:`Channel.put` awaits -- which suspends the socket handler and
+  stops it reading, so backpressure reaches the client's TCP connection
+  without a single dropped element.
+
+* :class:`Broadcast` is the *delivery* adapter -- a fan-out hub a
+  :class:`~repro.operators.sink.PushSink` publishes into
+  (``.push(...)``).  Every subscriber gets a bounded buffer; when any
+  buffer crosses the hub's high-water mark the hub's *gate* closes, and
+  admission paths that honour :meth:`Broadcast.wait_open` (the serving
+  supervisor's ingest) stall new input until the slowest consumer drains
+  back below the low-water mark.  Nothing is ever dropped: a slow
+  consumer converts into upstream delay, exactly like the engine's
+  in-plan watermarks.
+
+Both classes are single-event-loop objects (the serving layer multiplexes
+every flow on one loop); producers and consumers must share that loop.
+They survive engine restarts: a supervisor that rebuilds a crashed flow
+re-subscribes a fresh ``AsyncIterableSource`` to the *same* channel, so
+elements admitted while the flow was down are delivered by the next run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, AsyncIterator
+
+from repro.errors import ServingError
+from repro.stream.schema import Schema
+
+__all__ = ["Broadcast", "Channel", "Subscription"]
+
+
+class Channel:
+    """Bounded multi-producer channel feeding an async-iterable source.
+
+    ``capacity`` bounds the in-channel backlog: :meth:`put` awaits while
+    the buffer is full, so a producer (a socket handler) is suspended --
+    not failed, not dropped -- until the plan drains.  ``close()`` ends
+    the stream: the consuming source sees end-of-stream once the backlog
+    is drained, which is how the serving layer's clean *drain* works.
+    """
+
+    def __init__(
+        self, name: str, schema: Schema, *, capacity: int = 256
+    ) -> None:
+        if capacity < 1:
+            raise ServingError(
+                f"channel {name!r} needs capacity >= 1, got {capacity}"
+            )
+        self.name = name
+        self.schema = schema
+        self.capacity = capacity
+        self._buffer: deque[Any] = deque()
+        self._closed = False
+        #: Sequence number of the last admitted element; doubles as the
+        #: (virtual) arrival time yielded to bridged engines.
+        self.admitted = 0
+        self.delivered = 0
+        self.peak_backlog = 0
+        self._data = asyncio.Event()    # buffer non-empty, or closed
+        self._space = asyncio.Event()   # backlog below capacity
+        self._space.set()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def idle(self) -> bool:
+        """True when every admitted element has been taken by the plan."""
+        return not self._buffer
+
+    async def put(self, element: Any) -> int:
+        """Admit one element, awaiting while the channel is full.
+
+        Returns the element's 1-based admission sequence number.  Raises
+        :class:`~repro.errors.ServingError` on a closed channel -- the
+        caller (a socket handler) turns that into a client error.
+        """
+        while True:
+            if self._closed:
+                raise ServingError(
+                    f"channel {self.name!r} is closed to new input"
+                )
+            if len(self._buffer) < self.capacity:
+                break
+            self._space.clear()
+            await self._space.wait()
+        self._buffer.append(element)
+        self.admitted += 1
+        if len(self._buffer) > self.peak_backlog:
+            self.peak_backlog = len(self._buffer)
+        self._data.set()
+        return self.admitted
+
+    def offer(self, element: Any) -> bool:
+        """Non-blocking :meth:`put`: False when the channel is full."""
+        if self._closed:
+            raise ServingError(
+                f"channel {self.name!r} is closed to new input"
+            )
+        if len(self._buffer) >= self.capacity:
+            return False
+        self._buffer.append(element)
+        self.admitted += 1
+        if len(self._buffer) > self.peak_backlog:
+            self.peak_backlog = len(self._buffer)
+        self._data.set()
+        return True
+
+    def close(self) -> None:
+        """End the stream: no new input; the backlog still drains."""
+        self._closed = True
+        self._data.set()
+        self._space.set()  # parked producers wake and observe the close
+
+    async def stream(self) -> AsyncIterator[tuple[float, Any]]:
+        """The ``(arrival, element)`` async iterator a source consumes.
+
+        Designed as the ``events_factory`` of
+        :meth:`repro.api.Flow.from_async_iterable` (which is exactly what
+        ``Flow.ingest`` wires up): arrival is the admission sequence
+        number, giving bridged engines a monotone virtual timeline.  May
+        be called again after a run died -- the new iterator picks up the
+        surviving backlog.
+        """
+        while True:
+            while not self._buffer:
+                if self._closed:
+                    return
+                self._data.clear()
+                await self._data.wait()
+            element = self._buffer.popleft()
+            self.delivered += 1
+            self._space.set()
+            yield float(self.delivered), element
+
+
+class Subscription:
+    """One consumer's bounded buffer on a :class:`Broadcast` hub.
+
+    Async-iterable: ``async for element in subscription`` yields
+    published elements in order and ends when the hub closes (after the
+    backlog drains) or the subscription is cancelled via :meth:`close`.
+    """
+
+    __slots__ = ("hub", "buffer", "received", "_data", "_closed")
+
+    def __init__(self, hub: "Broadcast") -> None:
+        self.hub = hub
+        self.buffer: deque[Any] = deque()
+        self.received = 0
+        self._data = asyncio.Event()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+    def close(self) -> None:
+        """Detach from the hub (a client disconnected)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._data.set()
+        self.hub._detach(self)
+
+    def __aiter__(self) -> "Subscription":
+        return self
+
+    async def __anext__(self) -> Any:
+        while not self.buffer:
+            if self._closed or self.hub.closed:
+                self.close()
+                raise StopAsyncIteration
+            self._data.clear()
+            await self._data.wait()
+        element = self.buffer.popleft()
+        self.received += 1
+        self.hub._drained()
+        return element
+
+
+class Broadcast:
+    """Fan-out delivery hub with bounded buffers and an admission gate.
+
+    A :class:`~repro.operators.sink.PushSink` publishes synchronously
+    (from inside the engine's sink callback); each live subscriber gets
+    the element appended to its own bounded buffer.  When any buffer
+    reaches ``high_water`` the gate closes; once *every* buffer is back
+    at or below ``low_water`` it re-opens.  Publishing itself never
+    blocks and never drops -- the bound is enforced by admission paths
+    awaiting :meth:`wait_open` before feeding the plan more input, which
+    is how a slow SSE/websocket consumer stalls the producing client
+    instead of ballooning server memory (docs/serving.md).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        high_water: int = 64,
+        low_water: int | None = None,
+    ) -> None:
+        if high_water < 1:
+            raise ServingError(
+                f"hub {name!r} needs high_water >= 1, got {high_water}"
+            )
+        if low_water is None:
+            low_water = high_water // 4
+        if not 0 <= low_water < high_water:
+            raise ServingError(
+                f"hub {name!r} needs 0 <= low_water < high_water, got "
+                f"low_water={low_water}, high_water={high_water}"
+            )
+        self.name = name
+        self.high_water = high_water
+        self.low_water = low_water
+        self._subscribers: list[Subscription] = []
+        self._gate = asyncio.Event()
+        self._gate.set()
+        self.closed = False
+        self.published = 0
+        self.peak_backlog = 0
+        #: Gate transitions: delivery-side pause/resume counts, the
+        #: serving twin of the engine's pauses_issued/resumes_issued.
+        self.pauses = 0
+        self.resumes = 0
+
+    @property
+    def subscribers(self) -> int:
+        return len(self._subscribers)
+
+    @property
+    def backlog(self) -> int:
+        """The deepest current subscriber buffer."""
+        return max((len(s) for s in self._subscribers), default=0)
+
+    @property
+    def gate_open(self) -> bool:
+        return self._gate.is_set()
+
+    def subscribe(self) -> Subscription:
+        if self.closed:
+            raise ServingError(f"hub {self.name!r} is closed")
+        subscription = Subscription(self)
+        self._subscribers.append(subscription)
+        return subscription
+
+    def _detach(self, subscription: Subscription) -> None:
+        try:
+            self._subscribers.remove(subscription)
+        except ValueError:
+            return
+        self._drained()
+
+    def publish(self, element: Any) -> None:
+        """Deliver ``element`` to every subscriber (synchronous)."""
+        self.published += 1
+        for subscription in self._subscribers:
+            subscription.buffer.append(element)
+            subscription._data.set()
+        backlog = self.backlog
+        if backlog > self.peak_backlog:
+            self.peak_backlog = backlog
+        if backlog >= self.high_water and self._gate.is_set():
+            self._gate.clear()
+            self.pauses += 1
+
+    def _drained(self) -> None:
+        """A subscriber popped (or left); maybe re-open the gate."""
+        if self._gate.is_set():
+            return
+        if self.backlog <= self.low_water:
+            self._gate.set()
+            self.resumes += 1
+
+    async def wait_open(self) -> None:
+        """Park until every subscriber is below the low-water mark."""
+        await self._gate.wait()
+
+    def close(self) -> None:
+        """End delivery: subscribers finish once their buffers drain."""
+        self.closed = True
+        for subscription in list(self._subscribers):
+            subscription._data.set()
+        self._gate.set()

@@ -1,0 +1,212 @@
+"""Concurrency soak: many multiplexed flows under randomized client churn.
+
+Marked ``slow`` and deselected by default (``addopts = -m 'not slow'``);
+CI runs it in a dedicated job under a hard KILL timeout with::
+
+    REPRO_SOAK_FLOWS=50 python -m pytest -m slow tests/test_serving_soak.py
+
+The test drives one :class:`~repro.serving.server.StreamServer` hosting
+``REPRO_SOAK_FLOWS`` flows through several rounds of randomized clients
+-- websocket duplex sessions, SSE subscribers that disconnect mid-
+stream, HTTP batch ingesters -- and then asserts the properties an
+always-on service actually needs:
+
+* every flow is still RUNNING and the service reports healthy;
+* nothing was dropped: the server's admitted count equals the sum of
+  per-flow ingestion counters;
+* no leaked tasks: after ``aclose`` the loop holds no stray coroutines;
+* no unclosed adapters: every channel and subscription is closed;
+* stable memory: tracemalloc growth across churn rounds stays bounded
+  (the push sinks' retain rings cap result history).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import tracemalloc
+
+import pytest
+
+from repro.api import Flow
+from repro.serving import (
+    FlowState,
+    FlowSupervisor,
+    StreamServer,
+    TenantPolicy,
+)
+from repro.serving.client import (
+    WebSocketClient,
+    get_json,
+    post_json,
+    sse_subscribe,
+)
+from repro.stream import Attribute, Schema
+
+FLOWS = int(os.environ.get("REPRO_SOAK_FLOWS", "12"))
+ROUNDS = int(os.environ.get("REPRO_SOAK_ROUNDS", "4"))
+CLIENTS_PER_ROUND = int(os.environ.get("REPRO_SOAK_CLIENTS", "24"))
+MEMORY_BUDGET = 8 * 1024 * 1024  # bytes of tracemalloc growth tolerated
+
+
+def soak_schema() -> Schema:
+    return Schema([
+        Attribute("client", "str"),
+        Attribute("seq", "int"),
+        Attribute("value", "float"),
+    ])
+
+
+@pytest.mark.slow
+class TestServingSoak:
+    def test_many_flows_survive_randomized_churn(self):
+        rng = random.Random(0xC1D9)
+
+        async def ws_client(host, port, name, index):
+            async with WebSocketClient(
+                host, port, f"/v1/flows/{name}/ws?mode=duplex"
+            ) as client:
+                for seq in range(5):
+                    await client.send_json({
+                        "client": f"ws{index}", "seq": seq,
+                        "value": seq * 0.5,
+                    })
+                # read a few fanned-out results, then leave; sometimes
+                # abruptly (transport torn down, no close frame)
+                for _ in range(rng.randrange(0, 4)):
+                    try:
+                        received = await asyncio.wait_for(
+                            client.receive_json(), 2
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                    if received is None:
+                        break
+                if rng.random() < 0.3 and client._writer is not None:
+                    client._writer.transport.abort()
+                    client._writer = None
+            return 5
+
+        async def sse_client(host, port, name, index):
+            stream = sse_subscribe(
+                host, port, f"/v1/flows/{name}/stream?limit=8"
+            )
+            seen = 0
+            cutoff = rng.randrange(1, 8)
+            try:
+                while seen < cutoff:
+                    try:
+                        # another client may never feed this flow this
+                        # round: a quiet stream is not a failure
+                        await asyncio.wait_for(stream.__anext__(), 2)
+                    except (asyncio.TimeoutError, StopAsyncIteration):
+                        break
+                    seen += 1  # then disconnect mid-stream at cutoff
+            finally:
+                await stream.aclose()
+            return 0
+
+        async def post_client(host, port, name, index):
+            batch = [
+                {"client": f"po{index}", "seq": seq, "value": 1.0}
+                for seq in range(8)
+            ]
+            status, body = await post_json(
+                host, port, f"/v1/flows/{name}/ingest", batch
+            )
+            assert status == 202
+            return body["admitted"]
+
+        async def main():
+            flows = []
+            supervisor = FlowSupervisor(queue_capacity=16)
+            policy = TenantPolicy(
+                rate=1e6, burst=1e6, max_flows=FLOWS
+            )
+            for index in range(FLOWS):
+                flow = Flow(f"soak{index:03d}")
+                flow.ingest(
+                    soak_schema(), name="in", capacity=16
+                ).push("out", high_water=32, retain=64)
+                supervisor.admit(
+                    flow, tenant="soak",
+                    policy=policy if index == 0 else None,
+                )
+                flows.append(flow)
+            server = StreamServer(supervisor)
+            host, port = await server.start()
+            names = [flow.name for flow in flows]
+
+            kinds = [ws_client, sse_client, post_client]
+            sent_total = 0
+            baseline = None
+            for round_index in range(ROUNDS):
+                tasks = []
+                for index in range(CLIENTS_PER_ROUND):
+                    kind = rng.choice(kinds)
+                    name = rng.choice(names)
+                    tasks.append(kind(host, port, name, index))
+                results = await asyncio.gather(*tasks)
+                sent_total += sum(results)
+
+                status, health = await get_json(host, port, "/healthz")
+                assert status == 200, f"round {round_index}: {health}"
+                if baseline is None:
+                    # measure growth only after the first round has
+                    # paid one-time allocation costs (caches, pages)
+                    baseline = tracemalloc.take_snapshot()
+
+            growth = sum(
+                stat.size_diff
+                for stat in tracemalloc.take_snapshot().compare_to(
+                    baseline, "lineno"
+                )
+            )
+
+            # nothing dropped anywhere in the chain
+            assert server.counters["ingested_total"] == sent_total
+            assert sum(
+                managed.ingested for managed in supervisor.flows
+            ) == sent_total
+            for managed in supervisor.flows:
+                assert managed.state is FlowState.RUNNING
+                assert managed.restarts == 0
+            # every churned subscriber detached cleanly (the server may
+            # need a beat to notice an aborted transport)
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while any(flow.hub().subscribers for flow in flows):
+                assert asyncio.get_running_loop().time() < deadline, (
+                    "subscriptions leaked after client churn"
+                )
+                await asyncio.sleep(0.05)
+
+            await server.aclose(drain=True)
+
+            for managed in supervisor.flows:
+                assert managed.state is FlowState.DRAINED
+            for flow in flows:
+                assert flow.channel().closed
+                assert flow.channel().idle  # backlog fully processed
+
+            # no leaked tasks: with the listener gone, connections
+            # reaped and every flow drained, this coroutine is the only
+            # thing left on the loop
+            lingering = {
+                task for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            }
+            assert lingering == set(), (
+                f"{len(lingering)} task(s) leaked: {lingering}"
+            )
+            return growth
+
+        tracemalloc.start()
+        try:
+            growth = asyncio.run(main())
+        finally:
+            tracemalloc.stop()
+
+        assert growth < MEMORY_BUDGET, (
+            f"tracemalloc grew {growth / 1e6:.1f} MB across churn rounds"
+        )
